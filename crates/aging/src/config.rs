@@ -1,0 +1,222 @@
+//! Configuration of the synthetic aging workload.
+//!
+//! The paper built its workload from two unavailable data sources: a year
+//! of nightly snapshots of a Harvard home-directory file system (the
+//! long-lived files) and NFS traces from Network Appliance servers (the
+//! short-lived, same-day files). This module parameterizes a synthetic
+//! equivalent; [`AgingConfig::paper`] is calibrated to the totals the
+//! paper reports — ten months (300 days), ~800 k operations, ~48.6 GB
+//! written, 9 % initial utilization rising past 70 % with a 90 % peak,
+//! and ~8.8 k live files at the end.
+
+use ffs_types::{KB, MB};
+
+/// A clamped log-normal file-size distribution.
+///
+/// Both source data sets have heavy-tailed sizes: most files are a few
+/// kilobytes, a few are megabytes. The log-normal shape matches the
+/// classic trace studies the paper leans on (Ousterhout85, Baker91,
+/// Satyanarayanan81).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SizeDist {
+    /// Median size in bytes (`exp(mu)` of the underlying normal).
+    pub median: u64,
+    /// Log-space standard deviation.
+    pub sigma: f64,
+    /// Smallest sample returned.
+    pub min: u64,
+    /// Largest sample returned.
+    pub max: u64,
+}
+
+impl SizeDist {
+    /// Mean of the (unclamped) distribution: `median * exp(sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        self.median as f64 * (self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Knobs of the synthetic aging workload generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AgingConfig {
+    /// Simulated days (the paper replays 300).
+    pub days: u32,
+    /// RNG seed; the same seed yields a byte-identical workload, so both
+    /// policies replay exactly the same operation stream.
+    pub seed: u64,
+    /// Utilization (fraction of allocatable space) at the start of day 0.
+    pub initial_util: f64,
+    /// Utilization the ramp approaches (the paper's "greater than 70 %
+    /// for most of the period").
+    pub plateau_util: f64,
+    /// Days the initial growth ramp lasts.
+    pub ramp_days: u32,
+    /// Highest utilization the trajectory may reach (the paper's 90 %
+    /// peak, counting the minfree reserve as free space).
+    pub peak_util: f64,
+    /// Amplitude of the slow utilization wobble after the ramp.
+    pub wobble: f64,
+    /// Mean short-lived create/delete pairs per day (the NFS-trace
+    /// component; these files never survive a snapshot interval).
+    pub short_pairs_per_day: f64,
+    /// Mean long-lived file creations per day (the snapshot component).
+    pub long_creates_per_day: f64,
+    /// Mean long-lived modifications per day. Following the paper's
+    /// heuristic (files are rewritten, not edited), a modify is replayed
+    /// as a delete followed by a create of the new size.
+    pub long_modifies_per_day: f64,
+    /// Mean in-place rewrites of existing files per day (overwrite
+    /// traffic from the NFS traces: write volume and modification-time
+    /// freshness without reallocation).
+    pub rewrites_per_day: f64,
+    /// Probability that a day is a burst day (bulk delete or bulk
+    /// install), producing the sudden drops and jumps of Figures 1 and 2.
+    pub burst_prob: f64,
+    /// Zipf-like exponent skewing activity across cylinder groups (some
+    /// home directories are much busier than others).
+    pub cg_skew: f64,
+    /// Size distribution of long-lived files.
+    pub long_sizes: SizeDist,
+    /// Size distribution of short-lived files.
+    pub short_sizes: SizeDist,
+    /// Bias toward deleting young files (trace studies show most deleted
+    /// files are young). 0 = uniform victims; larger values weight the
+    /// selection toward recent files.
+    pub delete_age_bias: f64,
+    /// Probability that a shed-to-target delete takes a lone, uncorrelated
+    /// victim instead of a cohort. The real-FS reference model raises
+    /// this: uncorrelated deletions punch isolated holes.
+    pub scatter_deletes: f64,
+}
+
+impl AgingConfig {
+    /// The ten-month workload of Section 3.1, calibrated to the paper's
+    /// reported totals for the 502 MB file system.
+    pub fn paper(seed: u64) -> AgingConfig {
+        AgingConfig {
+            days: 300,
+            seed,
+            initial_util: 0.09,
+            plateau_util: 0.76,
+            ramp_days: 90,
+            peak_util: 0.90,
+            wobble: 0.05,
+            short_pairs_per_day: 1150.0,
+            long_creates_per_day: 150.0,
+            long_modifies_per_day: 140.0,
+            rewrites_per_day: 420.0,
+            burst_prob: 0.06,
+            cg_skew: 0.8,
+            long_sizes: SizeDist {
+                median: 6 * KB,
+                sigma: 1.9,
+                min: 256,
+                max: 8 * MB,
+            },
+            short_sizes: SizeDist {
+                median: 6 * KB,
+                sigma: 2.35,
+                min: 128,
+                max: 4 * MB,
+            },
+            delete_age_bias: 1.0,
+            scatter_deletes: 0.40,
+        }
+    }
+
+    /// A scaled-down workload for unit and integration tests: `days` days
+    /// against [`ffs_types::FsParams::small_test`] (16 MB), with
+    /// per-day activity scaled by the capacity ratio.
+    pub fn small_test(days: u32, seed: u64) -> AgingConfig {
+        let mut c = AgingConfig::paper(seed);
+        // 16 MB / 502 MB ~ 1/31 of the paper's capacity.
+        let scale = 1.0 / 31.0;
+        c.days = days;
+        c.ramp_days = (days / 3).max(1);
+        c.short_pairs_per_day *= scale;
+        c.long_creates_per_day = (c.long_creates_per_day * scale).max(4.0);
+        c.long_modifies_per_day = (c.long_modifies_per_day * scale).max(3.0);
+        c.rewrites_per_day = (c.rewrites_per_day * scale).max(3.0);
+        c.long_sizes.max = MB;
+        c.short_sizes.max = MB / 2;
+        c
+    }
+
+    /// The "real file system" variant used as Figure 1's reference: the
+    /// same model with the fragmentation sources the paper says its aging
+    /// workload under-represents turned up — heavier same-day churn and
+    /// less age-biased deletion (old, settled files also die, punching
+    /// holes into otherwise quiet regions).
+    pub fn real_fs_variant(&self) -> AgingConfig {
+        let mut c = self.clone();
+        c.short_pairs_per_day *= 1.5;
+        c.long_modifies_per_day *= 1.8;
+        c.delete_age_bias = 0.2;
+        c.scatter_deletes = 1.0;
+        c.seed = self.seed.wrapping_add(SEED_REAL_SALT);
+        c
+    }
+}
+
+/// Seed offset separating the real-FS reference run from the main run.
+const SEED_REAL_SALT: u64 = 0x5EED_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_reported_totals() {
+        let c = AgingConfig::paper(1);
+        assert_eq!(c.days, 300);
+        // ~800k operations: shorts contribute two ops per pair.
+        let ops_per_day =
+            2.0 * c.short_pairs_per_day + c.long_creates_per_day + 2.0 * c.long_modifies_per_day;
+        let total_ops = ops_per_day * c.days as f64;
+        assert!(
+            (700_000.0..950_000.0).contains(&total_ops),
+            "projected ops {total_ops}"
+        );
+        // Tens of gigabytes written over the ten months (the paper
+        // reports 48.6 GB; the synthetic workload lands around 34 GB --
+        // EXPERIMENTS.md discusses the deviation).
+        let bytes_per_day = c.short_pairs_per_day * c.short_sizes.mean()
+            + (c.long_creates_per_day + c.long_modifies_per_day + c.rewrites_per_day)
+                * c.long_sizes.mean();
+        let total_gb = bytes_per_day * c.days as f64 / (1u64 << 30) as f64;
+        assert!(
+            (25.0..60.0).contains(&total_gb),
+            "projected write volume {total_gb} GB"
+        );
+    }
+
+    #[test]
+    fn size_dist_mean_is_lognormal() {
+        let d = SizeDist {
+            median: 8 * KB,
+            sigma: 0.0,
+            min: 1,
+            max: u64::MAX,
+        };
+        assert_eq!(d.mean(), 8.0 * KB as f64);
+    }
+
+    #[test]
+    fn real_variant_is_heavier_churn() {
+        let base = AgingConfig::paper(7);
+        let real = base.real_fs_variant();
+        assert!(real.short_pairs_per_day > base.short_pairs_per_day);
+        assert!(real.long_modifies_per_day > base.long_modifies_per_day);
+        assert!(real.scatter_deletes > base.scatter_deletes);
+        assert_ne!(real.seed, base.seed);
+        assert_eq!(real.days, base.days);
+    }
+
+    #[test]
+    fn small_test_config_is_scaled() {
+        let c = AgingConfig::small_test(30, 3);
+        assert_eq!(c.days, 30);
+        assert!(c.short_pairs_per_day < 100.0);
+        assert!(c.long_creates_per_day >= 4.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Workload profiles beyond the home-directory server.
+//!
+//! Section 6 of the paper proposes generating "a variety of different
+//! aging workloads representative of different file system usage
+//! patterns, such as news, database, and personal computing workloads"
+//! to find the design parameters best suited to each. These presets
+//! implement that proposal on top of the same generator; the `harness
+//! profiles` experiment ages each under both policies.
+
+use ffs_types::{KB, MB};
+
+use crate::config::AgingConfig;
+
+/// A named usage pattern with a calibrated configuration.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Short name ("news", "database", ...).
+    pub name: &'static str,
+    /// One-line description of the pattern.
+    pub description: &'static str,
+    /// The generator configuration.
+    pub config: AgingConfig,
+}
+
+/// A Usenet news spool: torrential churn of small short-lived articles,
+/// expiry runs as the deletion mechanism, almost no long-term growth.
+/// The classic worst case for FFS fragmentation.
+pub fn news(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 2.5;
+    c.short_sizes.median = 2 * KB;
+    c.short_sizes.sigma = 1.2;
+    c.short_sizes.max = 256 * KB;
+    c.long_sizes.median = 3 * KB;
+    c.long_sizes.sigma = 1.3;
+    c.long_sizes.max = MB;
+    c.long_creates_per_day *= 3.0;
+    c.long_modifies_per_day = 10.0;
+    c.rewrites_per_day = 20.0;
+    // Expiry: deletions sweep whole cohorts (arrival-day order).
+    c.scatter_deletes = 0.02;
+    c.delete_age_bias = 0.0; // Expiry kills the *oldest* articles.
+    c.plateau_util = 0.80;
+    Profile {
+        name: "news",
+        description: "news spool: small articles, massive churn, expiry",
+        config: c,
+    }
+}
+
+/// A database server: few, large, long-lived files, overwritten in place
+/// constantly, with little create/delete churn.
+pub fn database(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 0.1;
+    c.long_creates_per_day = 8.0;
+    c.long_modifies_per_day = 2.0;
+    c.rewrites_per_day = 800.0;
+    c.long_sizes.median = 2 * MB;
+    c.long_sizes.sigma = 1.2;
+    c.long_sizes.min = 64 * KB;
+    c.long_sizes.max = 48 * MB;
+    c.scatter_deletes = 0.05;
+    c.plateau_util = 0.70;
+    Profile {
+        name: "database",
+        description: "database: few large files, in-place overwrites",
+        config: c,
+    }
+}
+
+/// A personal workstation: light daily activity, strongly bursty
+/// (installs and cleanups), sizes like the home-directory server.
+pub fn personal(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 0.25;
+    c.long_creates_per_day *= 0.4;
+    c.long_modifies_per_day *= 0.4;
+    c.rewrites_per_day *= 0.4;
+    c.burst_prob = 0.20;
+    c.plateau_util = 0.60;
+    c.peak_util = 0.80;
+    Profile {
+        name: "personal",
+        description: "personal computing: light, bursty activity",
+        config: c,
+    }
+}
+
+/// The paper's own home-directory server profile, for comparison.
+pub fn home_server(seed: u64) -> Profile {
+    Profile {
+        name: "home",
+        description: "research-group home directories (the paper's source)",
+        config: AgingConfig::paper(seed),
+    }
+}
+
+/// All built-in profiles.
+pub fn all(seed: u64) -> Vec<Profile> {
+    vec![
+        home_server(seed),
+        news(seed),
+        database(seed),
+        personal(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::{replay, ReplayOptions};
+    use crate::workload::generate;
+    use ffs::AllocPolicy;
+    use ffs_types::FsParams;
+
+    fn age(profile: &Profile, days: u32, policy: AllocPolicy) -> f64 {
+        let params = FsParams::paper_502mb();
+        let mut config = profile.config.clone();
+        config.days = days;
+        config.ramp_days = (days / 3).max(1);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        replay(&w, &params, policy, ReplayOptions::default())
+            .expect("profile replays")
+            .daily
+            .last()
+            .map_or(1.0, |d| d.layout_score)
+    }
+
+    #[test]
+    fn every_profile_generates_and_replays() {
+        for p in all(5) {
+            let s = age(&p, 6, AllocPolicy::Realloc);
+            assert!((0.0..=1.0).contains(&s), "{}: score {s}", p.name);
+        }
+    }
+
+    #[test]
+    fn profiles_produce_distinct_workload_mixes() {
+        let params = FsParams::paper_502mb();
+        let cap = params.data_capacity_bytes();
+        let mix = |p: &Profile| {
+            let mut c = p.config.clone();
+            c.days = 6;
+            c.ramp_days = 2;
+            crate::stats::workload_stats(&generate(&c, params.ncg, cap))
+        };
+        let news = mix(&news(5));
+        let db = mix(&database(5));
+        let personal = mix(&personal(5));
+        // News churns many short-lived files; the database almost none.
+        assert!(news.short_creates > 20 * db.short_creates.max(1));
+        // The database's long-file activity is dominated by rewrites.
+        assert!(db.rewrites > 2 * db.long_creates);
+        // Personal computing is the quietest.
+        assert!(personal.total_ops < news.total_ops);
+    }
+
+    #[test]
+    fn realloc_helps_the_news_spool_most() {
+        // The news pattern is the fragmentation worst case, so the
+        // realloc policy's absolute gain there should exceed its gain on
+        // the quiet personal profile.
+        let days = 10;
+        let gain =
+            |p: &Profile| age(p, days, AllocPolicy::Realloc) - age(p, days, AllocPolicy::Orig);
+        let g_news = gain(&news(11));
+        let g_personal = gain(&personal(11));
+        assert!(
+            g_news > g_personal - 0.02,
+            "news gain {g_news:.3} vs personal gain {g_personal:.3}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Workload replay: apply an aging workload to a simulated file system
+//! (Section 3.2 of the paper).
+//!
+//! The replayer creates one directory per cylinder group first (as the
+//! paper's aging tool does), then applies each day's operations in time
+//! order, recording the aggregate layout score and utilization at the end
+//! of every simulated day — the data behind Figures 1 and 2.
+
+use std::collections::HashMap;
+
+use ffs_types::{FsError, FsParams, FsResult, Ino};
+
+use ffs::{assert_consistent, AllocPolicy, Filesystem};
+
+use crate::workload::{FileId, Op, Workload};
+
+/// End-of-day measurements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DayStats {
+    /// Day index.
+    pub day: u32,
+    /// Aggregate layout score at the end of the day.
+    pub layout_score: f64,
+    /// Utilization (fraction of allocatable space in use).
+    pub utilization: f64,
+    /// Live files.
+    pub nfiles: usize,
+    /// Cumulative bytes written since mkfs.
+    pub bytes_written: u64,
+}
+
+/// Result of replaying a workload.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Per-day series.
+    pub daily: Vec<DayStats>,
+    /// The aged file system.
+    pub fs: Filesystem,
+    /// Mapping from workload file ids to the inodes of still-live files.
+    pub live: HashMap<FileId, Ino>,
+    /// Creates skipped because the file system was out of space (should
+    /// be zero for a well-calibrated workload).
+    pub skipped_creates: u64,
+    /// Nightly snapshots, when requested via
+    /// [`ReplayOptions::snapshot_every_days`].
+    pub snapshots: Vec<crate::snapshot::Snapshot>,
+}
+
+/// Options controlling a replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayOptions {
+    /// Run the full consistency checker every `n` days (0 = never).
+    /// Expensive; meant for tests and paranoid long runs.
+    pub verify_every_days: u32,
+    /// Ablation: restore the 4.4BSD first-fit-from-preference cluster
+    /// search instead of the windowed best fit (see DESIGN.md).
+    pub cluster_first_fit: bool,
+    /// Ablation: leave a realloc window in place when no full-length
+    /// cluster exists, instead of gathering it into two smaller ones.
+    pub realloc_no_split: bool,
+    /// Take a nightly snapshot every `n` days (0 = never) and return the
+    /// series in [`ReplayResult::snapshots`] — the paper's collection
+    /// job.
+    pub snapshot_every_days: u32,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            verify_every_days: 0,
+            cluster_first_fit: false,
+            realloc_no_split: false,
+            snapshot_every_days: 0,
+        }
+    }
+}
+
+/// Ages a fresh file system with `policy` by replaying `workload`.
+pub fn replay(
+    workload: &Workload,
+    params: &FsParams,
+    policy: AllocPolicy,
+    options: ReplayOptions,
+) -> FsResult<ReplayResult> {
+    if workload.ncg != params.ncg {
+        return Err(FsError::InvalidArg(
+            "workload generated for a different cylinder-group count",
+        ));
+    }
+    let mut fs = Filesystem::new(params.clone(), policy);
+    fs.set_cluster_first_fit(options.cluster_first_fit);
+    fs.set_realloc_no_split(options.realloc_no_split);
+    let dirs = fs.mkdir_per_cg()?;
+    let mut live: HashMap<FileId, Ino> = HashMap::new();
+    let mut daily = Vec::with_capacity(workload.days.len());
+    let mut skipped = 0u64;
+    let mut snapshots = Vec::new();
+    for day_log in &workload.days {
+        for op in &day_log.ops {
+            match *op {
+                Op::Create {
+                    file,
+                    cg,
+                    size,
+                    kind: _,
+                } => {
+                    let dir = dirs[cg.0 as usize];
+                    match fs.create(dir, size, day_log.day) {
+                        Ok(ino) => {
+                            let prev = live.insert(file, ino);
+                            debug_assert!(prev.is_none());
+                        }
+                        Err(FsError::NoSpace { .. }) => skipped += 1,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Op::Delete { file } => {
+                    if let Some(ino) = live.remove(&file) {
+                        fs.remove(ino)?;
+                    }
+                    // A missing mapping means the create was skipped for
+                    // lack of space; the delete is skipped to match.
+                }
+                Op::Rewrite { file } => {
+                    // The file may have been cohort-deleted later the
+                    // same day than the rewrite was scheduled, or its
+                    // create may have been skipped; tolerate both.
+                    if let Some(&ino) = live.get(&file) {
+                        fs.rewrite(ino, day_log.day)?;
+                    }
+                }
+            }
+        }
+        daily.push(DayStats {
+            day: day_log.day,
+            layout_score: fs.aggregate_layout().score(),
+            utilization: fs.utilization(),
+            nfiles: fs.nfiles(),
+            bytes_written: fs.bytes_written(),
+        });
+        if options.verify_every_days > 0 && (day_log.day + 1) % options.verify_every_days == 0 {
+            assert_consistent(&fs);
+        }
+        if options.snapshot_every_days > 0 && (day_log.day + 1) % options.snapshot_every_days == 0 {
+            snapshots.push(crate::snapshot::take_snapshot(&fs, day_log.day));
+        }
+    }
+    Ok(ReplayResult {
+        daily,
+        fs,
+        live,
+        skipped_creates: skipped,
+        snapshots,
+    })
+}
+
+impl ReplayResult {
+    /// The layout-score series as `(day, score)` pairs — one line of
+    /// Figure 1 or 2.
+    pub fn layout_series(&self) -> Vec<(u32, f64)> {
+        self.daily.iter().map(|d| (d.day, d.layout_score)).collect()
+    }
+
+    /// Inodes of the files modified during the last `days` days of the
+    /// run — the paper's "hot" file set (Section 5.2).
+    pub fn hot_files(&self, days: u32) -> Vec<Ino> {
+        let last = match self.daily.last() {
+            Some(d) => d.day,
+            None => return Vec::new(),
+        };
+        let cutoff = last.saturating_sub(days.saturating_sub(1));
+        let mut v: Vec<Ino> = self
+            .fs
+            .files()
+            .filter(|f| f.mtime_day >= cutoff)
+            .map(|f| f.ino)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgingConfig;
+    use crate::workload::generate;
+
+    fn small_replay(policy: AllocPolicy) -> ReplayResult {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(15, 42);
+        let capacity = params.data_capacity_bytes();
+        let w = generate(&config, params.ncg, capacity);
+        replay(
+            &w,
+            &params,
+            policy,
+            ReplayOptions {
+                verify_every_days: 5,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("replay succeeds")
+    }
+
+    #[test]
+    fn replay_produces_daily_series() {
+        let r = small_replay(AllocPolicy::Orig);
+        assert_eq!(r.daily.len(), 15);
+        assert!(r.daily.iter().all(|d| d.layout_score >= 0.0));
+        assert!(r.daily.last().unwrap().nfiles > 0);
+        assert_eq!(r.live.len(), r.fs.nfiles());
+    }
+
+    #[test]
+    fn no_creates_skipped_in_calibrated_workload() {
+        let r = small_replay(AllocPolicy::Orig);
+        assert_eq!(r.skipped_creates, 0);
+    }
+
+    #[test]
+    fn layout_declines_from_day_zero() {
+        let r = small_replay(AllocPolicy::Orig);
+        let first = r.daily.first().unwrap().layout_score;
+        let last = r.daily.last().unwrap().layout_score;
+        assert!(
+            last <= first,
+            "layout should not improve with age: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn realloc_ages_better_than_orig() {
+        let orig = small_replay(AllocPolicy::Orig);
+        let re = small_replay(AllocPolicy::Realloc);
+        let so = orig.daily.last().unwrap().layout_score;
+        let sr = re.daily.last().unwrap().layout_score;
+        assert!(sr > so, "realloc ({sr:.3}) should beat orig ({so:.3})");
+    }
+
+    #[test]
+    fn both_policies_replay_identical_op_streams() {
+        // The workload is policy-independent: the same ops and bytes are
+        // presented to both file systems.
+        let orig = small_replay(AllocPolicy::Orig);
+        let re = small_replay(AllocPolicy::Realloc);
+        assert_eq!(
+            orig.daily.last().unwrap().bytes_written,
+            re.daily.last().unwrap().bytes_written
+        );
+        assert_eq!(
+            orig.daily.last().unwrap().nfiles,
+            re.daily.last().unwrap().nfiles
+        );
+    }
+
+    #[test]
+    fn hot_files_are_recent() {
+        let r = small_replay(AllocPolicy::Orig);
+        let hot = r.hot_files(3);
+        assert!(!hot.is_empty());
+        let last_day = r.daily.last().unwrap().day;
+        for ino in &hot {
+            let f = r.fs.file(*ino).unwrap();
+            assert!(f.mtime_day + 3 > last_day);
+        }
+        // The whole-history set contains every live file.
+        assert_eq!(r.hot_files(u32::MAX).len(), r.fs.nfiles());
+    }
+
+    #[test]
+    fn wrong_group_count_is_rejected() {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(2, 1);
+        let w = generate(&config, params.ncg + 1, 1 << 20);
+        let e = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap_err();
+        assert!(matches!(e, FsError::InvalidArg(_)));
+    }
+}

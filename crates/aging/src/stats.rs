@@ -1,0 +1,113 @@
+//! Workload summary statistics, used to validate the synthetic workload
+//! against the totals reported in Section 3.1 of the paper.
+
+use crate::workload::{Lifetime, Op, Workload};
+
+/// Aggregate statistics of a generated workload.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadStats {
+    /// Total operations (creates + deletes).
+    pub total_ops: u64,
+    /// Create operations.
+    pub creates: u64,
+    /// Delete operations.
+    pub deletes: u64,
+    /// Creates of short-lived (same-day) files.
+    pub short_creates: u64,
+    /// Creates of long-lived files.
+    pub long_creates: u64,
+    /// In-place rewrite operations.
+    pub rewrites: u64,
+    /// Total bytes written by creates and rewrites.
+    pub bytes_written: u64,
+    /// Files still live at the end of the workload.
+    pub live_at_end: u64,
+    /// Bytes still live at the end of the workload.
+    pub live_bytes_at_end: u64,
+}
+
+impl WorkloadStats {
+    /// Mean size of created files in bytes.
+    pub fn mean_create_size(&self) -> f64 {
+        if self.creates == 0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / self.creates as f64
+        }
+    }
+}
+
+/// Computes summary statistics by walking the workload once.
+pub fn workload_stats(w: &Workload) -> WorkloadStats {
+    let mut s = WorkloadStats::default();
+    let mut sizes = std::collections::HashMap::new();
+    let mut live_bytes = 0u64;
+    for day in &w.days {
+        for op in &day.ops {
+            s.total_ops += 1;
+            match *op {
+                Op::Create {
+                    file, size, kind, ..
+                } => {
+                    s.creates += 1;
+                    s.bytes_written += size;
+                    match kind {
+                        Lifetime::Short => s.short_creates += 1,
+                        Lifetime::Long => s.long_creates += 1,
+                    }
+                    sizes.insert(file, size);
+                    live_bytes += size;
+                }
+                Op::Delete { file } => {
+                    s.deletes += 1;
+                    live_bytes -= sizes.remove(&file).expect("delete of unknown file");
+                }
+                Op::Rewrite { file } => {
+                    s.rewrites += 1;
+                    // Rewrites of files deleted later the same day still
+                    // count their bytes if the file is live here.
+                    s.bytes_written += sizes.get(&file).copied().unwrap_or(0);
+                }
+            }
+        }
+    }
+    s.live_at_end = sizes.len() as u64;
+    s.live_bytes_at_end = live_bytes;
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgingConfig;
+    use crate::workload::generate;
+
+    #[test]
+    fn stats_balance() {
+        let w = generate(&AgingConfig::small_test(12, 3), 4, 14 << 20);
+        let s = workload_stats(&w);
+        assert_eq!(s.total_ops, s.creates + s.deletes + s.rewrites);
+        assert_eq!(s.creates, s.short_creates + s.long_creates);
+        assert_eq!(s.live_at_end, s.creates - s.deletes);
+        assert!(s.mean_create_size() > 0.0);
+        assert!(s.live_bytes_at_end <= s.bytes_written);
+    }
+
+    #[test]
+    fn short_lived_files_dominate_op_count() {
+        // As in the trace studies the paper cites, most files live less
+        // than a day. Checked at paper scale (the tiny test config caps
+        // some per-day minima, distorting the mix).
+        let mut c = AgingConfig::paper(3);
+        c.days = 30;
+        c.ramp_days = 10;
+        let w = generate(&c, 22, 440 << 20);
+        let s = workload_stats(&w);
+        assert!(
+            s.short_creates * 2 > s.creates,
+            "short {} of {} creates",
+            s.short_creates,
+            s.creates
+        );
+    }
+}

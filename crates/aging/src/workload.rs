@@ -1,0 +1,690 @@
+//! Synthetic aging-workload generation (Section 3.1 of the paper).
+//!
+//! The generator merges two models, mirroring the paper's two data
+//! sources:
+//!
+//! * a **snapshot model** of long-lived files — per-day creates, deletes,
+//!   and modifies (replayed as delete + re-create, following the paper's
+//!   heuristic that files are rewritten rather than edited), driven by a
+//!   utilization trajectory that ramps from 9 % to the mid-70s and then
+//!   wobbles below a 90 % peak, with occasional burst days;
+//! * an **NFS model** of short-lived files — create/delete pairs that
+//!   live less than a day, placed in the cylinder groups with the most
+//!   long-lived churn that day, time-shifted to overlap its peak.
+//!
+//! Every file carries the cylinder group it belongs to: the paper's aging
+//! tool cannot know pathnames, so it creates one directory per group and
+//! places each file by the inode number it had on the original system.
+//! Our generator produces the group directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ffs_types::CgIdx;
+
+use crate::config::AgingConfig;
+use crate::sizes::{sample_count, sample_size, std_normal, weighted_index};
+
+/// Stable identifier for a workload file, independent of the inode number
+/// the replayed file system will assign.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// Whether a file comes from the snapshot (long-lived) or NFS
+/// (short-lived) model. Reported in workload statistics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lifetime {
+    /// Survives at least one snapshot interval.
+    Long,
+    /// Created and deleted within the same day.
+    Short,
+}
+
+/// One workload operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Create a file of `size` bytes in the directory of cylinder group
+    /// `cg`.
+    Create {
+        /// Stable file identifier.
+        file: FileId,
+        /// Target cylinder group.
+        cg: CgIdx,
+        /// File size in bytes.
+        size: u64,
+        /// Long- or short-lived provenance.
+        kind: Lifetime,
+    },
+    /// Delete a previously created file.
+    Delete {
+        /// Stable file identifier.
+        file: FileId,
+    },
+    /// Rewrite a file in place (same size, same blocks). Contributes
+    /// write volume and freshens the modification time without changing
+    /// the allocation — the NFS traces' overwrite traffic.
+    Rewrite {
+        /// Stable file identifier.
+        file: FileId,
+    },
+}
+
+/// All operations of one simulated day, in replay order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DayLog {
+    /// Day index, starting at 0.
+    pub day: u32,
+    /// Operations in time order.
+    pub ops: Vec<Op>,
+}
+
+/// A complete aging workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The generating configuration.
+    pub config: AgingConfig,
+    /// Number of cylinder groups files are spread over.
+    pub ncg: u32,
+    /// Capacity (bytes) the utilization trajectory was computed against.
+    pub capacity_bytes: u64,
+    /// Per-day operation logs.
+    pub days: Vec<DayLog>,
+}
+
+/// A live file in the generator's ledger.
+#[derive(Clone, Copy, Debug)]
+struct LiveFile {
+    id: FileId,
+    size: u64,
+    born_day: u32,
+    /// Day the file was last created, modified, or rewritten; activity
+    /// concentrates on recently touched files (Satyanarayanan81,
+    /// Ousterhout85: old files are seldom accessed).
+    last_touch: u32,
+    cg: CgIdx,
+}
+
+/// Internal op with a within-day timestamp, merged and sorted at the end
+/// of each day.
+struct TimedOp {
+    t: f64,
+    op: Op,
+}
+
+/// Generates the aging workload for a file system with `ncg` cylinder
+/// groups and `capacity_bytes` of allocatable space.
+pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut next_id = 0u64;
+    let fresh = |n: &mut u64| {
+        let id = FileId(*n);
+        *n += 1;
+        id
+    };
+    // Static cylinder-group base weights (Zipf-ish, shuffled so the busy
+    // groups are not simply the low-numbered ones).
+    let mut base_w: Vec<f64> = (0..ncg)
+        .map(|g| 1.0 / ((g + 1) as f64).powf(config.cg_skew))
+        .collect();
+    for i in (1..base_w.len()).rev() {
+        base_w.swap(i, rng.gen_range(0..=i));
+    }
+    let mut live: Vec<LiveFile> = Vec::new();
+    let mut live_bytes = 0u64;
+    let mut days = Vec::with_capacity(config.days as usize);
+    for day in 0..config.days {
+        let mut ops: Vec<TimedOp> = Vec::new();
+        // Create time of every file created today, so a same-day delete
+        // can never be scheduled before the create it depends on.
+        let mut created_today: std::collections::HashMap<FileId, f64> =
+            std::collections::HashMap::new();
+        // Timestamp for deleting `file`, respecting same-day creates.
+        let delete_t =
+            |created: &std::collections::HashMap<FileId, f64>, file: FileId, t: f64| match created
+                .get(&file)
+            {
+                Some(&ct) => ct.max(t) + 1e-6,
+                None => t,
+            };
+        // Slow per-day activity drift on top of the base weights.
+        let day_w: Vec<f64> = base_w
+            .iter()
+            .map(|&w| w * (1.0 + 0.5 * std_normal(&mut rng)).clamp(0.2, 3.0))
+            .collect();
+        let target = (util_target(config, day, &mut rng) * capacity_bytes as f64) as u64;
+        // --- Long-lived modifies: delete + recreate at a related size.
+        let n_mod = if day == 0 {
+            0
+        } else {
+            sample_count(&mut rng, config.long_modifies_per_day).min(live.len() as u32 / 2)
+        };
+        for _ in 0..n_mod {
+            let idx = pick_hot(&mut rng, &live);
+            let old = live[idx];
+            let scale = (0.6 + 1.2 * rng.gen::<f64>()).max(0.1);
+            let new_size = ((old.size as f64 * scale) as u64)
+                .clamp(config.long_sizes.min, config.long_sizes.max);
+            let dt = delete_t(&created_today, old.id, rng.gen::<f64>());
+            ops.push(TimedOp {
+                t: dt,
+                op: Op::Delete { file: old.id },
+            });
+            let id = fresh(&mut next_id);
+            created_today.insert(id, dt + 1e-6);
+            ops.push(TimedOp {
+                t: dt + 1e-6,
+                op: Op::Create {
+                    file: id,
+                    cg: old.cg,
+                    size: new_size,
+                    kind: Lifetime::Long,
+                },
+            });
+            live_bytes = live_bytes - old.size + new_size;
+            live[idx] = LiveFile {
+                id,
+                size: new_size,
+                born_day: day,
+                last_touch: day,
+                cg: old.cg,
+            };
+        }
+        // --- Long-lived creates: baseline count, plus growth pressure
+        // toward the utilization target (day 0 is the initial population).
+        let mean_long = config.long_sizes.mean();
+        let base_creates = if day == 0 {
+            (target as f64 / mean_long) as u32
+        } else {
+            let growth = target.saturating_sub(live_bytes) as f64;
+            sample_count(&mut rng, config.long_creates_per_day) + (0.5 * growth / mean_long) as u32
+        };
+        // Each group's activity peaks at a different time of day; files
+        // created together in a directory land near each other on disk.
+        let peaks: Vec<f64> = (0..ncg).map(|_| rng.gen()).collect();
+        for _ in 0..base_creates {
+            let cg = CgIdx(weighted_index(&mut rng, &day_w) as u32);
+            let size = sample_size(&mut rng, &config.long_sizes);
+            let id = fresh(&mut next_id);
+            let t = (peaks[cg.0 as usize] + 0.06 * std_normal(&mut rng)).rem_euclid(1.0);
+            created_today.insert(id, t);
+            ops.push(TimedOp {
+                t,
+                op: Op::Create {
+                    file: id,
+                    cg,
+                    size,
+                    kind: Lifetime::Long,
+                },
+            });
+            live.push(LiveFile {
+                id,
+                size,
+                born_day: day,
+                last_touch: day,
+                cg,
+            });
+            live_bytes += size;
+        }
+        // --- Burst days: a bulk cleanup or a bulk install.
+        if day > 0 && rng.gen::<f64>() < config.burst_prob {
+            if rng.gen::<bool>() && live.len() > 50 {
+                // Cleanup: drop 4-10 % of stored bytes.
+                let goal = (live_bytes as f64 * rng.gen_range(0.04..0.10)) as u64;
+                let mut freed = 0u64;
+                while freed < goal && live.len() > 10 {
+                    let got = delete_cohort(
+                        &mut rng,
+                        &mut live,
+                        day,
+                        config.delete_age_bias,
+                        goal - freed,
+                        &created_today,
+                        &mut ops,
+                    );
+                    if got == 0 {
+                        break;
+                    }
+                    freed += got;
+                    live_bytes -= got;
+                }
+            } else {
+                // Install: a batch of files into one or two groups.
+                let batch = rng.gen_range(30..120);
+                let g1 = CgIdx(weighted_index(&mut rng, &day_w) as u32);
+                let g2 = CgIdx(weighted_index(&mut rng, &day_w) as u32);
+                let t0 = rng.gen::<f64>() * 0.8;
+                for i in 0..batch {
+                    let cg = if rng.gen::<f64>() < 0.7 { g1 } else { g2 };
+                    let size = sample_size(&mut rng, &config.long_sizes);
+                    let id = fresh(&mut next_id);
+                    created_today.insert(id, t0 + 0.2 * (i as f64 / batch as f64));
+                    ops.push(TimedOp {
+                        t: t0 + 0.2 * (i as f64 / batch as f64),
+                        op: Op::Create {
+                            file: id,
+                            cg,
+                            size,
+                            kind: Lifetime::Long,
+                        },
+                    });
+                    live.push(LiveFile {
+                        id,
+                        size,
+                        born_day: day,
+                        last_touch: day,
+                        cg,
+                    });
+                    live_bytes += size;
+                }
+            }
+        }
+        // --- Long-lived deletes: shed whatever the target does not
+        // cover. Deletion is cohort-correlated: files created around the
+        // same time in the same group tend to die together (project
+        // cleanups), which is what keeps large free clusters reappearing
+        // on real file systems.
+        while live_bytes > target && live.len() > 10 {
+            let goal = live_bytes - target;
+            let freed = if rng.gen::<f64>() < config.scatter_deletes {
+                // A lone, uncorrelated victim (the real-FS reference
+                // model's extra fragmentation source).
+                let idx = pick_victim(&mut rng, &live, day, config.delete_age_bias);
+                let f = live.swap_remove(idx);
+                let t = delete_t(&created_today, f.id, rng.gen());
+                ops.push(TimedOp {
+                    t,
+                    op: Op::Delete { file: f.id },
+                });
+                f.size
+            } else {
+                delete_cohort(
+                    &mut rng,
+                    &mut live,
+                    day,
+                    config.delete_age_bias,
+                    goal,
+                    &created_today,
+                    &mut ops,
+                )
+            };
+            live_bytes -= freed;
+            if freed == 0 {
+                break;
+            }
+        }
+        // --- Short-lived pairs, placed in the day's most active groups
+        // and time-shifted to overlap its activity.
+        let n_short = sample_count(&mut rng, config.short_pairs_per_day);
+        let hot = hottest_groups(&ops, ncg, 4);
+        for _ in 0..n_short {
+            let cg = hot[weighted_index(&mut rng, &[0.5, 0.3, 0.15, 0.05])];
+            let size = sample_size(&mut rng, &config.short_sizes);
+            let id = fresh(&mut next_id);
+            let t = rng.gen::<f64>() * 0.97;
+            let dt = 0.002 + 0.03 * rng.gen::<f64>();
+            ops.push(TimedOp {
+                t,
+                op: Op::Create {
+                    file: id,
+                    cg,
+                    size,
+                    kind: Lifetime::Short,
+                },
+            });
+            ops.push(TimedOp {
+                t: t + dt,
+                op: Op::Delete { file: id },
+            });
+        }
+        // --- In-place rewrites of existing files: write volume and
+        // mtime freshness without reallocation.
+        let n_rw = if day == 0 {
+            0
+        } else {
+            sample_count(&mut rng, config.rewrites_per_day).min(live.len() as u32)
+        };
+        for _ in 0..n_rw {
+            let idx = pick_hot(&mut rng, &live);
+            live[idx].last_touch = day;
+            let f = live[idx];
+            // Only rewrite files that exist before today's sort; same-day
+            // creations are handled by ordering after their create time.
+            let t = match created_today.get(&f.id) {
+                Some(&ct) => ct + 1e-6,
+                None => rng.gen(),
+            };
+            ops.push(TimedOp {
+                t,
+                op: Op::Rewrite { file: f.id },
+            });
+        }
+        // Sort into time order. Ties cannot reorder a file's delete
+        // before its create because each pair is strictly ordered.
+        ops.sort_by(|a, b| a.t.total_cmp(&b.t));
+        days.push(DayLog {
+            day,
+            ops: ops.into_iter().map(|t| t.op).collect(),
+        });
+    }
+    Workload {
+        config: config.clone(),
+        ncg,
+        capacity_bytes,
+        days,
+    }
+}
+
+/// The utilization trajectory: ramp from the initial value to the
+/// plateau, then a slow wobble capped at the peak.
+fn util_target(config: &AgingConfig, day: u32, rng: &mut StdRng) -> f64 {
+    let noise = 0.01 * std_normal(rng);
+    let u = if day < config.ramp_days {
+        let x = (day as f64 + 1.0) / config.ramp_days as f64;
+        // Smoothstep ramp.
+        let s = x * x * (3.0 - 2.0 * x);
+        config.initial_util + (config.plateau_util - config.initial_util) * s
+    } else if day + 40 >= config.days {
+        // A bulk cleanup shortly before the end brings the file system
+        // down to its measured end state (~8.8k files in roughly 60 % of
+        // the disk, from Table 2's hot-set accounting); the final month
+        // then runs at that occupancy.
+        let left = ((config.days - day) as f64 / 40.0 - 0.5).max(0.0) * 2.0;
+        0.63 + (config.plateau_util - 0.63) * left.min(1.0)
+    } else {
+        // High occupancy for the body of the run ("greater than 70 % for
+        // most of the ten month period"), with a brief crunch to the 90 %
+        // high-water mark about two thirds of the way through.
+        let x = (day - config.ramp_days) as f64;
+        let spike = {
+            let d = (x - 110.0).abs();
+            if d < 12.0 {
+                0.14 * (1.0 - d / 12.0)
+            } else {
+                0.0
+            }
+        };
+        config.plateau_util + spike + config.wobble * (std::f64::consts::TAU * x / 130.0).sin()
+    };
+    (u + noise).clamp(0.02, config.peak_util)
+}
+
+/// Activity targeting for modifies and rewrites: a tournament of several
+/// uniform candidates won by the most recently touched one. This
+/// concentrates re-activity on a small working set, so the "hot" file
+/// set (files modified in the last month) stays near the paper's 10 % of
+/// files rather than smearing across everything.
+fn pick_hot(rng: &mut StdRng, live: &[LiveFile]) -> usize {
+    debug_assert!(!live.is_empty());
+    let mut best = rng.gen_range(0..live.len());
+    for _ in 0..11 {
+        let c = rng.gen_range(0..live.len());
+        if live[c].last_touch > live[best].last_touch {
+            best = c;
+        }
+    }
+    // A small minority of touches still hit cold files.
+    if rng.gen::<f64>() < 0.06 {
+        rng.gen_range(0..live.len())
+    } else {
+        best
+    }
+}
+
+/// Victim selection for deletes: tournament of three uniform candidates,
+/// preferring the youngest in proportion to `age_bias` (trace studies
+/// show young files die first).
+fn pick_victim(rng: &mut StdRng, live: &[LiveFile], today: u32, age_bias: f64) -> usize {
+    debug_assert!(!live.is_empty());
+    let mut best = rng.gen_range(0..live.len());
+    if age_bias <= 0.0 {
+        return best;
+    }
+    // Tournament sized by the bias: stronger bias compares more
+    // candidates and keeps the youngest, producing the steep infant
+    // mortality the trace studies report.
+    let rounds = (3.0 * age_bias).round() as u32;
+    let age = |i: usize| today - live[i].born_day;
+    for _ in 0..rounds {
+        let c = rng.gen_range(0..live.len());
+        if age(c) < age(best) {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Deletes a cohort of files — the victim plus a random subset of its
+/// contemporaries (same group, created within a couple of days) — until
+/// roughly `goal_bytes` are freed. Returns the bytes actually freed.
+#[allow(clippy::too_many_arguments)]
+fn delete_cohort(
+    rng: &mut StdRng,
+    live: &mut Vec<LiveFile>,
+    today: u32,
+    age_bias: f64,
+    goal_bytes: u64,
+    created_today: &std::collections::HashMap<FileId, f64>,
+    ops: &mut Vec<TimedOp>,
+) -> u64 {
+    if live.is_empty() {
+        return 0;
+    }
+    let anchor = live[pick_victim(rng, live, today, age_bias)];
+    let mut idxs: Vec<usize> = live
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.cg == anchor.cg && f.born_day.abs_diff(anchor.born_day) <= 2)
+        .map(|(i, _)| i)
+        .collect();
+    // Keep a random 60-100 % of the cohort as victims: directory
+    // cleanups mostly take whole project trees with them.
+    let keep = 0.6 + 0.4 * rng.gen::<f64>();
+    idxs.retain(|_| rng.gen::<f64>() < keep);
+    if idxs.is_empty() {
+        idxs.push(
+            live.iter()
+                .position(|f| f.id == anchor.id)
+                .expect("anchor is live"),
+        );
+    }
+    // Delete from the highest index down so swap_remove stays valid.
+    idxs.sort_unstable_by(|a, b| b.cmp(a));
+    let base_t: f64 = rng.gen();
+    let mut freed = 0u64;
+    for idx in idxs {
+        if freed >= goal_bytes {
+            break;
+        }
+        let f = live.swap_remove(idx);
+        freed += f.size;
+        let t = match created_today.get(&f.id) {
+            Some(&ct) => ct.max(base_t) + 1e-6,
+            None => (base_t + 0.01 * rng.gen::<f64>()).min(1.5),
+        };
+        ops.push(TimedOp {
+            t,
+            op: Op::Delete { file: f.id },
+        });
+    }
+    freed
+}
+
+/// The `k` groups with the most operations in `ops` (ties broken toward
+/// lower indices), padded with round-robin groups when fewer are active.
+fn hottest_groups(ops: &[TimedOp], ncg: u32, k: usize) -> Vec<CgIdx> {
+    let mut counts = vec![0u32; ncg as usize];
+    for op in ops {
+        if let Op::Create { cg, .. } = op.op {
+            counts[cg.0 as usize] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..ncg as usize).collect();
+    order.sort_by_key(|&g| std::cmp::Reverse(counts[g]));
+    (0..k)
+        .map(|i| CgIdx(order[i % order.len()] as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn small() -> Workload {
+        let c = AgingConfig::small_test(20, 11);
+        generate(&c, 4, 14 << 20)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = AgingConfig::small_test(10, 5);
+        let a = generate(&c, 4, 14 << 20);
+        let b = generate(&c, 4, 14 << 20);
+        assert_eq!(a.days.len(), b.days.len());
+        for (x, y) in a.days.iter().zip(&b.days) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&AgingConfig::small_test(5, 1), 4, 14 << 20);
+        let b = generate(&AgingConfig::small_test(5, 2), 4, 14 << 20);
+        assert_ne!(a.days[1], b.days[1]);
+    }
+
+    #[test]
+    fn deletes_follow_creates() {
+        let w = small();
+        let mut created = BTreeSet::new();
+        let mut deleted = BTreeSet::new();
+        for d in &w.days {
+            for op in &d.ops {
+                match *op {
+                    Op::Create { file, size, .. } => {
+                        assert!(created.insert(file), "file reused: {file:?}");
+                        assert!(size >= 1);
+                    }
+                    Op::Delete { file } => {
+                        assert!(created.contains(&file), "delete before create");
+                        assert!(deleted.insert(file), "double delete: {file:?}");
+                    }
+                    Op::Rewrite { file } => {
+                        assert!(created.contains(&file), "rewrite before create");
+                    }
+                }
+            }
+        }
+        assert!(!created.is_empty());
+    }
+
+    #[test]
+    fn short_lived_files_die_same_day() {
+        let w = small();
+        for d in &w.days {
+            let mut open: BTreeSet<FileId> = BTreeSet::new();
+            for op in &d.ops {
+                match *op {
+                    Op::Create {
+                        file,
+                        kind: Lifetime::Short,
+                        ..
+                    } => {
+                        open.insert(file);
+                    }
+                    Op::Delete { file } => {
+                        open.remove(&file);
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                open.is_empty(),
+                "day {}: short-lived files survived: {open:?}",
+                d.day
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_ledger_stays_under_peak() {
+        let w = small();
+        let mut live = 0i64;
+        let mut sizes = std::collections::BTreeMap::new();
+        let cap = w.capacity_bytes as f64;
+        for d in &w.days {
+            for op in &d.ops {
+                match *op {
+                    Op::Create { file, size, .. } => {
+                        live += size as i64;
+                        sizes.insert(file, size);
+                    }
+                    Op::Delete { file } => {
+                        live -= sizes[&file] as i64;
+                    }
+                    Op::Rewrite { .. } => {}
+                }
+            }
+            let util = live as f64 / cap;
+            assert!(
+                util < w.config.peak_util + 0.12,
+                "day {} utilization {util:.2} exceeds bound",
+                d.day
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_ramps_up() {
+        let w = small();
+        let mut live = 0i64;
+        let mut sizes = std::collections::BTreeMap::new();
+        let mut series = Vec::new();
+        for d in &w.days {
+            for op in &d.ops {
+                match *op {
+                    Op::Create { file, size, .. } => {
+                        live += size as i64;
+                        sizes.insert(file, size);
+                    }
+                    Op::Delete { file } => {
+                        live -= sizes[&file] as i64;
+                    }
+                    Op::Rewrite { .. } => {}
+                }
+            }
+            series.push(live as f64 / w.capacity_bytes as f64);
+        }
+        // Day 0 near the initial utilization; the end well above it.
+        assert!(series[0] < 0.25, "day-0 util {}", series[0]);
+        assert!(
+            series.last().unwrap() > &0.45,
+            "final util {}",
+            series.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn ops_touch_every_group() {
+        let w = small();
+        let mut groups = BTreeSet::new();
+        for d in &w.days {
+            for op in &d.ops {
+                if let Op::Create { cg, .. } = *op {
+                    groups.insert(cg.0);
+                }
+            }
+        }
+        assert_eq!(groups.len(), 4, "groups touched: {groups:?}");
+    }
+
+    #[test]
+    fn day_count_matches_config() {
+        let w = small();
+        assert_eq!(w.days.len(), 20);
+        for (i, d) in w.days.iter().enumerate() {
+            assert_eq!(d.day as usize, i);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the aging-workload generator: every workload it can
+//! produce must be well-formed and replayable.
+
+use aging::{generate, replay, workload_stats, AgingConfig, Op, ReplayOptions};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn configs() -> impl Strategy<Value = AgingConfig> {
+    (
+        1u32..18,     // days
+        any::<u64>(), // seed
+        0.0f64..1.0,  // scatter_deletes
+        0.0f64..1.5,  // delete_age_bias
+        0.5f64..2.0,  // churn multiplier
+    )
+        .prop_map(|(days, seed, scatter, bias, churn)| {
+            let mut c = AgingConfig::small_test(days, seed);
+            c.scatter_deletes = scatter;
+            c.delete_age_bias = bias;
+            c.short_pairs_per_day *= churn;
+            c.long_modifies_per_day *= churn;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Structural validity: creates are unique, deletes and rewrites only
+    /// reference live files, sizes are positive.
+    #[test]
+    fn workloads_are_well_formed(config in configs()) {
+        let w = generate(&config, 4, 14 << 20);
+        prop_assert_eq!(w.days.len(), config.days as usize);
+        let mut live = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        for day in &w.days {
+            for op in &day.ops {
+                match *op {
+                    Op::Create { file, size, .. } => {
+                        prop_assert!(size >= 1);
+                        prop_assert!(seen.insert(file), "file id reused");
+                        live.insert(file);
+                    }
+                    Op::Delete { file } => {
+                        prop_assert!(live.remove(&file), "delete of dead file");
+                    }
+                    Op::Rewrite { file } => {
+                        // A rewrite may race a later same-day delete in
+                        // the schedule, but never references a file that
+                        // was never created.
+                        prop_assert!(seen.contains(&file));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every generated workload replays to a consistent file system with
+    /// no errors other than (rare) out-of-space skips.
+    #[test]
+    fn workloads_replay_cleanly(config in configs()) {
+        let params = FsParams::small_test();
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let r = replay(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions {
+                verify_every_days: 6,
+                ..ReplayOptions::default()
+            },
+        );
+        let r = r.expect("replay must not error");
+        prop_assert_eq!(r.daily.len(), config.days as usize);
+        ffs::assert_consistent(&r.fs);
+        // Layout scores are probabilities.
+        for d in &r.daily {
+            prop_assert!((0.0..=1.0).contains(&d.layout_score));
+            prop_assert!((0.0..=1.0).contains(&d.utilization));
+        }
+    }
+
+    /// Stats are internally consistent for any configuration.
+    #[test]
+    fn stats_balance_for_any_config(config in configs()) {
+        let w = generate(&config, 4, 14 << 20);
+        let s = workload_stats(&w);
+        prop_assert_eq!(s.total_ops, s.creates + s.deletes + s.rewrites);
+        prop_assert_eq!(s.creates, s.short_creates + s.long_creates);
+        prop_assert_eq!(s.live_at_end, s.creates - s.deletes);
+        prop_assert!(s.live_bytes_at_end <= s.bytes_written);
+    }
+
+    /// Generation is a pure function of (config, ncg, capacity).
+    #[test]
+    fn generation_is_pure(config in configs()) {
+        let a = generate(&config, 4, 14 << 20);
+        let b = generate(&config, 4, 14 << 20);
+        prop_assert_eq!(a.days, b.days);
+    }
+}

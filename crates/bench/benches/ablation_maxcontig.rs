@@ -1,0 +1,49 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Ablation: how the realloc policy's benefit scales with the maximum
+//! cluster size (`fs_maxcontig`) — the design parameter Section 2 says
+//! is "usually configured to be the maximum I/O transfer size".
+
+use aging::{generate, replay, AgingConfig, ReplayOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+use std::hint::black_box;
+
+const DAYS: u32 = 20;
+
+fn age_with_maxcontig(maxcontig: u32) -> f64 {
+    let mut params = FsParams::paper_502mb();
+    params.maxcontig = maxcontig;
+    let mut config = AgingConfig::paper(1996);
+    config.days = DAYS;
+    config.ramp_days = DAYS / 3;
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
+        .expect("replay")
+        .daily
+        .last()
+        .map_or(1.0, |d| d.layout_score)
+}
+
+fn bench(c: &mut Criterion) {
+    // Shape assertion: a 1-block "cluster" disables the benefit; the
+    // paper's 7-block configuration must do better.
+    let s1 = age_with_maxcontig(1);
+    let s7 = age_with_maxcontig(7);
+    assert!(
+        s7 > s1,
+        "maxcontig=7 ({s7:.3}) must beat maxcontig=1 ({s1:.3})"
+    );
+
+    let mut g = c.benchmark_group("ablation_maxcontig");
+    g.sample_size(10);
+    for mc in [1u32, 4, 7, 14] {
+        g.bench_function(format!("age_mc{mc}"), |b| {
+            b.iter(|| age_with_maxcontig(black_box(mc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Ablation: the two realloc refinements this reproduction documents in
+//! DESIGN.md — windowed best-fit cluster search (vs the 4.4BSD first
+//! fit) and split-on-failure (vs all-or-nothing) — measured on the aging
+//! workload.
+
+use aging::{generate, replay, AgingConfig, ReplayOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+use std::hint::black_box;
+
+const DAYS: u32 = 20;
+
+fn age_with(opts: ReplayOptions) -> f64 {
+    let params = FsParams::paper_502mb();
+    let mut config = AgingConfig::paper(1996);
+    config.days = DAYS;
+    config.ramp_days = DAYS / 3;
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    replay(&w, &params, AllocPolicy::Realloc, opts)
+        .expect("replay")
+        .daily
+        .last()
+        .map_or(1.0, |d| d.layout_score)
+}
+
+fn bench(c: &mut Criterion) {
+    let variants = [
+        ("bestfit_split", false, false),
+        ("bestfit_nosplit", false, true),
+        ("firstfit_split", true, false),
+        ("firstfit_nosplit", true, true),
+    ];
+    // All variants produce valid scores; print the day-20 comparison so
+    // the bench log records the ablation outcome.
+    for (name, ff, ns) in variants {
+        let score = age_with(ReplayOptions {
+            cluster_first_fit: ff,
+            realloc_no_split: ns,
+            ..ReplayOptions::default()
+        });
+        assert!((0.0..=1.0).contains(&score));
+        eprintln!("# ablation {name}: day-{DAYS} layout {score:.4}");
+    }
+
+    let mut g = c.benchmark_group("ablation_realloc");
+    g.sample_size(10);
+    for (name, ff, ns) in variants {
+        g.bench_function(name, |b| {
+            let opts = ReplayOptions {
+                cluster_first_fit: ff,
+                realloc_no_split: ns,
+                ..ReplayOptions::default()
+            };
+            b.iter(|| age_with(black_box(opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

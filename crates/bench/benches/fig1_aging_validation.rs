@@ -1,0 +1,53 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 1: validating the aging process — the simulated workload vs
+//! the heavier-churn "real file system" reference model, both replayed
+//! under the original allocator.
+
+use aging::{generate, replay, AgingConfig, ReplayOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+use std::hint::black_box;
+
+const DAYS: u32 = 25;
+
+fn run(config: &AgingConfig) -> f64 {
+    let params = FsParams::paper_502mb();
+    let w = generate(config, params.ncg, params.data_capacity_bytes());
+    replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default())
+        .expect("replay")
+        .daily
+        .last()
+        .map_or(1.0, |d| d.layout_score)
+}
+
+fn shortened(seed: u64) -> AgingConfig {
+    let mut c = AgingConfig::paper(seed);
+    c.days = DAYS;
+    c.ramp_days = DAYS / 3;
+    c
+}
+
+fn bench(c: &mut Criterion) {
+    // Shape assertion: both series are valid scores; the reference model
+    // runs the same machinery (full-length ordering is checked by the
+    // harness and EXPERIMENTS.md).
+    let sim = run(&shortened(1996));
+    let real = run(&shortened(1996).real_fs_variant());
+    assert!((0.0..=1.0).contains(&sim) && (0.0..=1.0).contains(&real));
+
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("age_simulated", |b| {
+        let cfg = shortened(1996);
+        b.iter(|| run(black_box(&cfg)))
+    });
+    g.bench_function("age_real_reference", |b| {
+        let cfg = shortened(1996).real_fs_variant();
+        b.iter(|| run(black_box(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

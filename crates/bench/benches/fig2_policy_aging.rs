@@ -1,0 +1,37 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 2: aggregate layout score over time, FFS vs realloc. The bench
+//! ages the paper-geometry file system under both policies (shortened to
+//! keep bench time sane; `harness fig2` runs the full 300 days) and
+//! asserts the figure's ordering.
+
+use bench::age_paper_fs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::AllocPolicy;
+use std::hint::black_box;
+
+const DAYS: u32 = 25;
+
+fn bench(c: &mut Criterion) {
+    // Shape assertion: realloc ages at least as well.
+    let orig = age_paper_fs(DAYS, 1996, AllocPolicy::Orig);
+    let re = age_paper_fs(DAYS, 1996, AllocPolicy::Realloc);
+    let so = orig.daily.last().unwrap().layout_score;
+    let sr = re.daily.last().unwrap().layout_score;
+    assert!(
+        sr > so,
+        "figure-2 ordering violated: realloc {sr:.3} <= orig {so:.3}"
+    );
+
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("age_orig", |b| {
+        b.iter(|| age_paper_fs(black_box(DAYS), 1996, AllocPolicy::Orig))
+    });
+    g.bench_function("age_realloc", |b| {
+        b.iter(|| age_paper_fs(black_box(DAYS), 1996, AllocPolicy::Realloc))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

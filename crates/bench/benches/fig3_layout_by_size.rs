@@ -1,0 +1,46 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 3: layout score as a function of file size on the aged file
+//! systems. The bench measures the analysis pass itself over a
+//! shortened-aging file system and asserts the figure's headline
+//! ordering (realloc at least as good above the two-block bin).
+
+use bench::age_paper_fs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::{layout_by_size, size_bins_paper, AllocPolicy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let orig = age_paper_fs(25, 1996, AllocPolicy::Orig);
+    let re = age_paper_fs(25, 1996, AllocPolicy::Realloc);
+    let bins = size_bins_paper();
+    // Shape assertion: above the two-block bin, realloc wins a clear
+    // majority of populated bins.
+    let bo = layout_by_size(&orig.fs, &bins, |_| true);
+    let br = layout_by_size(&re.fs, &bins, |_| true);
+    let mut wins = 0;
+    let mut total = 0;
+    for (x, y) in bo.iter().zip(&br).skip(1) {
+        if let (Some(sx), Some(sy)) = (x.score(), y.score()) {
+            total += 1;
+            if sy >= sx {
+                wins += 1;
+            }
+        }
+    }
+    assert!(
+        wins * 3 >= total * 2,
+        "realloc won only {wins}/{total} size bins"
+    );
+
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("layout_by_size_aged_fs", |b| {
+        b.iter(|| layout_by_size(black_box(&re.fs), black_box(&bins), |_| true))
+    });
+    g.bench_function("aggregate_recompute", |b| {
+        b.iter(|| ffs::recompute_aggregate(black_box(&re.fs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 4: sequential I/O performance vs file size on the aged file
+//! systems, plus the raw-device baselines. The bench runs representative
+//! sweep points (the full sweep is `harness fig4`) and asserts the
+//! figure's load-bearing shapes.
+
+use bench::age_paper_fs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use disk::{raw_read_throughput, raw_write_throughput};
+use ffs::AllocPolicy;
+use ffs_types::{DiskParams, KB, MB};
+use iobench::{run_point, SeqBenchConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let disk = DiskParams::seagate_32430n();
+    let re = age_paper_fs(25, 1996, AllocPolicy::Realloc);
+    let config = SeqBenchConfig {
+        disk: disk.clone(),
+        ..SeqBenchConfig::default()
+    };
+
+    // Shape assertions.
+    let raw_r = raw_read_throughput(&disk, 32 * MB).mb_per_sec;
+    let raw_w = raw_write_throughput(&disk, 32 * MB).mb_per_sec;
+    assert!(raw_r > raw_w, "raw read must beat raw write");
+    let p96 = run_point(&re.fs, &config, 96 * KB).unwrap();
+    let p104 = run_point(&re.fs, &config, 104 * KB).unwrap();
+    assert!(
+        p104.read_mb_s < p96.read_mb_s,
+        "the 104 KB indirect-block dip is missing"
+    );
+    let p16 = run_point(&re.fs, &config, 16 * KB).unwrap();
+    assert!(
+        p16.write_mb_s < p96.write_mb_s,
+        "small-file creates must be metadata-bound"
+    );
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("raw_read_32mb", |b| {
+        b.iter(|| raw_read_throughput(black_box(&disk), 32 * MB))
+    });
+    g.bench_function("raw_write_32mb", |b| {
+        b.iter(|| raw_write_throughput(black_box(&disk), 32 * MB))
+    });
+    for size_kb in [16u64, 96, 1024] {
+        g.bench_function(format!("seq_point_{size_kb}kb"), |b| {
+            b.iter(|| run_point(black_box(&re.fs), &config, size_kb * KB).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 5: fragmentation of the files created by the sequential I/O
+//! benchmark, as a function of file size.
+
+use bench::age_paper_fs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::AllocPolicy;
+use ffs_types::KB;
+use iobench::{run_point, SeqBenchConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let orig = age_paper_fs(25, 1996, AllocPolicy::Orig);
+    let re = age_paper_fs(25, 1996, AllocPolicy::Realloc);
+    let config = SeqBenchConfig::default();
+
+    // Shape assertion: below the cluster size, the realloc policy lays
+    // the benchmark files out at least as well as the original policy.
+    let mut wins = 0;
+    for size_kb in [24u64, 32, 48, 56] {
+        let po = run_point(&orig.fs, &config, size_kb * KB).unwrap();
+        let pr = run_point(&re.fs, &config, size_kb * KB).unwrap();
+        if pr.layout_score() >= po.layout_score() {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 3, "realloc layout won only {wins}/4 sizes");
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for size_kb in [32u64, 56, 256] {
+        g.bench_function(format!("create_layout_{size_kb}kb"), |b| {
+            b.iter(|| {
+                let p = run_point(black_box(&re.fs), &config, size_kb * KB).unwrap();
+                p.layout_score()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Figure 6: layout score of the hot files (modified in the last month
+//! of the aging run) binned by size, compared across policies.
+
+use bench::age_paper_fs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::{layout_by_size, size_bins_paper, AllocPolicy};
+use ffs_types::Ino;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let orig = age_paper_fs(25, 1996, AllocPolicy::Orig);
+    let re = age_paper_fs(25, 1996, AllocPolicy::Realloc);
+    let bins = size_bins_paper();
+    let hot_o: BTreeSet<Ino> = orig.hot_files(8).into_iter().collect();
+    let hot_r: BTreeSet<Ino> = re.hot_files(8).into_iter().collect();
+    assert!(!hot_o.is_empty() && !hot_r.is_empty());
+
+    // Shape assertion: the hot-file aggregate favours realloc.
+    let agg = |fs: &ffs::Filesystem, set: &BTreeSet<Ino>| {
+        let mut opt = 0u64;
+        let mut scored = 0u64;
+        for &ino in set {
+            if let Some((o, s)) = fs.file(ino).unwrap().layout_counts(fs.params()) {
+                opt += o;
+                scored += s;
+            }
+        }
+        opt as f64 / scored.max(1) as f64
+    };
+    let so = agg(&orig.fs, &hot_o);
+    let sr = agg(&re.fs, &hot_r);
+    assert!(
+        sr > so,
+        "hot-file layout ordering violated: {sr:.3} <= {so:.3}"
+    );
+
+    let mut g = c.benchmark_group("fig6");
+    g.bench_function("hot_layout_by_size", |b| {
+        b.iter(|| layout_by_size(black_box(&re.fs), &bins, |ino| hot_r.contains(&ino)))
+    });
+    g.bench_function("hot_set_selection", |b| {
+        b.iter(|| black_box(&re).hot_files(8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

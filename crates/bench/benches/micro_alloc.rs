@@ -1,0 +1,43 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Microbenchmarks of the allocator hot paths: file create/delete churn
+//! under both policies on an increasingly fragmented file system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::{AllocPolicy, Filesystem};
+use ffs_types::{FsParams, KB};
+use std::hint::black_box;
+
+fn churn(policy: AllocPolicy, rounds: u32) -> usize {
+    let mut fs = Filesystem::new(FsParams::small_test(), policy);
+    let dirs = fs.mkdir_per_cg().expect("mkdir");
+    let mut live = Vec::new();
+    let mut x = 12345u64;
+    for i in 0..rounds {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let size = 1 + (x >> 33) % (120 * KB);
+        let d = dirs[(i % 4) as usize];
+        if let Ok(ino) = fs.create(d, size, i) {
+            live.push(ino);
+        }
+        if live.len() > 60 {
+            let idx = (x % live.len() as u64) as usize;
+            let victim = live.swap_remove(idx);
+            fs.remove(victim).expect("remove");
+        }
+    }
+    live.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_alloc");
+    g.bench_function("churn_orig_500", |b| {
+        b.iter(|| churn(black_box(AllocPolicy::Orig), 500))
+    });
+    g.bench_function("churn_realloc_500", |b| {
+        b.iter(|| churn(black_box(AllocPolicy::Realloc), 500))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

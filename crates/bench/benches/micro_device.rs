@@ -1,0 +1,39 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Microbenchmarks of the disk timing model's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disk::{Device, IoKind};
+use ffs_types::{DiskParams, MB};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = DiskParams::seagate_32430n();
+    let mut g = c.benchmark_group("micro_device");
+    g.bench_function("sequential_read_1mb", |b| {
+        b.iter(|| {
+            let mut d = Device::new(params.clone());
+            d.transfer(IoKind::Read, black_box(100_000), MB)
+        })
+    });
+    g.bench_function("sequential_write_1mb", |b| {
+        b.iter(|| {
+            let mut d = Device::new(params.clone());
+            d.transfer(IoKind::Write, black_box(100_000), MB)
+        })
+    });
+    g.bench_function("random_8k_reads_x100", |b| {
+        b.iter(|| {
+            let mut d = Device::new(params.clone());
+            let mut lba = 7u64;
+            for _ in 0..100 {
+                lba = (lba * 1_103_515_245 + 12_345) % (d.geometry().total_sectors() - 16);
+                d.read(black_box(lba), 16);
+            }
+            d.now()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

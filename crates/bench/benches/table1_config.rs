@@ -1,0 +1,47 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Table 1: the benchmark configuration. The bench measures the derived
+//! quantities (capacity, media rate, seek curve) and asserts they match
+//! the paper's hardware, so a parameter regression fails loudly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use disk::SeekCurve;
+use ffs_types::{DiskParams, FsParams};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let disk = DiskParams::seagate_32430n();
+    let fs = FsParams::paper_502mb();
+    // Sanity pins for Table 1 (shape assertions, not timing).
+    assert_eq!(fs.total_blocks(), 64_256);
+    assert_eq!(fs.maxcontig, 7);
+    assert!((disk.rev_time_us() - 11_088.5).abs() < 1.0);
+    assert!((disk.media_mb_per_sec() - 5.11).abs() < 0.2);
+
+    c.bench_function("table1/derived_disk_rates", |b| {
+        b.iter(|| {
+            let d = black_box(&disk);
+            (d.capacity_bytes(), d.media_mb_per_sec(), d.rev_time_us())
+        })
+    });
+    c.bench_function("table1/seek_curve_sweep", |b| {
+        let curve = SeekCurve::new(&disk);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in (0..3992u32).step_by(13) {
+                acc += curve.seek_us(0, black_box(d));
+            }
+            acc
+        })
+    });
+    c.bench_function("table1/fs_geometry", |b| {
+        b.iter(|| {
+            let p = black_box(&fs);
+            (0..p.ncg)
+                .map(|g| p.cg_data_blocks(ffs_types::CgIdx(g)) as u64)
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Support crate for the Criterion benches. The benches themselves live
+//! in `benches/`; this library hosts small shared helpers.
+
+use aging::{generate, replay, AgingConfig, ReplayOptions, ReplayResult};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+
+/// Ages a paper-geometry file system for `days` days with the given
+/// policy and seed. Benches use shortened runs (aging 300 days three
+/// times inside a statistics loop would take far too long); the harness
+/// binary regenerates the full-length figures.
+pub fn age_paper_fs(days: u32, seed: u64, policy: AllocPolicy) -> ReplayResult {
+    let params = FsParams::paper_502mb();
+    let mut config = AgingConfig::paper(seed);
+    config.days = days;
+    if days < config.ramp_days {
+        config.ramp_days = (days / 3).max(1);
+    }
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    replay(&w, &params, policy, ReplayOptions::default()).expect("bench aging replay")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_aging_run_completes() {
+        let r = age_paper_fs(3, 7, AllocPolicy::Realloc);
+        assert_eq!(r.daily.len(), 3);
+        assert!(r.fs.nfiles() > 0);
+    }
+}

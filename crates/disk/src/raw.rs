@@ -1,0 +1,89 @@
+//! Raw-device sequential throughput, the baseline lines of Figure 4.
+//!
+//! The paper plots "Raw Read Throughput" and "Raw Write Throughput"
+//! alongside the file-system curves: reads stream at the media rate thanks
+//! to the track buffer; writes lose most of a rotation between successive
+//! 64 KB requests and land near half the media rate.
+
+use ffs_types::units::mb_per_sec;
+use ffs_types::DiskParams;
+
+use crate::device::{Device, IoKind};
+
+/// Result of a raw-device sweep.
+#[derive(Clone, Debug)]
+pub struct RawSweep {
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Simulated elapsed time in microseconds.
+    pub elapsed_us: f64,
+    /// Throughput in MB/s.
+    pub mb_per_sec: f64,
+}
+
+fn run(params: &DiskParams, kind: IoKind, bytes: u64) -> RawSweep {
+    let mut dev = Device::new(params.clone());
+    // Start mid-disk so the first seek is representative, then stream.
+    let start_lba = dev.geometry().total_sectors() / 4;
+    let t0 = dev.now();
+    dev.transfer(kind, start_lba, bytes);
+    let elapsed = dev.now() - t0;
+    RawSweep {
+        bytes,
+        elapsed_us: elapsed,
+        mb_per_sec: mb_per_sec(bytes, elapsed),
+    }
+}
+
+/// Sequential raw read throughput over `bytes` bytes.
+pub fn raw_read_throughput(params: &DiskParams, bytes: u64) -> RawSweep {
+    run(params, IoKind::Read, bytes)
+}
+
+/// Sequential raw write throughput over `bytes` bytes.
+pub fn raw_write_throughput(params: &DiskParams, bytes: u64) -> RawSweep {
+    run(params, IoKind::Write, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffs_types::MB;
+
+    #[test]
+    fn raw_read_near_media_rate() {
+        let p = DiskParams::seagate_32430n();
+        let s = raw_read_throughput(&p, 32 * MB);
+        let media = p.media_mb_per_sec();
+        assert!(
+            s.mb_per_sec > media * 0.9,
+            "raw read {:.2} vs media {:.2}",
+            s.mb_per_sec,
+            media
+        );
+    }
+
+    #[test]
+    fn raw_write_about_half_of_read() {
+        let p = DiskParams::seagate_32430n();
+        let r = raw_read_throughput(&p, 32 * MB);
+        let w = raw_write_throughput(&p, 32 * MB);
+        let ratio = w.mb_per_sec / r.mb_per_sec;
+        assert!(
+            (0.35..0.7).contains(&ratio),
+            "write/read ratio {ratio:.2} (w={:.2}, r={:.2})",
+            w.mb_per_sec,
+            r.mb_per_sec
+        );
+    }
+
+    #[test]
+    fn sweep_reports_consistent_fields() {
+        let p = DiskParams::seagate_32430n();
+        let s = raw_read_throughput(&p, MB);
+        assert_eq!(s.bytes, MB);
+        assert!(s.elapsed_us > 0.0);
+        let recomputed = mb_per_sec(s.bytes, s.elapsed_us);
+        assert!((recomputed - s.mb_per_sec).abs() < 1e-9);
+    }
+}

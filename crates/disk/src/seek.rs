@@ -1,0 +1,127 @@
+//! The seek-time curve.
+//!
+//! Standard two-piece model (Ruemmler & Wilkes): seek time grows with the
+//! square root of the distance for short seeks (arm acceleration) and
+//! linearly for long ones. The curve is anchored at three points from the
+//! drive's data sheet: single-cylinder, "average" (one third of the
+//! cylinder span, per industry convention), and full-span.
+
+use ffs_types::DiskParams;
+
+/// A calibrated seek-time curve for one drive.
+#[derive(Clone, Debug)]
+pub struct SeekCurve {
+    min_us: f64,
+    avg_us: f64,
+    max_us: f64,
+    /// Distance at which the curve switches from sqrt to linear (one third
+    /// of the cylinder span).
+    knee: f64,
+    cylinders: u32,
+}
+
+impl SeekCurve {
+    /// Builds the curve from disk parameters.
+    pub fn new(params: &DiskParams) -> SeekCurve {
+        SeekCurve {
+            min_us: params.min_seek_ms * 1000.0,
+            avg_us: params.avg_seek_ms * 1000.0,
+            max_us: params.max_seek_ms * 1000.0,
+            knee: (params.cylinders as f64 / 3.0).max(1.0),
+            cylinders: params.cylinders,
+        }
+    }
+
+    /// Seek time between two cylinders in microseconds. Zero distance is
+    /// free (the head is already there).
+    pub fn seek_us(&self, from_cyl: u32, to_cyl: u32) -> f64 {
+        let d = from_cyl.abs_diff(to_cyl) as f64;
+        if d == 0.0 {
+            return 0.0;
+        }
+        if d <= self.knee {
+            // sqrt piece through (1, min) and (knee, avg).
+            let span = (self.knee.sqrt() - 1.0).max(1e-9);
+            let b = (self.avg_us - self.min_us) / span;
+            self.min_us + b * (d.sqrt() - 1.0)
+        } else {
+            // Linear piece through (knee, avg) and (cylinders-1, max).
+            let span = (self.cylinders as f64 - 1.0 - self.knee).max(1.0);
+            let b = (self.max_us - self.avg_us) / span;
+            self.avg_us + b * (d - self.knee)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn curve() -> SeekCurve {
+        SeekCurve::new(&DiskParams::seagate_32430n())
+    }
+
+    #[test]
+    fn anchored_at_datasheet_points() {
+        let c = curve();
+        assert_eq!(c.seek_us(100, 100), 0.0);
+        assert!((c.seek_us(0, 1) - 2000.0).abs() < 1.0);
+        // Average-distance seek hits the 11 ms spec.
+        let third = 3992 / 3;
+        assert!((c.seek_us(0, third) - 11_000.0).abs() < 60.0);
+        // Full-span seek hits the max spec.
+        assert!((c.seek_us(0, 3991) - 19_000.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn monotonic_in_distance() {
+        let c = curve();
+        let mut prev = 0.0;
+        for d in 1..3992 {
+            let t = c.seek_us(0, d);
+            assert!(t >= prev, "seek time decreased at distance {d}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let c = curve();
+        for (a, b) in [(0u32, 100u32), (5, 3000), (1234, 8)] {
+            assert_eq!(c.seek_us(a, b), c.seek_us(b, a));
+        }
+    }
+
+    #[test]
+    fn continuous_at_knee() {
+        let c = curve();
+        let knee = 3992 / 3;
+        let below = c.seek_us(0, knee);
+        let above = c.seek_us(0, knee + 1);
+        assert!((above - below) < 100.0, "jump at knee: {below} -> {above}");
+    }
+
+    #[test]
+    fn random_pair_mean_is_near_average_spec() {
+        // The mean seek over uniformly random cylinder pairs should be in
+        // the vicinity of the quoted average (industry "average" is the
+        // one-third-span seek; the true uniform mean is a little lower
+        // because short seeks are cheap).
+        let c = curve();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let a = rng.gen_range(0..3992u32);
+            let b = rng.gen_range(0..3992u32);
+            sum += c.seek_us(a, b);
+        }
+        let mean_ms = sum / n as f64 / 1000.0;
+        assert!(
+            (8.0..=12.5).contains(&mean_ms),
+            "uniform mean seek {mean_ms} ms out of range"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Request tracing: an optional per-request event log on the device.
+//!
+//! Timing totals ([`crate::DeviceStats`]) say *how much* time went where;
+//! a trace says *which requests* paid it — the tool for answering
+//! questions like "which discontiguity of this file costs the rotation?".
+
+/// One traced request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time the request was issued, in microseconds.
+    pub issued_at: f64,
+    /// True for reads.
+    pub is_read: bool,
+    /// Starting LBA.
+    pub lba: u64,
+    /// Request length in sectors.
+    pub sectors: u32,
+    /// Request latency in microseconds.
+    pub latency_us: f64,
+    /// Whether the track buffer served it (reads only).
+    pub buffer_hit: bool,
+}
+
+/// A bounded request log. When full, the oldest events are dropped, so a
+/// long simulation can keep a trace of its recent activity cheaply.
+#[derive(Clone, Debug, Default)]
+pub struct IoTrace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl IoTrace {
+    /// Creates a trace buffer holding up to `capacity` events.
+    pub fn new(capacity: usize) -> IoTrace {
+        IoTrace {
+            events: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or rejected) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Mean latency of the retained events in microseconds, or `None`
+    /// when empty.
+    pub fn mean_latency_us(&self) -> Option<f64> {
+        if self.events.is_empty() {
+            return None;
+        }
+        Some(self.events.iter().map(|e| e.latency_us).sum::<f64>() / self.events.len() as f64)
+    }
+
+    /// The slowest retained event, or `None` when empty.
+    pub fn slowest(&self) -> Option<&TraceEvent> {
+        self.events
+            .iter()
+            .max_by(|a, b| a.latency_us.total_cmp(&b.latency_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(lat: f64) -> TraceEvent {
+        TraceEvent {
+            issued_at: 0.0,
+            is_read: true,
+            lba: 0,
+            sectors: 16,
+            latency_us: lat,
+            buffer_hit: false,
+        }
+    }
+
+    #[test]
+    fn bounded_eviction() {
+        let mut t = IoTrace::new(3);
+        for i in 0..5 {
+            t.push(ev(i as f64));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let lats: Vec<f64> = t.events().map(|e| e.latency_us).collect();
+        assert_eq!(lats, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut t = IoTrace::new(0);
+        t.push(ev(1.0));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.mean_latency_us(), None);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut t = IoTrace::new(16);
+        for l in [1.0, 2.0, 9.0] {
+            t.push(ev(l));
+        }
+        assert_eq!(t.mean_latency_us(), Some(4.0));
+        assert_eq!(t.slowest().unwrap().latency_us, 9.0);
+    }
+}

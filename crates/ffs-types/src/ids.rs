@@ -1,0 +1,96 @@
+//! Identifier newtypes for file-system objects and disk addresses.
+//!
+//! FFS addresses disk space in *fragments* (1 KB here); a full block is a
+//! naturally aligned run of [`FsParams::frags_per_block`] fragments and is
+//! identified by the address of its first fragment, exactly like the
+//! `daddr_t` block numbers in the BSD sources.
+//!
+//! [`FsParams::frags_per_block`]: crate::params::FsParams::frags_per_block
+
+use std::fmt;
+
+/// An inode number. Unique among live files; reused after deletion, as on
+/// a real FFS.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u32);
+
+/// A directory identifier. Directories are themselves files, but the
+/// simulator tracks them separately because the allocation policy only
+/// cares about the cylinder group a directory lives in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirId(pub u32);
+
+/// A cylinder-group index, `0 .. FsParams::ncg`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CgIdx(pub u32);
+
+/// A disk address in fragment units, relative to the start of the file
+/// system (the FFS `daddr_t`). Multiply by the fragment size for a byte
+/// offset.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Daddr(pub u32);
+
+/// A logical block number within a file (the FFS `lbn`): block 0 holds the
+/// first `bsize` bytes of the file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lbn(pub u32);
+
+impl Daddr {
+    /// Returns the address `n` fragments past this one.
+    #[must_use]
+    pub fn offset(self, n: u32) -> Daddr {
+        Daddr(self.0 + n)
+    }
+}
+
+macro_rules! impl_debug_display {
+    ($ty:ident, $prefix:literal) => {
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_debug_display!(Ino, "ino#");
+impl_debug_display!(DirId, "dir#");
+impl_debug_display!(CgIdx, "cg#");
+impl_debug_display!(Daddr, "d");
+impl_debug_display!(Lbn, "lbn");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daddr_offset_advances_by_fragments() {
+        assert_eq!(Daddr(16).offset(8), Daddr(24));
+    }
+
+    #[test]
+    fn debug_formats_are_tagged() {
+        assert_eq!(format!("{:?}", Ino(7)), "ino#7");
+        assert_eq!(format!("{:?}", CgIdx(3)), "cg#3");
+        assert_eq!(format!("{:?}", Daddr(40)), "d40");
+        assert_eq!(format!("{:?}", Lbn(12)), "lbn12");
+        assert_eq!(format!("{:?}", DirId(1)), "dir#1");
+    }
+
+    #[test]
+    fn display_is_bare_number() {
+        assert_eq!(Ino(7).to_string(), "7");
+        assert_eq!(Daddr(40).to_string(), "40");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(Daddr(8) < Daddr(9));
+        assert!(Lbn(0) < Lbn(1));
+    }
+}

@@ -1,0 +1,70 @@
+//! Byte-size constants and small formatting helpers.
+
+/// One kibibyte (1024 bytes). The paper writes this as "KB".
+pub const KB: u64 = 1024;
+
+/// One mebibyte (1024 KB). The paper writes this as "MB".
+pub const MB: u64 = 1024 * KB;
+
+/// One gibibyte (1024 MB).
+pub const GB: u64 = 1024 * MB;
+
+/// Formats a byte count the way the paper labels its axes (e.g. "96 KB",
+/// "4 MB"), using the largest unit that divides the value exactly where
+/// possible and one decimal otherwise.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= MB && bytes % MB == 0 {
+        format!("{} MB", bytes / MB)
+    } else if bytes >= KB && bytes % KB == 0 {
+        format!("{} KB", bytes / KB)
+    } else if bytes >= MB {
+        format!("{:.1} MB", bytes as f64 / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.1} KB", bytes as f64 / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Converts a byte count and an elapsed time in microseconds to the
+/// throughput unit used throughout the paper: megabytes per second.
+pub fn mb_per_sec(bytes: u64, micros: f64) -> f64 {
+    if micros <= 0.0 {
+        return 0.0;
+    }
+    (bytes as f64 / MB as f64) / (micros / 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_binary_units() {
+        assert_eq!(KB, 1024);
+        assert_eq!(MB, 1024 * 1024);
+        assert_eq!(GB, 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_exact_unit() {
+        assert_eq!(fmt_bytes(96 * KB), "96 KB");
+        assert_eq!(fmt_bytes(4 * MB), "4 MB");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(104 * KB), "104 KB");
+    }
+
+    #[test]
+    fn fmt_bytes_falls_back_to_decimal() {
+        assert_eq!(fmt_bytes(1536 * KB + 512), "1.5 MB");
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        // 1 MB in one second is 1 MB/s.
+        let t = mb_per_sec(MB, 1_000_000.0);
+        assert!((t - 1.0).abs() < 1e-9);
+        // Zero or negative time yields zero rather than infinity.
+        assert_eq!(mb_per_sec(MB, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Block and fragment allocation: cylinder-group selection, the original
+//! one-block-at-a-time policy, and the 4.4BSD realloc (cluster
+//! reallocation) pass.
+//!
+//! The paper's framing (Section 2): allocation is two steps — pick a
+//! cylinder group, then pick a block within it. The *original* policy
+//! takes the preferred block if free and otherwise the next free block in
+//! the map, without regard to the size of the free region it sits in. The
+//! *realloc* policy additionally gathers each dirty cluster of logically
+//! sequential blocks before it reaches the disk and tries to move it into
+//! a free cluster of the appropriate size.
+
+use ffs_types::{CgIdx, Daddr, FsError, FsResult, Ino};
+
+use crate::fs::Filesystem;
+
+/// Which disk allocation policy a file system runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// The traditional FFS allocator (4.3BSD): one block at a time,
+    /// nearest free block on miss.
+    Orig,
+    /// The original allocator plus McKusick's reallocation pass
+    /// (`ffs_reallocblks` in 4.4BSD-Lite).
+    Realloc,
+}
+
+impl AllocPolicy {
+    /// Short label used in reports ("FFS" / "FFS + Realloc", as in the
+    /// paper's figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            AllocPolicy::Orig => "FFS",
+            AllocPolicy::Realloc => "FFS + Realloc",
+        }
+    }
+}
+
+/// Counters describing allocator behaviour, used by tests, ablations, and
+/// the experiment reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Full blocks allocated.
+    pub block_allocs: u64,
+    /// Preferred (contiguous) block taken directly.
+    pub pref_hits: u64,
+    /// Fragment runs allocated.
+    pub frag_allocs: u64,
+    /// Fragment allocations served by splitting a fully free block.
+    pub frag_splits: u64,
+    /// Allocations that spilled to another cylinder group.
+    pub cg_spills: u64,
+    /// Realloc windows examined.
+    pub realloc_windows: u64,
+    /// Realloc windows actually moved into a free cluster.
+    pub realloc_moves: u64,
+    /// Blocks moved by realloc.
+    pub realloc_blocks_moved: u64,
+    /// Realloc windows that needed a move but found no free cluster.
+    pub realloc_failures: u64,
+    /// Tail runs extended in place (`ffs_fragextend`).
+    pub frag_extends: u64,
+    /// Tail runs that had to move to a larger run or block.
+    pub frag_moves: u64,
+    /// Realloc windows already contiguous (no move needed).
+    pub realloc_already_contig: u64,
+}
+
+/// The logical-block windows over which the realloc pass operates for a
+/// file of `nfull` full blocks: runs of up to `maxcontig` blocks that
+/// restart at each indirect-block boundary (windows never span the
+/// cylinder-group switch of footnote 1).
+pub fn realloc_windows(nfull: u32, maxcontig: u32, nindir: u32) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    if nfull == 0 {
+        return out;
+    }
+    let mut region_start = 0u32;
+    let mut region_end = ffs_types::params::NDADDR.min(nfull);
+    loop {
+        let mut s = region_start;
+        while s < region_end {
+            let e = (s + maxcontig).min(region_end);
+            out.push((s, e));
+            s = e;
+        }
+        if region_end >= nfull {
+            break;
+        }
+        region_start = region_end;
+        region_end = (region_end + nindir).min(nfull);
+    }
+    out
+}
+
+impl Filesystem {
+    /// Directory-placement policy (`ffs_dirpref`, 4.3BSD flavour): among
+    /// the groups with at least the average number of free inodes, pick
+    /// the one with the fewest directories.
+    pub(crate) fn dirpref(&self) -> CgIdx {
+        let ncg = self.cgs.len() as u32;
+        let avg_ifree: u64 =
+            self.cgs.iter().map(|c| c.free_inodes() as u64).sum::<u64>() / ncg as u64;
+        let mut best: Option<(u32, CgIdx)> = None;
+        for cg in &self.cgs {
+            if (cg.free_inodes() as u64) < avg_ifree {
+                continue;
+            }
+            match best {
+                Some((nd, _)) if cg.ndirs() >= nd => {}
+                _ => best = Some((cg.ndirs(), cg.idx())),
+            }
+        }
+        best.map(|(_, idx)| idx).unwrap_or(CgIdx(0))
+    }
+
+    /// Cylinder-group choice when a file crosses an indirect-block
+    /// boundary (`ffs_blkpref` for the first block of an indirect range):
+    /// the next group, scanning forward from the current one, with an
+    /// above-average number of free blocks.
+    pub(crate) fn pick_new_data_cg(&self, cur: CgIdx) -> CgIdx {
+        let ncg = self.cgs.len() as u32;
+        let avg: u64 = self.cgs.iter().map(|c| c.free_blocks() as u64).sum::<u64>() / ncg as u64;
+        for step in 1..=ncg {
+            let g = CgIdx((cur.0 + step) % ncg);
+            if self.cgs[g.0 as usize].free_blocks() as u64 >= avg {
+                return g;
+            }
+        }
+        // Fall back to the fullest-free group.
+        self.cgs
+            .iter()
+            .max_by_key(|c| c.free_blocks())
+            .map(|c| c.idx())
+            .unwrap_or(cur)
+    }
+
+    /// Quadratic rehash over cylinder groups (`ffs_hashalloc`): try the
+    /// preferred group, then groups at power-of-two offsets, then a linear
+    /// sweep. `f` returns `Some` on success within a group.
+    pub(crate) fn hashalloc<T>(
+        &mut self,
+        start: CgIdx,
+        mut f: impl FnMut(&mut Filesystem, CgIdx) -> Option<T>,
+    ) -> Option<T> {
+        let ncg = self.cgs.len() as u32;
+        if let Some(t) = f(self, start) {
+            return Some(t);
+        }
+        let mut i = 1u32;
+        while i < ncg {
+            let g = CgIdx((start.0 + i) % ncg);
+            if let Some(t) = f(self, g) {
+                self.alloc_stats.cg_spills += 1;
+                return Some(t);
+            }
+            i *= 2;
+        }
+        for i in 0..ncg {
+            let g = CgIdx((start.0 + 2 + i) % ncg);
+            if let Some(t) = f(self, g) {
+                self.alloc_stats.cg_spills += 1;
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Allocates one full block. `pref` is the preferred address (the
+    /// block following the file's previous block); the original policy is
+    /// exactly this routine. Falls back across groups when the preferred
+    /// group is full.
+    pub(crate) fn alloc_block(&mut self, cg_hint: CgIdx, pref: Option<Daddr>) -> FsResult<Daddr> {
+        let start_cg = pref.map(|d| self.params.dtog(d)).unwrap_or(cg_hint);
+        let fpb = self.params.frags_per_block();
+        let got = self.hashalloc(start_cg, |fs, g| {
+            let cg = &mut fs.cgs[g.0 as usize];
+            // Preferred block, if it lies in this group and is aligned.
+            if let Some(p) = pref {
+                if fs.params.dtog(p) == g && (p.0 - cg.block_daddr(0).0) % fpb == 0 {
+                    let (b, _) = cg.daddr_to_block(p);
+                    if b < cg.nblocks() && cg.is_block_free(b) {
+                        cg.alloc_block(b);
+                        fs.alloc_stats.pref_hits += 1;
+                        return Some(cg.block_daddr(b));
+                    }
+                    // Next free block after the preferred position.
+                    if let Some(b) = cg.find_free_block(b) {
+                        cg.alloc_block(b);
+                        return Some(cg.block_daddr(b));
+                    }
+                    return None;
+                }
+            }
+            // No usable preference: continue from the rotor.
+            let from = cg.rotor();
+            cg.find_free_block(from).map(|b| {
+                cg.alloc_block(b);
+                cg.block_daddr(b)
+            })
+        });
+        let addr = got.ok_or(FsError::NoSpace {
+            wanted_bytes: self.params.bsize as u64,
+        })?;
+        self.alloc_stats.block_allocs += 1;
+        Ok(addr)
+    }
+
+    /// Allocates a run of `len` fragments (`1 <= len < frags_per_block`).
+    ///
+    /// Mirrors `ffs_alloccg`/`ffs_mapsearch` for sub-block requests: the
+    /// first adequate free run at or after the preferred address wins,
+    /// whether it lies inside an existing fragment block or at the front
+    /// of a fully free block (which the allocation then splits). A file
+    /// whose tail lands right after its last full block is therefore
+    /// contiguous whenever that block is free — but on a fragmented map
+    /// the first fit is often a hole elsewhere, the source of the
+    /// two-block-file dips in Figure 3.
+    pub(crate) fn alloc_frag_run(
+        &mut self,
+        cg_hint: CgIdx,
+        len: u32,
+        pref: Option<Daddr>,
+    ) -> FsResult<Daddr> {
+        debug_assert!(len >= 1 && len < self.params.frags_per_block());
+        let start_cg = pref.map(|d| self.params.dtog(d)).unwrap_or(cg_hint);
+        let got = self.hashalloc(start_cg, |fs, g| {
+            let cg = &mut fs.cgs[g.0 as usize];
+            let from = match pref {
+                Some(p) if fs.params.dtog(p) == g => cg.daddr_to_block(p).0,
+                _ => cg.rotor(),
+            };
+            if let Some(run) = cg.find_frag_run(from, len) {
+                if cg.is_block_free(run.block) {
+                    fs.alloc_stats.frag_splits += 1;
+                }
+                cg.alloc_frags(run.block, run.frag, len);
+                return Some(Daddr(cg.block_daddr(run.block).0 + run.frag));
+            }
+            None
+        });
+        let addr = got.ok_or(FsError::NoSpace {
+            wanted_bytes: (len * self.params.fsize) as u64,
+        })?;
+        self.alloc_stats.frag_allocs += 1;
+        Ok(addr)
+    }
+
+    /// The realloc pass over one window of a file's blocks
+    /// (`ffs_reallocblks`): if the window is not already contiguous and a
+    /// free cluster of the window's length exists in the window's cylinder
+    /// group, move the blocks there. `pref` is the address the cluster
+    /// search starts from (the block after the previous window's current
+    /// end). Returns `true` when the window moved.
+    pub(crate) fn realloc_window(
+        &mut self,
+        ino: Ino,
+        window: (u32, u32),
+        pref: Option<Daddr>,
+    ) -> bool {
+        let (s, e) = window;
+        let len = e - s;
+        if len < 2 {
+            return false;
+        }
+        self.alloc_stats.realloc_windows += 1;
+        let fpb = self.params.frags_per_block();
+        let addrs: Vec<Daddr> = {
+            let f = self.files.get(&ino).expect("realloc on live file");
+            f.blocks[s as usize..e as usize].to_vec()
+        };
+        // Already contiguous: nothing to gather.
+        if addrs.windows(2).all(|w| w[1].0 == w[0].0 + fpb) {
+            self.alloc_stats.realloc_already_contig += 1;
+            return false;
+        }
+        // All blocks must sit in one group, as in the real code.
+        let g = self.params.dtog(addrs[0]);
+        if addrs.iter().any(|&a| self.params.dtog(a) != g) {
+            return false;
+        }
+        let cg = &mut self.cgs[g.0 as usize];
+        // Extend the previous window's cluster when the space right
+        // after it is free (the chained preference); otherwise take the
+        // best-fitting free run in the group. Best fit consumes the
+        // remainders left by earlier relocations instead of carving up
+        // the group's large runs, so large free clusters survive aging —
+        // the property the paper's realloc file systems exhibit.
+        // (DESIGN.md documents this as a deliberate refinement over the
+        // 4.4BSD first-fit scan; `cluster_first_fit` restores it.)
+        const LOOKAHEAD: u32 = 512;
+        let run = match pref {
+            Some(p) if self.params.dtog(p) == g => {
+                let b = cg.daddr_to_block(p).0;
+                if b + len <= cg.nblocks() && (b..b + len).all(|x| cg.is_block_free(x)) {
+                    Some(b)
+                } else if self.cluster_first_fit {
+                    cg.find_free_cluster(b, len)
+                } else {
+                    cg.find_free_cluster_near(b, len, LOOKAHEAD)
+                }
+            }
+            _ => {
+                let from = cg.rotor();
+                if self.cluster_first_fit {
+                    cg.find_free_cluster(from, len)
+                } else {
+                    cg.find_free_cluster_near(from, len, LOOKAHEAD)
+                }
+            }
+        };
+        let Some(run) = run else {
+            self.alloc_stats.realloc_failures += 1;
+            // No run of the full window length exists. Unless disabled,
+            // gather the window into two smaller clusters instead: far
+            // fewer discontiguities than leaving the one-at-a-time
+            // allocation in place (see DESIGN.md; `realloc_no_split`
+            // restores the all-or-nothing 4.4BSD behaviour).
+            if !self.realloc_no_split && len >= 3 {
+                let mid = s + len.div_ceil(2);
+                let moved_lo = self.realloc_window(ino, (s, mid), pref);
+                let lo_end = {
+                    let f = self.files.get(&ino).expect("live file");
+                    f.blocks[mid as usize - 1]
+                };
+                let hi_pref = Some(Daddr(lo_end.0 + fpb));
+                let moved_hi = self.realloc_window(ino, (mid, e), hi_pref);
+                return moved_lo || moved_hi;
+            }
+            return false;
+        };
+        // Move: free the old blocks, claim the run, rewrite the pointers.
+        for &a in &addrs {
+            let (b, off) = cg.daddr_to_block(a);
+            debug_assert_eq!(off, 0);
+            cg.free_block(b);
+        }
+        let mut new_addrs = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            cg.alloc_block(run + i);
+            new_addrs.push(cg.block_daddr(run + i));
+        }
+        let f = self.files.get_mut(&ino).expect("realloc on live file");
+        f.blocks[s as usize..e as usize].copy_from_slice(&new_addrs);
+        self.alloc_stats.realloc_moves += 1;
+        self.alloc_stats.realloc_blocks_moved += len as u64;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::Filesystem;
+    use ffs_types::{FsParams, KB};
+
+    fn fs() -> Filesystem {
+        Filesystem::new(FsParams::small_test(), AllocPolicy::Orig)
+    }
+
+    #[test]
+    fn dirpref_prefers_group_with_fewest_dirs() {
+        let mut f = fs();
+        // Two dirs in group 0, one in group 1: the next dir must avoid
+        // both and land in 2 (or 3), which are dir-free.
+        f.mkdir_in(CgIdx(0)).unwrap();
+        f.mkdir_in(CgIdx(0)).unwrap();
+        f.mkdir_in(CgIdx(1)).unwrap();
+        let pick = f.dirpref();
+        assert!(pick == CgIdx(2) || pick == CgIdx(3), "picked {pick:?}");
+    }
+
+    #[test]
+    fn new_data_cg_scans_forward_for_above_average_space() {
+        let mut f = fs();
+        // Drain group 1 so it falls below average.
+        let d1 = f.mkdir_in(CgIdx(1)).unwrap();
+        while f.cg(CgIdx(1)).free_blocks() > 10 {
+            f.create(d1, 64 * KB, 0).unwrap();
+        }
+        // From group 0, the next above-average group is 2 (1 is full).
+        assert_eq!(f.pick_new_data_cg(CgIdx(0)), CgIdx(2));
+        // From group 1 itself, scanning starts at 2 as well.
+        assert_eq!(f.pick_new_data_cg(CgIdx(1)), CgIdx(2));
+    }
+
+    #[test]
+    fn hashalloc_spills_to_other_groups() {
+        let mut f = fs();
+        let d0 = f.mkdir_in(CgIdx(0)).unwrap();
+        // Fill group 0 completely.
+        while f.cg(CgIdx(0)).free_blocks() > 0 {
+            f.create(d0, 8 * KB, 0).unwrap();
+        }
+        let spills_before = f.alloc_stats().cg_spills;
+        // A new file in the full group must come from another group.
+        let ino = f.create(d0, 8 * KB, 0).unwrap();
+        let addr = f.file(ino).unwrap().blocks[0];
+        assert_ne!(f.params().dtog(addr), CgIdx(0));
+        assert!(f.alloc_stats().cg_spills > spills_before);
+    }
+
+    #[test]
+    fn alloc_block_honours_preference() {
+        let mut f = fs();
+        let d = f.mkdir_in(CgIdx(0)).unwrap();
+        let a = f.create(d, 8 * KB, 0).unwrap();
+        let first = f.file(a).unwrap().blocks[0];
+        // The very next single-block file continues right after it (the
+        // rotor), and a multi-block file is chained block to block.
+        let b = f.create(d, 16 * KB, 0).unwrap();
+        let blocks = &f.file(b).unwrap().blocks;
+        assert_eq!(blocks[0].0, first.0 + 8);
+        assert_eq!(blocks[1].0, blocks[0].0 + 8);
+        assert!(f.alloc_stats().pref_hits >= 1);
+    }
+
+    #[test]
+    fn realloc_window_is_noop_for_contiguous_windows() {
+        let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let d = f.mkdir_in(CgIdx(0)).unwrap();
+        // On an empty fs the base allocation is already contiguous, so
+        // windows are examined but never moved.
+        f.create(d, 56 * KB, 0).unwrap();
+        let st = f.alloc_stats();
+        assert_eq!(st.realloc_moves, 0);
+        assert!(st.realloc_already_contig >= 1);
+        assert_eq!(st.realloc_failures, 0);
+    }
+
+    #[test]
+    fn policy_labels_match_figures() {
+        assert_eq!(AllocPolicy::Orig.label(), "FFS");
+        assert_eq!(AllocPolicy::Realloc.label(), "FFS + Realloc");
+    }
+
+    #[test]
+    fn windows_for_small_files() {
+        // 5 blocks: one window.
+        assert_eq!(realloc_windows(5, 7, 2048), vec![(0, 5)]);
+        // 7 blocks: exactly one full window.
+        assert_eq!(realloc_windows(7, 7, 2048), vec![(0, 7)]);
+        // 8 blocks: a full window plus a singleton.
+        assert_eq!(realloc_windows(8, 7, 2048), vec![(0, 7), (7, 8)]);
+        // Empty file: no windows.
+        assert!(realloc_windows(0, 7, 2048).is_empty());
+    }
+
+    #[test]
+    fn windows_restart_at_indirect_boundary() {
+        // 13 blocks (104 KB): [0,7) [7,12) then the indirect region [12,13).
+        assert_eq!(
+            realloc_windows(13, 7, 2048),
+            vec![(0, 7), (7, 12), (12, 13)]
+        );
+        // 20 blocks: indirect region windows restart at 12.
+        assert_eq!(
+            realloc_windows(20, 7, 2048),
+            vec![(0, 7), (7, 12), (12, 19), (19, 20)]
+        );
+    }
+
+    #[test]
+    fn windows_restart_at_double_indirect_boundary() {
+        let w = realloc_windows(2100, 7, 2048);
+        // A window must end exactly at 2060 (= 12 + 2048) and a new one
+        // start there.
+        assert!(w.iter().any(|&(_, e)| e == 2060));
+        assert!(w.iter().any(|&(s, _)| s == 2060));
+        // No window spans the boundary.
+        assert!(w.iter().all(|&(s, e)| !(s < 2060 && e > 2060)));
+        // Windows tile [0, 2100) without gaps.
+        let mut expect = 0;
+        for &(s, e) in &w {
+            assert_eq!(s, expect);
+            assert!(e > s && e - s <= 7);
+            expect = e;
+        }
+        assert_eq!(expect, 2100);
+    }
+}

@@ -1,0 +1,709 @@
+//! Cylinder groups: the allocation pools of FFS.
+//!
+//! Each group keeps a fragment-granularity allocation map. The map is laid
+//! out one byte per block with one bit per fragment (the paper's geometry
+//! has exactly 8 fragments per block), so "is this block fully free" is a
+//! zero-byte test and cluster search is a scan for runs of zero bytes —
+//! the moral equivalent of the `cg_blksfree` map plus the cluster summary
+//! of 4.4BSD.
+
+use ffs_types::{CgIdx, Daddr, FsParams};
+
+/// One cylinder group's allocation state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CylGroup {
+    idx: CgIdx,
+    /// Fragment address of the group's first fragment.
+    base: Daddr,
+    /// Total blocks in the group (metadata included).
+    nblocks: u32,
+    /// Blocks at the front reserved for the superblock copy, group
+    /// descriptor, and inode table; marked allocated at initialization.
+    meta_blocks: u32,
+    /// One byte per block; bit `i` set means fragment `i` of the block is
+    /// allocated.
+    map: Vec<u8>,
+    /// Fragments per block (always 8 for the paper geometry, kept for
+    /// generality).
+    fpb: u32,
+    free_frags: u32,
+    free_blocks: u32,
+    /// Allocation rotor: block index where the last search ended, the
+    /// analogue of `cg_rotor`.
+    rotor: u32,
+    /// Inode-slot allocation bitmap (one bit per slot, set = used).
+    imap: Vec<u64>,
+    ninodes: u32,
+    free_inodes: u32,
+    irotor: u32,
+    /// Number of directories in the group (`cg_cs.cs_ndir`).
+    ndirs: u32,
+}
+
+/// A fragment run inside one block, returned by fragment search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FragRun {
+    /// Block index within the group.
+    pub block: u32,
+    /// First fragment within the block.
+    pub frag: u32,
+    /// Run length in fragments.
+    pub len: u32,
+}
+
+impl CylGroup {
+    /// Creates the group with its metadata area marked allocated.
+    pub fn new(params: &FsParams, idx: CgIdx) -> CylGroup {
+        let nblocks = params.cg_nblocks(idx);
+        let meta_blocks = params.cg_meta_blocks().min(nblocks);
+        let mut map = vec![0u8; nblocks as usize];
+        for b in map.iter_mut().take(meta_blocks as usize) {
+            *b = 0xFF;
+        }
+        let fpb = params.frags_per_block();
+        let ninodes = params.inodes_per_cg();
+        let data_blocks = nblocks - meta_blocks;
+        CylGroup {
+            idx,
+            base: params.cg_base(idx),
+            nblocks,
+            meta_blocks,
+            map,
+            fpb,
+            free_frags: data_blocks * fpb,
+            free_blocks: data_blocks,
+            rotor: meta_blocks,
+            imap: vec![0u64; ninodes.div_ceil(64) as usize],
+            ninodes,
+            free_inodes: ninodes,
+            irotor: 0,
+            ndirs: 0,
+        }
+    }
+
+    /// The group index.
+    pub fn idx(&self) -> CgIdx {
+        self.idx
+    }
+
+    /// Total blocks (metadata included).
+    pub fn nblocks(&self) -> u32 {
+        self.nblocks
+    }
+
+    /// Blocks reserved for metadata at the front of the group.
+    pub fn meta_blocks(&self) -> u32 {
+        self.meta_blocks
+    }
+
+    /// Fully free blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.free_blocks
+    }
+
+    /// Free fragments (including those inside fully free blocks).
+    pub fn free_frags(&self) -> u32 {
+        self.free_frags
+    }
+
+    /// Free inode slots.
+    pub fn free_inodes(&self) -> u32 {
+        self.free_inodes
+    }
+
+    /// Directories living in this group.
+    pub fn ndirs(&self) -> u32 {
+        self.ndirs
+    }
+
+    /// Bumps or drops the directory count.
+    pub fn set_ndirs(&mut self, n: u32) {
+        self.ndirs = n;
+    }
+
+    /// Converts a block index within the group to a fragment address.
+    pub fn block_daddr(&self, block: u32) -> Daddr {
+        debug_assert!(block < self.nblocks);
+        Daddr(self.base.0 + block * self.fpb)
+    }
+
+    /// Converts a fragment address inside this group to (block, fragment).
+    pub fn daddr_to_block(&self, d: Daddr) -> (u32, u32) {
+        debug_assert!(d.0 >= self.base.0);
+        let off = d.0 - self.base.0;
+        (off / self.fpb, off % self.fpb)
+    }
+
+    /// Whether the block is fully free.
+    pub fn is_block_free(&self, block: u32) -> bool {
+        self.map[block as usize] == 0
+    }
+
+    /// Whether the given fragment run is entirely free.
+    pub fn is_run_free(&self, block: u32, frag: u32, len: u32) -> bool {
+        debug_assert!(frag + len <= self.fpb);
+        let mask = run_mask(frag, len);
+        self.map[block as usize] & mask == 0
+    }
+
+    /// Allocates a fully free block.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the block is not fully free.
+    pub fn alloc_block(&mut self, block: u32) {
+        debug_assert!(self.is_block_free(block), "double alloc of {block}");
+        self.map[block as usize] = 0xFF;
+        self.free_blocks -= 1;
+        self.free_frags -= self.fpb;
+        self.rotor = block;
+    }
+
+    /// Frees a fully allocated block.
+    pub fn free_block(&mut self, block: u32) {
+        debug_assert_eq!(self.map[block as usize], 0xFF, "freeing non-full block");
+        debug_assert!(block >= self.meta_blocks);
+        self.map[block as usize] = 0;
+        self.free_blocks += 1;
+        self.free_frags += self.fpb;
+    }
+
+    /// Allocates a fragment run within one block. The block may have other
+    /// fragments allocated (a shared fragment block) or be fully free (this
+    /// call then splits it).
+    pub fn alloc_frags(&mut self, block: u32, frag: u32, len: u32) {
+        debug_assert!(self.is_run_free(block, frag, len));
+        let was_free = self.is_block_free(block);
+        self.map[block as usize] |= run_mask(frag, len);
+        if was_free {
+            self.free_blocks -= 1;
+        }
+        self.free_frags -= len;
+    }
+
+    /// Frees a fragment run within one block. If the block becomes fully
+    /// free it returns to the block pool.
+    pub fn free_frag_run(&mut self, block: u32, frag: u32, len: u32) {
+        let mask = run_mask(frag, len);
+        debug_assert_eq!(
+            self.map[block as usize] & mask,
+            mask,
+            "freeing unallocated fragments"
+        );
+        debug_assert!(block >= self.meta_blocks);
+        self.map[block as usize] &= !mask;
+        self.free_frags += len;
+        if self.map[block as usize] == 0 {
+            self.free_blocks += 1;
+        }
+    }
+
+    /// Finds the first fully free block at or after `from` (block index),
+    /// wrapping around the group once. The search mirrors `ffs_mapsearch`:
+    /// it does not care how large the surrounding free region is — the
+    /// defect of the original allocator the paper highlights.
+    pub fn find_free_block(&self, from: u32) -> Option<u32> {
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
+        };
+        let n = self.nblocks as usize;
+        let s = start as usize;
+        for (i, &b) in self.map[s..].iter().enumerate() {
+            if b == 0 {
+                return Some((s + i) as u32);
+            }
+        }
+        for (i, &b) in self.map[..s].iter().enumerate() {
+            if b == 0 {
+                return Some(i as u32);
+            }
+        }
+        debug_assert_eq!(
+            self.free_blocks, 0,
+            "free count says {} but none found",
+            self.free_blocks
+        );
+        let _ = n;
+        None
+    }
+
+    /// Finds a run of at least `len` consecutive fully free blocks at or
+    /// after `from`, wrapping once — the cluster search used by the
+    /// realloc policy (`ffs_clusteralloc`). Returns the first block of the
+    /// first fitting run.
+    pub fn find_free_cluster(&self, from: u32, len: u32) -> Option<u32> {
+        debug_assert!(len >= 1);
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
+        };
+        self.scan_cluster(start, self.nblocks, len)
+            .or_else(|| self.scan_cluster(0, start + len.min(self.nblocks) - 1, len))
+    }
+
+    /// Finds the *smallest* free run of at least `len` blocks anywhere in
+    /// the group (best fit; ties broken toward lower addresses). Consumes
+    /// left-over remainders instead of carving up the group's large runs,
+    /// which is what preserves big free clusters on a long-aged file
+    /// system.
+    pub fn find_free_cluster_bestfit(&self, len: u32) -> Option<u32> {
+        debug_assert!(len >= 1);
+        let mut best: Option<(u32, u32)> = None; // (run_len, start)
+        let mut run = 0u32;
+        for b in 0..=self.nblocks {
+            let free = b < self.nblocks && self.map[b as usize] == 0;
+            if free {
+                run += 1;
+            } else {
+                if run >= len {
+                    let start = b - run;
+                    match best {
+                        Some((blen, _)) if blen <= run => {}
+                        _ => best = Some((run, start)),
+                    }
+                    if run == len {
+                        // Exact fit cannot be beaten.
+                        return Some(start);
+                    }
+                }
+                run = 0;
+            }
+        }
+        best.map(|(_, start)| start)
+    }
+
+    /// Windowed best fit: the best-fitting free run of at least `len`
+    /// blocks that *starts* within `window` blocks after `from`; when no
+    /// run in the window fits, the first fit beyond it (wrapping once).
+    /// Keeps relocations near the rotor (temporal-spatial locality) while
+    /// consuming nearby remainders instead of carving large runs.
+    pub fn find_free_cluster_near(&self, from: u32, len: u32, window: u32) -> Option<u32> {
+        debug_assert!(len >= 1);
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
+        };
+        let lim = (start + window).min(self.nblocks);
+        let mut best: Option<(u32, u32)> = None; // (run_len, start)
+        let mut run = 0u32;
+        for b in start..=self.nblocks {
+            let free = b < self.nblocks && self.map[b as usize] == 0;
+            if free {
+                run += 1;
+            } else {
+                if run >= len {
+                    let rstart = b - run;
+                    if rstart < lim {
+                        match best {
+                            Some((blen, _)) if blen <= run => {}
+                            _ => best = Some((run, rstart)),
+                        }
+                        if run == len {
+                            return Some(rstart);
+                        }
+                    } else {
+                        // Beyond the window: first fit wins unless the
+                        // window already offered something.
+                        return Some(best.map_or(rstart, |(_, s)| s));
+                    }
+                }
+                run = 0;
+            }
+        }
+        if let Some((_, s)) = best {
+            return Some(s);
+        }
+        // Wrap: first fit in the prefix (runs crossing `start` included
+        // via the overlap margin).
+        self.scan_cluster(0, start + len.min(self.nblocks) - 1, len)
+    }
+
+    fn scan_cluster(&self, lo: u32, hi: u32, len: u32) -> Option<u32> {
+        let hi = hi.min(self.nblocks);
+        let mut run = 0u32;
+        for b in lo..hi {
+            if self.map[b as usize] == 0 {
+                run += 1;
+                if run >= len {
+                    return Some(b + 1 - len);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Finds a free fragment run of at least `len` fragments, first fit
+    /// at or after block `from`, wrapping once — `ffs_mapsearch`: the
+    /// scan takes the first adequate free run in address order, whether
+    /// it lies in a partially allocated fragment block or at the start of
+    /// a fully free block (which this allocation then splits). Locality
+    /// beats frugality, exactly as in the BSD code.
+    pub fn find_frag_run(&self, from: u32, len: u32) -> Option<FragRun> {
+        debug_assert!(len >= 1 && len < self.fpb);
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
+        };
+        let check = |b: u32| -> Option<FragRun> {
+            let byte = self.map[b as usize];
+            if byte == 0xFF || b < self.meta_blocks {
+                return None;
+            }
+            first_zero_run(byte, self.fpb, len).map(|frag| FragRun {
+                block: b,
+                frag,
+                len,
+            })
+        };
+        (start..self.nblocks).chain(0..start).find_map(check)
+    }
+
+    /// Like [`CylGroup::find_frag_run`] but restricted to partially
+    /// allocated blocks (the `cg_frsum`-guided search). Kept for the
+    /// frugal-fragments ablation.
+    pub fn find_frag_run_partial_only(&self, from: u32, len: u32) -> Option<FragRun> {
+        debug_assert!(len >= 1 && len < self.fpb);
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
+        };
+        let check = |b: u32| -> Option<FragRun> {
+            let byte = self.map[b as usize];
+            if byte == 0 || byte == 0xFF {
+                return None;
+            }
+            first_zero_run(byte, self.fpb, len).map(|frag| FragRun {
+                block: b,
+                frag,
+                len,
+            })
+        };
+        (start..self.nblocks).chain(0..start).find_map(check)
+    }
+
+    /// Histogram of free-cluster lengths: `hist[k]` counts maximal runs of
+    /// exactly `k+1` fully free blocks. Used for the free-space analysis
+    /// and by property tests.
+    pub fn cluster_histogram(&self, max_len: usize) -> Vec<u32> {
+        let mut hist = vec![0u32; max_len];
+        let mut run = 0usize;
+        for b in 0..self.nblocks as usize {
+            if self.map[b] == 0 {
+                run += 1;
+            } else if run > 0 {
+                hist[(run - 1).min(max_len - 1)] += 1;
+                run = 0;
+            }
+        }
+        if run > 0 {
+            hist[(run - 1).min(max_len - 1)] += 1;
+        }
+        hist
+    }
+
+    /// Allocates an inode slot, preferring the rotor position. Returns the
+    /// slot index.
+    pub fn alloc_inode(&mut self) -> Option<u32> {
+        if self.free_inodes == 0 {
+            return None;
+        }
+        let n = self.ninodes;
+        let mut slot = self.irotor;
+        for _ in 0..n {
+            if slot >= n {
+                slot = 0;
+            }
+            let (w, b) = (slot / 64, slot % 64);
+            if self.imap[w as usize] & (1 << b) == 0 {
+                self.imap[w as usize] |= 1 << b;
+                self.free_inodes -= 1;
+                self.irotor = slot + 1;
+                return Some(slot);
+            }
+            slot += 1;
+        }
+        None
+    }
+
+    /// Frees an inode slot.
+    pub fn free_inode(&mut self, slot: u32) {
+        let (w, b) = (slot / 64, slot % 64);
+        debug_assert!(self.imap[w as usize] & (1 << b) != 0);
+        self.imap[w as usize] &= !(1 << b);
+        self.free_inodes += 1;
+    }
+
+    /// Whether an inode slot is allocated.
+    pub fn inode_used(&self, slot: u32) -> bool {
+        let (w, b) = (slot / 64, slot % 64);
+        self.imap[w as usize] & (1 << b) != 0
+    }
+
+    /// Raw map byte for a block (for the consistency checker).
+    pub fn map_byte(&self, block: u32) -> u8 {
+        self.map[block as usize]
+    }
+
+    /// Current rotor position.
+    pub fn rotor(&self) -> u32 {
+        self.rotor
+    }
+}
+
+/// Bit mask covering fragments `frag .. frag + len` of a block byte.
+fn run_mask(frag: u32, len: u32) -> u8 {
+    debug_assert!(frag + len <= 8);
+    (((1u16 << len) - 1) << frag) as u8
+}
+
+/// First position of a run of at least `len` zero bits within the low
+/// `fpb` bits of `byte`.
+fn first_zero_run(byte: u8, fpb: u32, len: u32) -> Option<u32> {
+    let mut run = 0u32;
+    for i in 0..fpb {
+        if byte & (1 << i) == 0 {
+            run += 1;
+            if run >= len {
+                return Some(i + 1 - len);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> (FsParams, CylGroup) {
+        let p = FsParams::small_test();
+        let cg = CylGroup::new(&p, CgIdx(1));
+        (p, cg)
+    }
+
+    #[test]
+    fn new_group_reserves_metadata() {
+        let (p, cg) = group();
+        assert_eq!(cg.nblocks(), p.cg_nblocks(CgIdx(1)));
+        assert_eq!(cg.free_blocks(), cg.nblocks() - cg.meta_blocks());
+        assert!(!cg.is_block_free(0));
+        assert!(cg.is_block_free(cg.meta_blocks()));
+    }
+
+    #[test]
+    fn block_alloc_free_round_trip() {
+        let (_, mut cg) = group();
+        let b = cg.meta_blocks();
+        let frags = cg.free_frags();
+        cg.alloc_block(b);
+        assert!(!cg.is_block_free(b));
+        assert_eq!(cg.free_frags(), frags - 8);
+        cg.free_block(b);
+        assert!(cg.is_block_free(b));
+        assert_eq!(cg.free_frags(), frags);
+    }
+
+    #[test]
+    fn frag_alloc_splits_block() {
+        let (_, mut cg) = group();
+        let b = cg.meta_blocks();
+        let blocks = cg.free_blocks();
+        cg.alloc_frags(b, 0, 3);
+        // The block is no longer fully free but has 5 free fragments.
+        assert_eq!(cg.free_blocks(), blocks - 1);
+        assert!(cg.is_run_free(b, 3, 5));
+        assert!(!cg.is_run_free(b, 0, 1));
+        cg.free_frag_run(b, 0, 3);
+        assert_eq!(cg.free_blocks(), blocks);
+    }
+
+    #[test]
+    fn freeing_last_frag_rejoins_block_pool() {
+        let (_, mut cg) = group();
+        let b = cg.meta_blocks();
+        cg.alloc_frags(b, 2, 4);
+        cg.alloc_frags(b, 0, 2);
+        cg.free_frag_run(b, 2, 4);
+        assert!(!cg.is_block_free(b));
+        cg.free_frag_run(b, 0, 2);
+        assert!(cg.is_block_free(b));
+    }
+
+    #[test]
+    fn find_free_block_wraps() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Allocate everything except one block near the start.
+        for b in m..cg.nblocks() {
+            if b != m + 1 {
+                cg.alloc_block(b);
+            }
+        }
+        assert_eq!(cg.find_free_block(m + 10), Some(m + 1));
+        assert_eq!(cg.find_free_block(0), Some(m + 1));
+        cg.alloc_block(m + 1);
+        assert_eq!(cg.find_free_block(0), None);
+    }
+
+    #[test]
+    fn find_free_block_ignores_cluster_sizes() {
+        // The original allocator's flaw: a single free block before a big
+        // cluster is taken first.
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Allocate m..m+10 except the single block m+3; leave a large free
+        // region from m+10 on.
+        for b in m..m + 10 {
+            if b != m + 3 {
+                cg.alloc_block(b);
+            }
+        }
+        assert_eq!(cg.find_free_block(m), Some(m + 3));
+    }
+
+    #[test]
+    fn cluster_search_finds_first_fit() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Free map: [m] free, [m+1..m+4] used, [m+4..] free.
+        for b in m + 1..m + 4 {
+            cg.alloc_block(b);
+        }
+        assert_eq!(cg.find_free_cluster(m, 1), Some(m));
+        assert_eq!(cg.find_free_cluster(m, 2), Some(m + 4));
+        assert_eq!(cg.find_free_cluster(m, 7), Some(m + 4));
+    }
+
+    #[test]
+    fn cluster_search_wraps_around() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Only a 3-run at the start is free; everything later allocated.
+        for b in m + 3..cg.nblocks() {
+            cg.alloc_block(b);
+        }
+        assert_eq!(cg.find_free_cluster(m + 5, 3), Some(m));
+        assert_eq!(cg.find_free_cluster(m + 5, 4), None);
+    }
+
+    #[test]
+    fn frag_run_is_first_fit_from_pref() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Block m+2 is a fragment block with a 4-frag hole; m is free.
+        cg.alloc_frags(m + 2, 0, 2);
+        cg.alloc_frags(m + 2, 6, 2);
+        // Searching from m finds the free block m first (splitting it),
+        // as ffs_mapsearch does...
+        let run = cg.find_frag_run(m, 3).expect("run exists");
+        assert_eq!((run.block, run.frag), (m, 0));
+        // ...and searching from m+1 with m+1 allocated finds the
+        // fragment hole in m+2.
+        cg.alloc_block(m + 1);
+        let run = cg.find_frag_run(m + 1, 3).expect("run exists");
+        assert_eq!((run.block, run.frag), (m + 2, 2));
+    }
+
+    #[test]
+    fn frag_run_partial_only_skips_free_blocks() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        cg.alloc_frags(m + 2, 0, 2);
+        let run = cg
+            .find_frag_run_partial_only(m, 3)
+            .expect("fragment block exists");
+        assert_eq!(run.block, m + 2);
+        assert!(cg.is_block_free(m), "free block must not be taken");
+        cg.free_frag_run(m + 2, 0, 2);
+        assert!(cg.find_frag_run_partial_only(m, 1).is_none());
+    }
+
+    #[test]
+    fn frag_run_respects_length() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        let n = cg.nblocks();
+        // Fill everything, then open a 2-frag hole at the end of block m.
+        for b in m..n {
+            cg.alloc_block(b);
+        }
+        cg.free_frag_run(m, 6, 2);
+        assert!(cg.find_frag_run(0, 3).is_none());
+        let run = cg.find_frag_run(0, 2).expect("2-frag hole");
+        assert_eq!((run.block, run.frag), (m, 6));
+    }
+
+    #[test]
+    fn inode_slots_allocate_and_reuse() {
+        let (_, mut cg) = group();
+        let a = cg.alloc_inode().unwrap();
+        let b = cg.alloc_inode().unwrap();
+        assert_ne!(a, b);
+        assert!(cg.inode_used(a));
+        cg.free_inode(a);
+        assert!(!cg.inode_used(a));
+        // Rotor continues forward rather than immediately reusing.
+        let c = cg.alloc_inode().unwrap();
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn inode_exhaustion_returns_none() {
+        let (_, mut cg) = group();
+        let mut n = 0;
+        while cg.alloc_inode().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, cg.free_inodes + n); // All slots consumed.
+        assert_eq!(cg.free_inodes(), 0);
+        assert!(cg.alloc_inode().is_none());
+    }
+
+    #[test]
+    fn cluster_histogram_counts_maximal_runs() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        let n = cg.nblocks();
+        // Allocate all, then free two separated runs: lengths 2 and 5.
+        for b in m..n {
+            cg.alloc_block(b);
+        }
+        cg.free_block(m + 1);
+        cg.free_block(m + 2);
+        for b in m + 10..m + 15 {
+            cg.free_block(b);
+        }
+        let hist = cg.cluster_histogram(8);
+        assert_eq!(hist[1], 1); // One run of 2.
+        assert_eq!(hist[4], 1); // One run of 5.
+        assert_eq!(hist.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn run_mask_and_zero_run_helpers() {
+        assert_eq!(run_mask(0, 8), 0xFF);
+        assert_eq!(run_mask(2, 3), 0b0001_1100);
+        assert_eq!(first_zero_run(0b0001_1100, 8, 2), Some(0));
+        assert_eq!(first_zero_run(0b0001_1111, 8, 3), Some(5));
+        assert_eq!(first_zero_run(0xFF, 8, 1), None);
+    }
+
+    #[test]
+    fn daddr_conversion_round_trips() {
+        let (p, cg) = group();
+        let d = cg.block_daddr(10);
+        assert_eq!(p.dtog(d), CgIdx(1));
+        assert_eq!(cg.daddr_to_block(d), (10, 0));
+        assert_eq!(cg.daddr_to_block(Daddr(d.0 + 3)), (10, 3));
+    }
+}

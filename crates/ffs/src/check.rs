@@ -1,0 +1,199 @@
+//! An fsck-style consistency checker for the simulator.
+//!
+//! Rebuilds the allocation maps from the live files and compares them —
+//! plus every derived counter — against the file system's incremental
+//! state. Used by integration tests and (periodically) by long aging runs
+//! to guarantee the two policies are compared on a sound substrate.
+
+use std::collections::BTreeMap;
+
+use ffs_types::{CgIdx, Daddr};
+
+use crate::fs::Filesystem;
+use crate::layout::recompute_aggregate;
+
+/// Runs all consistency checks, returning every violation found (empty
+/// means the file system is consistent).
+pub fn check(fs: &Filesystem) -> Vec<String> {
+    let mut errs = Vec::new();
+    let params = fs.params();
+    let fpb = params.frags_per_block();
+    // Expected allocation map: fragment address -> usage count.
+    let mut expected: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut mark = |errs: &mut Vec<String>, what: &str, d: Daddr, frags: u32| {
+        for i in 0..frags {
+            let e = expected.entry(d.0 + i).or_insert(0);
+            *e += 1;
+            if *e > 1 {
+                errs.push(format!(
+                    "double allocation at {:?} ({what})",
+                    Daddr(d.0 + i)
+                ));
+            }
+        }
+    };
+    let mut data_frags = 0u64;
+    let mut meta_frags = 0u64;
+    for f in fs.files() {
+        for &b in &f.blocks {
+            mark(&mut errs, "data block", b, fpb);
+            if b.0 % fpb != 0 {
+                errs.push(format!("misaligned block {b:?} in {:?}", f.ino));
+            }
+        }
+        for &b in &f.indirects {
+            mark(&mut errs, "indirect block", b, fpb);
+        }
+        if let Some((d, n)) = f.tail {
+            mark(&mut errs, "tail", d, n);
+            if n == 0 || n >= fpb {
+                errs.push(format!("bad tail length {n} in {:?}", f.ino));
+            }
+        }
+        data_frags += f.data_frags(params);
+        meta_frags += f.indirects.len() as u64 * fpb as u64;
+        // The inode slot must be allocated in its group.
+        let (cg, slot) = params.ino_to_cg(f.ino);
+        if !fs.cg(cg).inode_used(slot) {
+            errs.push(format!("{:?} has unallocated inode slot", f.ino));
+        }
+        // Tail fragments must not cross a block boundary.
+        if let Some((d, n)) = f.tail {
+            if d.0 % fpb + n > fpb {
+                errs.push(format!("tail of {:?} crosses a block boundary", f.ino));
+            }
+        }
+    }
+    for d in fs.dirs() {
+        mark(&mut errs, "directory block", d.block, fpb);
+        meta_frags += fpb as u64;
+        if !fs.cg(d.cg).inode_used(d.ino_slot) {
+            errs.push(format!("{:?} has unallocated inode slot", d.id));
+        }
+    }
+    // Compare the maps group by group.
+    for g in 0..fs.ncg() {
+        let cg = fs.cg(CgIdx(g));
+        let base = params.cg_base(CgIdx(g)).0;
+        let mut free_frags = 0u32;
+        let mut free_blocks = 0u32;
+        for b in 0..cg.nblocks() {
+            let mut byte = 0u8;
+            for i in 0..fpb {
+                let addr = base + b * fpb + i;
+                if expected.contains_key(&addr) {
+                    byte |= 1 << i;
+                }
+            }
+            if b < cg.meta_blocks() {
+                byte = 0xFF; // Static metadata area.
+            }
+            if cg.map_byte(b) != byte {
+                errs.push(format!(
+                    "cg {g} block {b}: map byte {:08b}, expected {:08b}",
+                    cg.map_byte(b),
+                    byte
+                ));
+            }
+            if byte == 0 {
+                free_blocks += 1;
+            }
+            free_frags += fpb - byte.count_ones();
+        }
+        if cg.free_frags() != free_frags {
+            errs.push(format!(
+                "cg {g}: free_frags counter {} vs map {}",
+                cg.free_frags(),
+                free_frags
+            ));
+        }
+        if cg.free_blocks() != free_blocks {
+            errs.push(format!(
+                "cg {g}: free_blocks counter {} vs map {}",
+                cg.free_blocks(),
+                free_blocks
+            ));
+        }
+    }
+    // Aggregate counters.
+    if fs.used_data_bytes() != data_frags * params.fsize as u64 {
+        errs.push(format!(
+            "used_data accounting: {} bytes vs {} recomputed",
+            fs.used_data_bytes(),
+            data_frags * params.fsize as u64
+        ));
+    }
+    let _ = meta_frags;
+    let inc = fs.aggregate_layout();
+    let full = recompute_aggregate(fs);
+    if inc != full {
+        errs.push(format!(
+            "layout aggregate drift: incremental {inc:?} vs recomputed {full:?}"
+        ));
+    }
+    errs
+}
+
+/// Panics with a readable report if the file system is inconsistent.
+/// Convenience wrapper for tests.
+pub fn assert_consistent(fs: &Filesystem) {
+    let errs = check(fs);
+    assert!(
+        errs.is_empty(),
+        "file system inconsistent:\n  {}",
+        errs.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use ffs_types::{FsParams, KB};
+
+    #[test]
+    fn fresh_fs_is_consistent() {
+        let fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        assert_consistent(&fs);
+    }
+
+    #[test]
+    fn consistent_after_mixed_workload() {
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let mut fs = Filesystem::new(FsParams::small_test(), policy);
+            let dirs = fs.mkdir_per_cg().unwrap();
+            let mut live = Vec::new();
+            for i in 0u64..200 {
+                let d = dirs[(i % 4) as usize];
+                let size = 1 + (i * 7919) % (90 * KB);
+                live.push(fs.create(d, size, i as u32).unwrap());
+                if i % 2 == 0 {
+                    let victim = live.swap_remove((i as usize * 13) % live.len());
+                    fs.remove(victim).unwrap();
+                }
+            }
+            assert_consistent(&fs);
+            for ino in live {
+                fs.remove(ino).unwrap();
+            }
+            assert_consistent(&fs);
+            assert_eq!(fs.nfiles(), 0);
+        }
+    }
+
+    #[test]
+    fn checker_reports_empty_for_full_fs() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let d = fs.mkdir().unwrap();
+        // Fill most of the disk.
+        let cap = fs.params().data_capacity_bytes();
+        let mut made = 0u64;
+        while made < cap * 7 / 10 {
+            match fs.create(d, 64 * KB, 0) {
+                Ok(_) => made += 64 * KB,
+                Err(_) => break,
+            }
+        }
+        assert_consistent(&fs);
+    }
+}

@@ -1,0 +1,128 @@
+//! Free-space extent analysis.
+//!
+//! The paper's motivation (via Smith94) is that aged UNIX file systems
+//! still contain many large clusters of free space that the original
+//! allocator fails to exploit. This module measures exactly that: the
+//! distribution of maximal free-cluster lengths across the file system.
+
+use ffs_types::CgIdx;
+
+use crate::fs::Filesystem;
+
+/// Distribution of maximal free-cluster lengths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FreeSpaceStats {
+    /// `hist[k]` counts maximal runs of exactly `k + 1` free blocks;
+    /// the final bucket aggregates everything at least as long.
+    pub hist: Vec<u32>,
+    /// Total fully free blocks.
+    pub free_blocks: u64,
+    /// Blocks inside runs at least `maxcontig` long — space a clustering
+    /// allocator could still use for full-size clusters.
+    pub clusterable_blocks: u64,
+    /// Length of the longest free run.
+    pub longest_run: u32,
+}
+
+impl FreeSpaceStats {
+    /// Fraction of free blocks sitting in runs of at least `maxcontig`
+    /// blocks (1.0 when there are no free blocks at all).
+    pub fn clusterable_fraction(&self) -> f64 {
+        if self.free_blocks == 0 {
+            1.0
+        } else {
+            self.clusterable_blocks as f64 / self.free_blocks as f64
+        }
+    }
+}
+
+/// Computes the free-cluster distribution. `hist_max` bounds the histogram
+/// length; runs longer than that land in the last bucket (their blocks are
+/// still counted exactly).
+pub fn free_space_stats(fs: &Filesystem, hist_max: usize) -> FreeSpaceStats {
+    let maxcontig = fs.params().maxcontig;
+    let mut hist = vec![0u32; hist_max];
+    let mut free_blocks = 0u64;
+    let mut clusterable = 0u64;
+    let mut longest = 0u32;
+    for g in 0..fs.ncg() {
+        let cg = fs.cg(CgIdx(g));
+        let mut run = 0u32;
+        for b in 0..=cg.nblocks() {
+            let free = b < cg.nblocks() && cg.is_block_free(b);
+            if free {
+                run += 1;
+            } else if run > 0 {
+                hist[(run as usize - 1).min(hist_max - 1)] += 1;
+                free_blocks += run as u64;
+                if run >= maxcontig {
+                    clusterable += run as u64;
+                }
+                longest = longest.max(run);
+                run = 0;
+            }
+        }
+    }
+    FreeSpaceStats {
+        hist,
+        free_blocks,
+        clusterable_blocks: clusterable,
+        longest_run: longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use ffs_types::{FsParams, KB};
+
+    #[test]
+    fn empty_fs_is_fully_clusterable() {
+        let fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let s = free_space_stats(&fs, 64);
+        assert_eq!(s.free_blocks, fs.free_blocks());
+        assert_eq!(s.clusterable_fraction(), 1.0);
+        assert!(s.longest_run > 100);
+    }
+
+    #[test]
+    fn holes_reduce_clusterable_fraction() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let d = fs.mkdir().unwrap();
+        let inos: Vec<_> = (0..400).map(|i| fs.create(d, 8 * KB, i).unwrap()).collect();
+        for pair in inos.chunks(2) {
+            fs.remove(pair[0]).unwrap();
+        }
+        let s = free_space_stats(&fs, 64);
+        // Alternating single-block holes: many length-1 runs.
+        assert!(
+            s.hist[0] > 100,
+            "expected single-block holes: {:?}",
+            &s.hist[..4]
+        );
+        assert!(s.clusterable_fraction() < 1.0);
+        assert_eq!(
+            s.free_blocks,
+            fs.free_blocks(),
+            "every free block is in some run"
+        );
+    }
+
+    #[test]
+    fn histogram_blocks_sum_to_free_blocks() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let d = fs.mkdir().unwrap();
+        for i in 0..50 {
+            fs.create(d, (5 + i % 90) * KB, i as u32).unwrap();
+        }
+        let s = free_space_stats(&fs, 4096);
+        let from_hist: u64 = s
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n as u64)
+            .sum();
+        assert_eq!(from_hist, s.free_blocks);
+    }
+}

@@ -1,0 +1,771 @@
+//! The simulated file system: create, write, and delete files against the
+//! cylinder-group maps under a chosen allocation policy.
+//!
+//! The write path models the structure the paper's results depend on:
+//!
+//! * logically sequential blocks are allocated with a chained preference
+//!   (each block wants the address after its predecessor);
+//! * every indirect-block boundary switches cylinder groups and allocates
+//!   the indirect block in the new group (footnote 1 — the 104 KB dip);
+//! * under [`AllocPolicy::Realloc`], each completed cluster window is
+//!   gathered and, when a free cluster of its size exists, moved there
+//!   before it would reach the disk. The pass is only invoked once a file
+//!   has filled its second block, reproducing the two-block-file quirk of
+//!   Section 4;
+//! * partial tails of direct-block files are allocated as fragment runs,
+//!   preferring existing fragment blocks over breaking a free block.
+
+use std::collections::BTreeMap;
+
+use ffs_types::{CgIdx, Daddr, DirId, FsError, FsParams, FsResult, Ino};
+
+use crate::alloc::{realloc_windows, AllocPolicy, AllocStats};
+use crate::cg::CylGroup;
+use crate::inode::FileMeta;
+
+/// A directory: a cylinder-group anchor for the files created in it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirMeta {
+    /// Directory identifier.
+    pub id: DirId,
+    /// Cylinder group the directory (and therefore its files) lives in.
+    pub cg: CgIdx,
+    /// The directory's single data block (entries), used by the timing
+    /// model for synchronous directory updates.
+    pub block: Daddr,
+    /// Inode-table slot of the directory's inode within its group.
+    pub ino_slot: u32,
+    /// Live files currently in the directory.
+    pub nfiles: u32,
+}
+
+/// Running aggregate of the file system's layout score (Section 3.3):
+/// `opt / scored` over all files with at least two chunks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayoutAgg {
+    /// Optimally placed chunks (contiguous with their predecessor).
+    pub opt: u64,
+    /// Scored chunks (chunks after the first, over scoreable files).
+    pub scored: u64,
+}
+
+impl LayoutAgg {
+    /// The aggregate layout score, or 1.0 for an empty file system.
+    pub fn score(&self) -> f64 {
+        if self.scored == 0 {
+            1.0
+        } else {
+            self.opt as f64 / self.scored as f64
+        }
+    }
+}
+
+/// A simulated FFS instance.
+#[derive(Clone, Debug)]
+pub struct Filesystem {
+    pub(crate) params: FsParams,
+    pub(crate) policy: AllocPolicy,
+    pub(crate) cgs: Vec<CylGroup>,
+    pub(crate) files: BTreeMap<Ino, FileMeta>,
+    pub(crate) dirs: BTreeMap<DirId, DirMeta>,
+    pub(crate) next_dir: u32,
+    pub(crate) agg: LayoutAgg,
+    /// Fragments holding file data (blocks + tails).
+    pub(crate) used_data_frags: u64,
+    /// Fragments holding dynamic metadata (indirect blocks, directory
+    /// blocks).
+    pub(crate) used_meta_frags: u64,
+    /// Cumulative bytes of file data written since mkfs.
+    pub(crate) bytes_written: u64,
+    pub(crate) alloc_stats: AllocStats,
+    /// Realloc cluster-search strategy: `true` restores the 4.4BSD
+    /// first-fit-from-preference scan; `false` (default) uses best fit
+    /// after the chained preference. Exposed for the ablation bench.
+    pub(crate) cluster_first_fit: bool,
+    /// When `true`, a realloc window whose full-length cluster search
+    /// fails is left in place (all-or-nothing, as in 4.4BSD) instead of
+    /// being gathered into two smaller clusters. Exposed for the
+    /// ablation bench.
+    pub(crate) realloc_no_split: bool,
+    /// Application write size used when creating files; clusters are
+    /// gathered and realloc'd as each write's blocks complete (4 MB in
+    /// the paper's benchmark).
+    pub(crate) write_chunk_blocks: u32,
+}
+
+impl Filesystem {
+    /// Creates an empty file system ("mkfs") with the given parameters and
+    /// allocation policy.
+    pub fn new(params: FsParams, policy: AllocPolicy) -> Filesystem {
+        let cgs = (0..params.ncg)
+            .map(|g| CylGroup::new(&params, CgIdx(g)))
+            .collect();
+        let write_chunk_blocks = ((4 << 20) / params.bsize).max(params.maxcontig);
+        Filesystem {
+            params,
+            policy,
+            cgs,
+            files: BTreeMap::new(),
+            dirs: BTreeMap::new(),
+            next_dir: 0,
+            agg: LayoutAgg::default(),
+            used_data_frags: 0,
+            used_meta_frags: 0,
+            bytes_written: 0,
+            alloc_stats: AllocStats::default(),
+            cluster_first_fit: false,
+            realloc_no_split: false,
+            write_chunk_blocks,
+        }
+    }
+
+    /// Disables (or re-enables) splitting a realloc window into two
+    /// smaller clusters when no full-length free cluster exists. See
+    /// DESIGN.md.
+    pub fn set_realloc_no_split(&mut self, no_split: bool) {
+        self.realloc_no_split = no_split;
+    }
+
+    /// Selects the realloc cluster-search strategy: `true` restores the
+    /// 4.4BSD first-fit-from-preference scan, `false` (the default) uses
+    /// best fit after the chained preference. See DESIGN.md.
+    pub fn set_cluster_first_fit(&mut self, first_fit: bool) {
+        self.cluster_first_fit = first_fit;
+    }
+
+    /// The file-system parameters.
+    pub fn params(&self) -> &FsParams {
+        &self.params
+    }
+
+    /// The allocation policy in force.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    /// Allocator behaviour counters.
+    pub fn alloc_stats(&self) -> &AllocStats {
+        &self.alloc_stats
+    }
+
+    /// Cumulative bytes of file data written since mkfs (the paper's
+    /// 48.6 GB workload total is measured this way).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Creates a directory using the FFS directory-placement policy.
+    pub fn mkdir(&mut self) -> FsResult<DirId> {
+        let cg = self.dirpref();
+        self.mkdir_in(cg)
+    }
+
+    /// Creates a directory pinned to a cylinder group — the mechanism the
+    /// paper's aging tool uses (one directory per group, files placed by
+    /// original-system inode number).
+    pub fn mkdir_in(&mut self, cg: CgIdx) -> FsResult<DirId> {
+        if cg.0 >= self.params.ncg {
+            return Err(FsError::InvalidArg("cylinder group out of range"));
+        }
+        let slot = self.cgs[cg.0 as usize]
+            .alloc_inode()
+            .ok_or(FsError::NoInodes)?;
+        let block = match self.alloc_block(cg, None) {
+            Ok(b) => b,
+            Err(e) => {
+                self.cgs[cg.0 as usize].free_inode(slot);
+                return Err(e);
+            }
+        };
+        let id = DirId(self.next_dir);
+        self.next_dir += 1;
+        let g = &mut self.cgs[cg.0 as usize];
+        g.set_ndirs(g.ndirs() + 1);
+        self.used_meta_frags += self.params.frags_per_block() as u64;
+        self.dirs.insert(
+            id,
+            DirMeta {
+                id,
+                cg,
+                block,
+                ino_slot: slot,
+                nfiles: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Creates one directory in every cylinder group, in group order —
+    /// the first step of the paper's aging replay (Section 3.2).
+    pub fn mkdir_per_cg(&mut self) -> FsResult<Vec<DirId>> {
+        (0..self.params.ncg)
+            .map(|g| self.mkdir_in(CgIdx(g)))
+            .collect()
+    }
+
+    /// Looks up a directory.
+    pub fn dir(&self, id: DirId) -> Option<&DirMeta> {
+        self.dirs.get(&id)
+    }
+
+    /// Iterates all directories in id order.
+    pub fn dirs(&self) -> impl Iterator<Item = &DirMeta> {
+        self.dirs.values()
+    }
+
+    /// Looks up a live file.
+    pub fn file(&self, ino: Ino) -> Option<&FileMeta> {
+        self.files.get(&ino)
+    }
+
+    /// Iterates all live files in inode order.
+    pub fn files(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.values()
+    }
+
+    /// Number of live files.
+    pub fn nfiles(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Creates a file of `size` bytes in `dir`, allocating all of its
+    /// blocks under the configured policy, and stamps it with `day`.
+    ///
+    /// Returns the new file's inode number. On allocation failure
+    /// (`FsError::NoSpace`), everything the call allocated is released.
+    pub fn create(&mut self, dir: DirId, size: u64, day: u32) -> FsResult<Ino> {
+        if size > self.params.max_file_size() {
+            return Err(FsError::FileTooLarge {
+                size,
+                max: self.params.max_file_size(),
+            });
+        }
+        let dcg = self.dirs.get(&dir).ok_or(FsError::NoSuchDir(dir))?.cg;
+        let ino = self.alloc_inode_pref(dcg)?;
+        self.files.insert(
+            ino,
+            FileMeta {
+                ino,
+                dir,
+                size,
+                blocks: Vec::new(),
+                tail: None,
+                indirects: Vec::new(),
+                mtime_day: day,
+            },
+        );
+        match self.write_blocks(ino, dcg, size) {
+            Ok(()) => {
+                self.commit_create(ino, dir, size);
+                Ok(ino)
+            }
+            Err(e) => {
+                self.release_file_space(ino);
+                let (cg, slot) = self.params.ino_to_cg(ino);
+                self.cgs[cg.0 as usize].free_inode(slot);
+                self.files.remove(&ino);
+                Err(e)
+            }
+        }
+    }
+
+    /// Rewrites a file in place: same size, same blocks. Updates the
+    /// modification day and the cumulative write volume — the overwrite
+    /// path of the hot-file benchmark and the aging workload.
+    pub fn rewrite(&mut self, ino: Ino, day: u32) -> FsResult<()> {
+        let size = {
+            let f = self.files.get_mut(&ino).ok_or(FsError::NoSuchFile(ino))?;
+            f.mtime_day = day;
+            f.size
+        };
+        self.bytes_written += size;
+        Ok(())
+    }
+
+    /// Deletes a file, returning its final metadata.
+    pub fn remove(&mut self, ino: Ino) -> FsResult<FileMeta> {
+        if !self.files.contains_key(&ino) {
+            return Err(FsError::NoSuchFile(ino));
+        }
+        // Undo the create-time accounting.
+        let meta = self.files.get(&ino).expect("checked above").clone();
+        if let Some((opt, scored)) = meta.layout_counts(&self.params) {
+            self.agg.opt -= opt;
+            self.agg.scored -= scored;
+        }
+        self.used_data_frags -= meta.data_frags(&self.params);
+        self.used_meta_frags -= meta.indirects.len() as u64 * self.params.frags_per_block() as u64;
+        self.release_file_space(ino);
+        let (cg, slot) = self.params.ino_to_cg(ino);
+        self.cgs[cg.0 as usize].free_inode(slot);
+        if let Some(d) = self.dirs.get_mut(&meta.dir) {
+            d.nfiles -= 1;
+        }
+        self.files.remove(&ino);
+        Ok(meta)
+    }
+
+    /// The running aggregate layout score (Section 3.3), maintained
+    /// incrementally as files are created and deleted.
+    pub fn aggregate_layout(&self) -> LayoutAgg {
+        self.agg
+    }
+
+    /// Fraction of allocatable (data) space in use, counting file data,
+    /// indirect blocks, and directory blocks. Matches the paper's
+    /// convention of treating the minfree reserve as free space.
+    pub fn utilization(&self) -> f64 {
+        let total = self.params.total_data_blocks() as u64 * self.params.frags_per_block() as u64;
+        (self.used_data_frags + self.used_meta_frags) as f64 / total as f64
+    }
+
+    /// Bytes of file data currently stored (excluding metadata).
+    pub fn used_data_bytes(&self) -> u64 {
+        self.used_data_frags * self.params.fsize as u64
+    }
+
+    /// Total free fragments across all groups.
+    pub fn free_frags(&self) -> u64 {
+        self.cgs.iter().map(|c| c.free_frags() as u64).sum()
+    }
+
+    /// Total fully free blocks across all groups.
+    pub fn free_blocks(&self) -> u64 {
+        self.cgs.iter().map(|c| c.free_blocks() as u64).sum()
+    }
+
+    /// Read-only view of a cylinder group (for analysis and tests).
+    pub fn cg(&self, idx: CgIdx) -> &CylGroup {
+        &self.cgs[idx.0 as usize]
+    }
+
+    /// Number of cylinder groups.
+    pub fn ncg(&self) -> u32 {
+        self.params.ncg
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// Allocates an inode near the directory's group, spilling to other
+    /// groups when full (`ffs_valloc`).
+    fn alloc_inode_pref(&mut self, dcg: CgIdx) -> FsResult<Ino> {
+        let per = self.params.inodes_per_cg();
+        self.hashalloc(dcg, |fs, g| {
+            fs.cgs[g.0 as usize]
+                .alloc_inode()
+                .map(|slot| Ino(g.0 * per + slot))
+        })
+        .ok_or(FsError::NoInodes)
+    }
+
+    /// Allocates all data blocks, indirect blocks, and the fragment tail
+    /// for a freshly created file, running the realloc pass at each write
+    /// chunk boundary when the policy calls for it.
+    fn write_blocks(&mut self, ino: Ino, dcg: CgIdx, size: u64) -> FsResult<()> {
+        let bsize = self.params.bsize as u64;
+        let fpb = self.params.frags_per_block();
+        let ndaddr = ffs_types::params::NDADDR;
+        let mut nfull = (size / bsize) as u32;
+        let rem = size % bsize;
+        let mut tail_frags = 0u32;
+        if rem > 0 {
+            if nfull < ndaddr {
+                tail_frags = (rem as u32).div_ceil(self.params.fsize);
+                if tail_frags == fpb {
+                    tail_frags = 0;
+                    nfull += 1;
+                }
+            } else {
+                nfull += 1;
+            }
+        }
+        // The realloc pass only engages once a file fills its second
+        // block (the paper's two-block-file quirk, Section 4).
+        let realloc_on = self.policy == AllocPolicy::Realloc && size >= 2 * bsize;
+        let windows = realloc_windows(nfull, self.params.maxcontig, self.params.nindir());
+        let mut next_window = 0usize;
+        let switch_lbns = self.params.cg_switch_lbns(nfull);
+        let mut switch_iter = switch_lbns.iter().peekable();
+        // Region-start windows prefer the address after their indirect
+        // block; remember it per region start.
+        let mut region_pref: BTreeMap<u32, Daddr> = BTreeMap::new();
+        let mut cur_cg = dcg;
+        let mut prev: Option<Daddr> = None;
+        for lbn in 0..nfull {
+            if switch_iter.peek().map(|l| l.0) == Some(lbn) {
+                switch_iter.next();
+                cur_cg = self.pick_new_data_cg(cur_cg);
+                // The double-indirect root is allocated together with the
+                // first level-one indirect under it.
+                let n_meta = if lbn == ndaddr + self.params.nindir() {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..n_meta {
+                    let ind = self.alloc_block(cur_cg, None)?;
+                    self.used_meta_frags += fpb as u64;
+                    let f = self.files.get_mut(&ino).expect("live file");
+                    f.indirects.push(ind);
+                    prev = Some(ind);
+                    cur_cg = self.params.dtog(ind);
+                }
+                region_pref.insert(lbn, prev.expect("indirect just set"));
+            }
+            let pref = prev.map(|d| Daddr(d.0 + fpb));
+            let addr = self.alloc_block(cur_cg, pref)?;
+            cur_cg = self.params.dtog(addr);
+            prev = Some(addr);
+            self.files
+                .get_mut(&ino)
+                .expect("live file")
+                .blocks
+                .push(addr);
+            // Flush boundary: end of an application write or end of file.
+            let done = lbn + 1;
+            let flush = done % self.write_chunk_blocks == 0 || done == nfull;
+            if realloc_on && flush {
+                while next_window < windows.len() && windows[next_window].1 <= done {
+                    let w = windows[next_window];
+                    let wpref = self.window_pref(ino, w.0, &region_pref);
+                    self.realloc_window(ino, w, wpref);
+                    next_window += 1;
+                }
+                // Chain the base-allocation preference from the (possibly
+                // moved) last block.
+                let f = self.files.get(&ino).expect("live file");
+                prev = f.blocks.last().copied();
+            }
+        }
+        if tail_frags > 0 {
+            let pref = prev.map(|d| Daddr(d.0 + fpb));
+            let hint = prev.map(|d| self.params.dtog(d)).unwrap_or(dcg);
+            let t = self.alloc_frag_run(hint, tail_frags, pref)?;
+            self.files.get_mut(&ino).expect("live file").tail = Some((t, tail_frags));
+        }
+        Ok(())
+    }
+
+    /// The cluster-search start for a realloc window: the address after
+    /// the previous block's *current* location, or after the region's
+    /// indirect block for region-start windows.
+    fn window_pref(
+        &self,
+        ino: Ino,
+        wstart: u32,
+        region_pref: &BTreeMap<u32, Daddr>,
+    ) -> Option<Daddr> {
+        let fpb = self.params.frags_per_block();
+        if let Some(&d) = region_pref.get(&wstart) {
+            return Some(Daddr(d.0 + fpb));
+        }
+        if wstart == 0 {
+            return None;
+        }
+        let f = self.files.get(&ino).expect("live file");
+        f.blocks.get(wstart as usize - 1).map(|d| Daddr(d.0 + fpb))
+    }
+
+    /// Folds a completed create into the running aggregates.
+    fn commit_create(&mut self, ino: Ino, dir: DirId, size: u64) {
+        let meta = self.files.get(&ino).expect("live file");
+        if let Some((opt, scored)) = meta.layout_counts(&self.params) {
+            self.agg.opt += opt;
+            self.agg.scored += scored;
+        }
+        self.used_data_frags += meta.data_frags(&self.params);
+        self.bytes_written += size;
+        if let Some(d) = self.dirs.get_mut(&dir) {
+            d.nfiles += 1;
+        }
+    }
+
+    /// Returns a file's blocks, tail, and indirect blocks to the free
+    /// maps (shared by delete and create-rollback).
+    fn release_file_space(&mut self, ino: Ino) {
+        let meta = self.files.get(&ino).expect("live file").clone();
+        for &b in meta.blocks.iter().chain(meta.indirects.iter()) {
+            let g = self.params.dtog(b);
+            let cg = &mut self.cgs[g.0 as usize];
+            let (blk, off) = cg.daddr_to_block(b);
+            debug_assert_eq!(off, 0);
+            cg.free_block(blk);
+        }
+        if let Some((d, n)) = meta.tail {
+            let g = self.params.dtog(d);
+            let cg = &mut self.cgs[g.0 as usize];
+            let (blk, off) = cg.daddr_to_block(d);
+            cg.free_frag_run(blk, off, n);
+        }
+        let f = self.files.get_mut(&ino).expect("live file");
+        f.blocks.clear();
+        f.indirects.clear();
+        f.tail = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffs_types::KB;
+
+    fn fs(policy: AllocPolicy) -> (Filesystem, DirId) {
+        let mut f = Filesystem::new(FsParams::small_test(), policy);
+        let d = f.mkdir_in(CgIdx(0)).unwrap();
+        (f, d)
+    }
+
+    #[test]
+    fn empty_fs_has_full_free_space() {
+        let f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        assert_eq!(f.nfiles(), 0);
+        assert_eq!(f.utilization(), 0.0);
+        assert_eq!(f.aggregate_layout().score(), 1.0);
+    }
+
+    #[test]
+    fn create_small_file_uses_fragments() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 3 * KB, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert!(m.blocks.is_empty());
+        assert_eq!(m.tail.map(|(_, n)| n), Some(3));
+        assert_eq!(m.nchunks(), 1);
+    }
+
+    #[test]
+    fn create_block_multiple_has_no_tail() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 32 * KB, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(m.blocks.len(), 4);
+        assert!(m.tail.is_none());
+    }
+
+    #[test]
+    fn near_full_tail_rounds_to_block() {
+        // 15.5 KB: one block plus a 7.5 KB remainder, which needs 8 frags
+        // and is therefore allocated as a full block.
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 15 * KB + 512, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(m.blocks.len(), 2);
+        assert!(m.tail.is_none());
+    }
+
+    #[test]
+    fn large_file_tail_is_full_block_not_frags() {
+        // 100 KB: 12 full blocks + 4 KB remainder; beyond the direct
+        // blocks the tail must be a full block.
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 100 * KB, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(m.blocks.len(), 13);
+        assert!(m.tail.is_none());
+        assert_eq!(m.indirects.len(), 1);
+    }
+
+    #[test]
+    fn empty_fs_allocation_is_contiguous_for_both_policies() {
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let (mut f, d) = fs(policy);
+            let ino = f.create(d, 56 * KB, 0).unwrap();
+            let m = f.file(ino).unwrap();
+            assert_eq!(m.layout_score(f.params()), Some(1.0), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn indirect_block_forces_group_switch() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 104 * KB, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(m.blocks.len(), 13);
+        assert_eq!(m.indirects.len(), 1);
+        let p = f.params();
+        // Block 12 lives in a different group than block 11...
+        assert_ne!(p.dtog(m.blocks[11]), p.dtog(m.blocks[12]));
+        // ...and the same group as its indirect block.
+        assert_eq!(p.dtog(m.indirects[0]), p.dtog(m.blocks[12]));
+        // So the 13th block can never be optimal: score <= 11/12.
+        let (opt, scored) = m.layout_counts(p).unwrap();
+        assert_eq!(scored, 12);
+        assert!(opt <= 11);
+    }
+
+    #[test]
+    fn remove_returns_all_space() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let free0 = f.free_frags();
+        let ino = f.create(d, 100 * KB, 0).unwrap();
+        assert!(f.free_frags() < free0);
+        f.remove(ino).unwrap();
+        assert_eq!(f.free_frags(), free0);
+        assert_eq!(f.nfiles(), 0);
+        assert_eq!(f.aggregate_layout(), LayoutAgg::default());
+    }
+
+    #[test]
+    fn remove_unknown_file_errors() {
+        let (mut f, _) = fs(AllocPolicy::Orig);
+        assert_eq!(f.remove(Ino(999)), Err(FsError::NoSuchFile(Ino(999))));
+    }
+
+    #[test]
+    fn create_in_unknown_dir_errors() {
+        let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        assert_eq!(
+            f.create(DirId(42), KB, 0),
+            Err(FsError::NoSuchDir(DirId(42)))
+        );
+    }
+
+    #[test]
+    fn mkdir_per_cg_spreads_directories() {
+        let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = f.mkdir_per_cg().unwrap();
+        assert_eq!(dirs.len(), 4);
+        let groups: Vec<u32> = dirs.iter().map(|&d| f.dir(d).unwrap().cg.0).collect();
+        assert_eq!(groups, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dirpref_spreads_directories_across_groups() {
+        let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..4 {
+            let d = f.mkdir().unwrap();
+            seen.insert(f.dir(d).unwrap().cg.0);
+        }
+        assert_eq!(seen.len(), 4, "four dirs should land in four groups");
+    }
+
+    #[test]
+    fn files_follow_their_directory_group() {
+        let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = f.mkdir_per_cg().unwrap();
+        let ino = f.create(dirs[2], 16 * KB, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(f.params().dtog(m.blocks[0]), CgIdx(2));
+        // The inode also comes from the directory's group.
+        assert_eq!(f.params().ino_to_cg(ino).0, CgIdx(2));
+    }
+
+    #[test]
+    fn aggregate_layout_tracks_creates_and_deletes() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let a = f.create(d, 32 * KB, 0).unwrap();
+        let agg1 = f.aggregate_layout();
+        assert_eq!(agg1.scored, 3);
+        let b = f.create(d, 24 * KB, 0).unwrap();
+        assert_eq!(f.aggregate_layout().scored, 5);
+        f.remove(a).unwrap();
+        assert_eq!(f.aggregate_layout().scored, 2);
+        f.remove(b).unwrap();
+        assert_eq!(f.aggregate_layout().scored, 0);
+    }
+
+    #[test]
+    fn bytes_written_accumulates() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        f.create(d, 10 * KB, 0).unwrap();
+        let a = f.create(d, 6 * KB, 0).unwrap();
+        f.remove(a).unwrap();
+        // Deletes do not reduce the cumulative write counter.
+        assert_eq!(f.bytes_written(), 16 * KB);
+    }
+
+    #[test]
+    fn realloc_gathers_fragmented_window() {
+        // Fragment the free space, then create a 56 KB file: the original
+        // policy scatters it; realloc finds a hole big enough.
+        let p = FsParams::small_test();
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let mut f = Filesystem::new(p.clone(), policy);
+            let d = f.mkdir_in(CgIdx(0)).unwrap();
+            // Fill group 0 completely with 8 KB files...
+            let mut inos: Vec<Ino> = Vec::new();
+            while f.cg(CgIdx(0)).free_blocks() > 0 {
+                inos.push(f.create(d, 8 * KB, 0).unwrap());
+            }
+            // ...then free scattered single-block holes early in the group
+            // and one 10-block hole near its end.
+            for i in (0..60).step_by(3) {
+                f.remove(inos[i]).unwrap();
+            }
+            let n = inos.len();
+            for &ino in &inos[n - 12..n - 2] {
+                f.remove(ino).unwrap();
+            }
+            let ino = f.create(d, 56 * KB, 999).unwrap();
+            let score = f.file(ino).unwrap().layout_score(f.params()).unwrap();
+            match policy {
+                // The original policy fills the single-block holes.
+                AllocPolicy::Orig => {
+                    assert!(score < 0.5, "orig policy unexpectedly contiguous: {score}")
+                }
+                // Realloc moves the cluster into the untouched region.
+                AllocPolicy::Realloc => assert_eq!(score, 1.0),
+            }
+        }
+    }
+
+    #[test]
+    fn realloc_not_invoked_below_two_blocks() {
+        // A 12 KB file (one block + fragments) must not trigger the
+        // realloc pass.
+        let (mut f, d) = fs(AllocPolicy::Realloc);
+        f.create(d, 12 * KB, 0).unwrap();
+        assert_eq!(f.alloc_stats().realloc_windows, 0);
+        // A 16 KB file fills its second block and does trigger it.
+        f.create(d, 16 * KB, 0).unwrap();
+        assert_eq!(f.alloc_stats().realloc_windows, 1);
+    }
+
+    #[test]
+    fn no_space_rolls_back_cleanly() {
+        let p = FsParams::small_test();
+        let mut f = Filesystem::new(p, AllocPolicy::Orig);
+        let d = f.mkdir_in(CgIdx(0)).unwrap();
+        // Fill the file system with one huge file, then try another.
+        let capacity = f.params().data_capacity_bytes();
+        let big = f.create(d, capacity * 9 / 10, 0).unwrap();
+        let free_before = f.free_frags();
+        let files_before = f.nfiles();
+        let err = f.create(d, capacity / 5, 0).unwrap_err();
+        assert!(matches!(err, FsError::NoSpace { .. }));
+        assert_eq!(f.free_frags(), free_before, "rollback must free space");
+        assert_eq!(f.nfiles(), files_before);
+        f.remove(big).unwrap();
+    }
+
+    #[test]
+    fn utilization_reflects_data_and_metadata() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let u0 = f.utilization();
+        f.create(d, 200 * KB, 0).unwrap();
+        assert!(f.utilization() > u0);
+    }
+
+    #[test]
+    fn zero_size_file_is_legal() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let ino = f.create(d, 0, 0).unwrap();
+        let m = f.file(ino).unwrap();
+        assert_eq!(m.nchunks(), 0);
+        assert_eq!(m.layout_score(f.params()), None);
+        f.remove(ino).unwrap();
+    }
+
+    #[test]
+    fn file_too_large_is_rejected() {
+        let (mut f, d) = fs(AllocPolicy::Orig);
+        let max = f.params().max_file_size();
+        assert!(matches!(
+            f.create(d, max + 1, 0),
+            Err(FsError::FileTooLarge { .. })
+        ));
+    }
+}

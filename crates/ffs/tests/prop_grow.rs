@@ -1,0 +1,109 @@
+//! Property tests for file growth: append/truncate must agree with the
+//! create path on every observable shape, and never corrupt the maps.
+
+use ffs::{assert_consistent, AllocPolicy, Filesystem};
+use ffs_types::{CgIdx, FsParams, KB};
+use proptest::prelude::*;
+
+fn new_fs(realloc: bool) -> (Filesystem, ffs_types::DirId) {
+    let policy = if realloc {
+        AllocPolicy::Realloc
+    } else {
+        AllocPolicy::Orig
+    };
+    let mut fs = Filesystem::new(FsParams::small_test(), policy);
+    let d = fs.mkdir_in(CgIdx(0)).unwrap();
+    (fs, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// A file built by any split of its size into create + appends has
+    /// exactly the shape (block count, tail length, indirect count) of a
+    /// file created at the full size in one call.
+    #[test]
+    fn appends_reach_the_create_shape(
+        initial in 1u64..64 * KB,
+        appends in proptest::collection::vec(1u64..48 * KB, 0..6),
+        realloc in any::<bool>(),
+    ) {
+        let total: u64 = initial + appends.iter().sum::<u64>();
+        // Reference: one-shot create on a fresh fs.
+        let (mut ref_fs, rd) = new_fs(realloc);
+        let ref_ino = ref_fs.create(rd, total, 0).unwrap();
+        let ref_meta = ref_fs.file(ref_ino).unwrap();
+        let (ref_blocks, ref_tail, ref_ind) = (
+            ref_meta.blocks.len(),
+            ref_meta.tail.map(|(_, n)| n),
+            ref_meta.indirects.len(),
+        );
+        // Grown: create + appends on another fresh fs.
+        let (mut fs, d) = new_fs(realloc);
+        let ino = fs.create(d, initial, 0).unwrap();
+        for (i, &a) in appends.iter().enumerate() {
+            fs.append(ino, a, i as u32 + 1).unwrap();
+        }
+        let m = fs.file(ino).unwrap();
+        prop_assert_eq!(m.size, total);
+        prop_assert_eq!(m.blocks.len(), ref_blocks);
+        prop_assert_eq!(m.tail.map(|(_, n)| n), ref_tail);
+        prop_assert_eq!(m.indirects.len(), ref_ind);
+        assert_consistent(&fs);
+    }
+
+    /// Truncating to any size yields the same shape as creating at that
+    /// size, and frees exactly the difference.
+    #[test]
+    fn truncate_reaches_the_create_shape(
+        size in 1u64..400 * KB,
+        keep_permille in 0u32..=1000,
+        realloc in any::<bool>(),
+    ) {
+        let new_size = size * keep_permille as u64 / 1000;
+        let (mut fs, d) = new_fs(realloc);
+        let free0 = fs.free_frags();
+        let ino = fs.create(d, size, 0).unwrap();
+        fs.truncate(ino, new_size, 1).unwrap();
+        let m = fs.file(ino).unwrap();
+        prop_assert_eq!(m.size, new_size);
+        // Shape reference.
+        let (mut ref_fs, rd) = new_fs(realloc);
+        let ref_ino = ref_fs.create(rd, new_size, 0).unwrap();
+        let r = ref_fs.file(ref_ino).unwrap();
+        prop_assert_eq!(m.blocks.len(), r.blocks.len());
+        prop_assert_eq!(m.tail.map(|(_, n)| n), r.tail.map(|(_, n)| n));
+        prop_assert_eq!(m.indirects.len(), r.indirects.len());
+        assert_consistent(&fs);
+        // Removing the remainder restores pristine free space.
+        fs.remove(ino).unwrap();
+        prop_assert_eq!(fs.free_frags(), free0);
+    }
+
+    /// Alternating appends and truncates never lose or leak space and
+    /// keep every invariant.
+    #[test]
+    fn grow_shrink_cycles_conserve_space(
+        steps in proptest::collection::vec(
+            (any::<bool>(), 1u64..64 * KB),
+            1..10
+        ),
+    ) {
+        let (mut fs, d) = new_fs(true);
+        let free0 = fs.free_frags();
+        let ino = fs.create(d, 4 * KB, 0).unwrap();
+        for (i, &(grow, amount)) in steps.iter().enumerate() {
+            let size = fs.file(ino).unwrap().size;
+            if grow {
+                fs.append(ino, amount, i as u32).unwrap();
+            } else {
+                fs.truncate(ino, size.saturating_sub(amount), i as u32)
+                    .unwrap();
+            }
+            assert_consistent(&fs);
+        }
+        fs.remove(ino).unwrap();
+        prop_assert_eq!(fs.free_frags(), free0);
+        assert_consistent(&fs);
+    }
+}

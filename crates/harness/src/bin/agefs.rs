@@ -1,0 +1,143 @@
+//! `agefs` — the standalone aging tool (the artifact Section 8 of the
+//! paper distributed alongside the benchmarks).
+//!
+//! Ages a simulated file system with the ten-month workload (or any
+//! profile and length), prints the per-day summary, and optionally dumps
+//! the nightly snapshots in the text format `aging::Snapshot` parses.
+//!
+//! ```text
+//! agefs [--days N] [--seed S] [--policy orig|realloc]
+//!       [--profile home|news|database|personal]
+//!       [--snapshots DIR] [--verify-every N]
+//! ```
+
+use std::process::ExitCode;
+
+use aging::{generate, profiles, replay, workload_stats, ReplayOptions};
+use ffs::AllocPolicy;
+use ffs_types::FsParams;
+
+struct Args {
+    days: u32,
+    seed: u64,
+    policy: AllocPolicy,
+    profile: String,
+    snapshots: Option<String>,
+    verify_every: u32,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: agefs [--days N] [--seed S] [--policy orig|realloc] \
+         [--profile home|news|database|personal] [--snapshots DIR] \
+         [--verify-every N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        days: 300,
+        seed: 1996,
+        policy: AllocPolicy::Realloc,
+        profile: "home".to_string(),
+        snapshots: None,
+        verify_every: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--days" => args.days = next("--days").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--policy" => {
+                args.policy = match next("--policy").as_str() {
+                    "orig" | "ffs" => AllocPolicy::Orig,
+                    "realloc" => AllocPolicy::Realloc,
+                    _ => usage(),
+                }
+            }
+            "--profile" => args.profile = next("--profile"),
+            "--snapshots" => args.snapshots = Some(next("--snapshots")),
+            "--verify-every" => {
+                args.verify_every = next("--verify-every").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let params = FsParams::paper_502mb();
+    let profile = profiles::all(args.seed)
+        .into_iter()
+        .find(|p| p.name == args.profile)
+        .unwrap_or_else(|| {
+            eprintln!("unknown profile '{}'", args.profile);
+            usage()
+        });
+    let mut config = profile.config;
+    config.days = args.days;
+    if args.days < config.ramp_days {
+        config.ramp_days = (args.days / 3).max(1);
+    }
+    let workload = generate(&config, params.ncg, params.data_capacity_bytes());
+    let stats = workload_stats(&workload);
+    eprintln!(
+        "# workload: {} ops, {:.1} GB written, {} live files at end",
+        stats.total_ops,
+        stats.bytes_written as f64 / (1u64 << 30) as f64,
+        stats.live_at_end
+    );
+    let options = ReplayOptions {
+        verify_every_days: args.verify_every,
+        snapshot_every_days: if args.snapshots.is_some() { 1 } else { 0 },
+        ..ReplayOptions::default()
+    };
+    let result = match replay(&workload, &params, args.policy, options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("agefs: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("day\tlayout\tutil\tfiles\tgb_written");
+    for d in &result.daily {
+        println!(
+            "{}\t{:.4}\t{:.3}\t{}\t{:.2}",
+            d.day,
+            d.layout_score,
+            d.utilization,
+            d.nfiles,
+            d.bytes_written as f64 / (1u64 << 30) as f64
+        );
+    }
+    if let Some(dir) = &args.snapshots {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("agefs: creating {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        for snap in &result.snapshots {
+            let path = format!("{dir}/day{:04}.snap", snap.day);
+            if let Err(e) = std::fs::write(&path, snap.to_text()) {
+                eprintln!("agefs: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("# wrote {} snapshots to {dir}/", result.snapshots.len());
+    }
+    eprintln!(
+        "# final: layout {:.4} under {} ({} skipped creates)",
+        result.daily.last().map_or(1.0, |d| d.layout_score),
+        args.policy.label(),
+        result.skipped_creates
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,121 @@
+//! Shared experiment context: the two aged file systems (one per
+//! allocation policy) plus the real-FS reference run, built once and
+//! reused by every figure.
+
+use aging::{generate, replay, AgingConfig, ReplayOptions, ReplayResult};
+use ffs::AllocPolicy;
+use ffs_types::{DiskParams, FsParams};
+
+/// Command-line options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Days to age (300 = the paper's ten months).
+    pub days: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Directory for TSV outputs (stdout only when absent).
+    pub out_dir: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            days: 300,
+            seed: 1996,
+            out_dir: None,
+        }
+    }
+}
+
+/// The aged state every experiment consumes.
+pub struct Ctx {
+    /// The options the context was built with.
+    pub opts: Options,
+    /// File-system parameters (Table 1).
+    pub params: FsParams,
+    /// Disk parameters (Table 1).
+    pub disk: DiskParams,
+    /// Aging run under the original FFS allocator.
+    pub orig: ReplayResult,
+    /// Aging run under the realloc allocator.
+    pub realloc: ReplayResult,
+    /// The "real file system" reference run (Figure 1), aged with the
+    /// heavier-churn workload variant under the original allocator.
+    pub real_ref: ReplayResult,
+}
+
+impl Ctx {
+    /// Ages the file systems. This is the expensive step (~10 months of
+    /// operations replayed three times).
+    pub fn build(opts: &Options) -> Result<Ctx, String> {
+        let params = FsParams::paper_502mb();
+        let disk = DiskParams::seagate_32430n();
+        let mut config = AgingConfig::paper(opts.seed);
+        config.days = opts.days;
+        if opts.days < config.ramp_days {
+            config.ramp_days = (opts.days / 3).max(1);
+        }
+        let capacity = params.data_capacity_bytes();
+        eprintln!(
+            "# aging {} days on {} MB fs (seed {}) ...",
+            config.days,
+            params.size_bytes >> 20,
+            config.seed
+        );
+        let w = generate(&config, params.ncg, capacity);
+        let t0 = std::time::Instant::now();
+        let orig = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "#   FFS:          layout {:.3}, util {:.2}, {} files, {:.1} GB written ({:.1}s)",
+            orig.daily.last().map_or(1.0, |d| d.layout_score),
+            orig.daily.last().map_or(0.0, |d| d.utilization),
+            orig.fs.nfiles(),
+            orig.fs.bytes_written() as f64 / (1u64 << 30) as f64,
+            t0.elapsed().as_secs_f64()
+        );
+        let t1 = std::time::Instant::now();
+        let realloc = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "#   FFS+Realloc:  layout {:.3}, util {:.2}, {} files ({:.1}s)",
+            realloc.daily.last().map_or(1.0, |d| d.layout_score),
+            realloc.daily.last().map_or(0.0, |d| d.utilization),
+            realloc.fs.nfiles(),
+            t1.elapsed().as_secs_f64()
+        );
+        let st = realloc.fs.alloc_stats();
+        eprintln!(
+            "#     realloc windows: {} contig, {} moved, {} failed",
+            st.realloc_already_contig, st.realloc_moves, st.realloc_failures
+        );
+        let real_cfg = config.real_fs_variant();
+        let wr = generate(&real_cfg, params.ncg, capacity);
+        let real_ref = replay(&wr, &params, AllocPolicy::Orig, ReplayOptions::default())
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "#   real-FS ref:  layout {:.3}",
+            real_ref.daily.last().map_or(1.0, |d| d.layout_score)
+        );
+        Ok(Ctx {
+            opts: opts.clone(),
+            params,
+            disk,
+            orig,
+            realloc,
+            real_ref,
+        })
+    }
+}
+
+/// Prints `content` to stdout and, when an output directory is
+/// configured, also into `<dir>/<name>.tsv`.
+pub fn emit(opts: &Options, name: &str, content: &str) -> Result<(), String> {
+    print!("{content}");
+    if let Some(dir) = &opts.out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let path = format!("{dir}/{name}.tsv");
+        std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(())
+}

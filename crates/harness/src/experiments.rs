@@ -1,0 +1,400 @@
+//! One function per paper exhibit. Each prints the exhibit's series as a
+//! TSV block headed by a comment naming the figure/table it regenerates.
+
+use std::fmt::Write as _;
+
+use aging::ReplayResult;
+use disk::{raw_read_throughput, raw_write_throughput};
+use ffs::{free_space_stats, layout_by_size, size_bins_paper, Filesystem};
+use ffs_types::units::fmt_bytes;
+use ffs_types::{Ino, MB};
+use iobench::{paper_file_sizes, run_hot_files, run_point, SeqBenchConfig};
+
+use crate::ctx::{emit, Ctx, Options};
+
+/// Days of the aging run whose modified files form the "hot" set
+/// (Section 5.2: "the last month").
+const HOT_DAYS: u32 = 30;
+
+/// Table 1: the benchmark configuration.
+pub fn table1(opts: &Options) -> Result<(), String> {
+    let p = ffs_types::FsParams::paper_502mb();
+    let d = ffs_types::DiskParams::seagate_32430n();
+    let mut s = String::new();
+    let _ = writeln!(s, "# Table 1: Benchmark Configuration");
+    let _ = writeln!(s, "param\tvalue");
+    let _ = writeln!(s, "disk.type\tSeagate ST32430N (model)");
+    let _ = writeln!(s, "disk.capacity_bytes\t{}", d.capacity_bytes());
+    let _ = writeln!(s, "disk.rpm\t{}", d.rpm);
+    let _ = writeln!(s, "disk.cylinders\t{}", d.cylinders);
+    let _ = writeln!(s, "disk.heads\t{}", d.heads);
+    let _ = writeln!(s, "disk.sectors_per_track\t{}", d.sectors_per_track);
+    let _ = writeln!(s, "disk.sector_bytes\t{}", d.sector_size);
+    let _ = writeln!(
+        s,
+        "disk.track_buffer\t{}",
+        fmt_bytes(d.track_buffer_bytes as u64)
+    );
+    let _ = writeln!(s, "disk.avg_seek_ms\t{}", d.avg_seek_ms);
+    let _ = writeln!(
+        s,
+        "disk.max_transfer\t{}",
+        fmt_bytes(d.max_transfer_bytes as u64)
+    );
+    let _ = writeln!(s, "disk.rev_time_ms\t{:.3}", d.rev_time_us() / 1000.0);
+    let _ = writeln!(s, "disk.media_rate_mb_s\t{:.2}", d.media_mb_per_sec());
+    let _ = writeln!(s, "fs.size\t{}", fmt_bytes(p.size_bytes));
+    let _ = writeln!(s, "fs.block\t{}", fmt_bytes(p.bsize as u64));
+    let _ = writeln!(s, "fs.fragment\t{}", fmt_bytes(p.fsize as u64));
+    let _ = writeln!(
+        s,
+        "fs.max_cluster\t{}",
+        fmt_bytes((p.maxcontig * p.bsize) as u64)
+    );
+    let _ = writeln!(s, "fs.cylinder_groups\t{}", p.ncg);
+    let _ = writeln!(s, "fs.rotational_gap\t0");
+    let _ = writeln!(s, "fs.minfree_pct\t{}", p.minfree_pct);
+    emit(opts, "table1", &s)
+}
+
+fn layout_series_tsv(title: &str, series: &[(&str, &ReplayResult)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let mut header = String::from("day");
+    for (name, _) in series {
+        let _ = write!(header, "\t{name}");
+    }
+    let _ = writeln!(s, "{header}");
+    let days = series[0].1.daily.len();
+    for i in 0..days {
+        let _ = write!(s, "{}", series[0].1.daily[i].day);
+        for (_, r) in series {
+            let _ = write!(s, "\t{:.4}", r.daily[i].layout_score);
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Figure 1: aggregate layout score over time, real vs simulated.
+pub fn fig1(ctx: &Ctx) -> Result<(), String> {
+    let s = layout_series_tsv(
+        "Figure 1: Aggregate Layout Score Over Time: Real vs. Simulated",
+        &[("simulated", &ctx.orig), ("real", &ctx.real_ref)],
+    );
+    emit(&ctx.opts, "fig1", &s)
+}
+
+/// Figure 2: aggregate layout score over time, FFS vs realloc.
+pub fn fig2(ctx: &Ctx) -> Result<(), String> {
+    let s = layout_series_tsv(
+        "Figure 2: Aggregate Layout Score Over Time: FFS vs. realloc",
+        &[("ffs", &ctx.orig), ("ffs_realloc", &ctx.realloc)],
+    );
+    emit(&ctx.opts, "fig2", &s)
+}
+
+fn by_size_tsv(title: &str, sets: &[(&str, &Filesystem, Option<&[Ino]>)]) -> String {
+    let bins = size_bins_paper();
+    let mut s = String::new();
+    let _ = writeln!(s, "# {title}");
+    let mut header = String::from("size");
+    for (name, _, _) in sets {
+        let _ = write!(header, "\t{name}\t{name}_files");
+    }
+    let _ = writeln!(s, "{header}");
+    let per_set: Vec<Vec<ffs::SizeBinScore>> = sets
+        .iter()
+        .map(|(_, fs, filter)| match filter {
+            Some(inos) => {
+                let set: std::collections::BTreeSet<Ino> = inos.iter().copied().collect();
+                layout_by_size(fs, &bins, |ino| set.contains(&ino))
+            }
+            None => layout_by_size(fs, &bins, |_| true),
+        })
+        .collect();
+    for (i, &hi) in bins.iter().enumerate() {
+        let _ = write!(s, "{}", fmt_bytes(hi));
+        for set in &per_set {
+            match set[i].score() {
+                Some(v) => {
+                    let _ = write!(s, "\t{:.4}\t{}", v, set[i].scored_files);
+                }
+                None => {
+                    let _ = write!(s, "\t-\t0");
+                }
+            }
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// Figure 3: layout score as a function of file size on the aged file
+/// systems.
+pub fn fig3(ctx: &Ctx) -> Result<(), String> {
+    let s = by_size_tsv(
+        "Figure 3: Layout Score as a Function of File Size (aged fs)",
+        &[
+            ("ffs", &ctx.orig.fs, None),
+            ("ffs_realloc", &ctx.realloc.fs, None),
+        ],
+    );
+    emit(&ctx.opts, "fig3", &s)
+}
+
+/// Figure 4: sequential read/write throughput vs file size, plus the raw
+/// device baselines. Also computes Figure 5's layout data (cached by the
+/// caller via [`fig5`] re-running the sweep; the sweep is deterministic).
+pub fn fig4(ctx: &Ctx) -> Result<(), String> {
+    let config = SeqBenchConfig {
+        disk: ctx.disk.clone(),
+        ..SeqBenchConfig::default()
+    };
+    let raw_r = raw_read_throughput(&ctx.disk, 32 * MB).mb_per_sec;
+    let raw_w = raw_write_throughput(&ctx.disk, 32 * MB).mb_per_sec;
+    let mut s = String::new();
+    let _ = writeln!(s, "# Figure 4: Sequential I/O Performance (MB/s)");
+    let _ = writeln!(s, "# raw_read\t{raw_r:.3}");
+    let _ = writeln!(s, "# raw_write\t{raw_w:.3}");
+    let _ = writeln!(s, "size\tffs_read\tffs_write\trealloc_read\trealloc_write");
+    for size in paper_file_sizes() {
+        let po = run_point(&ctx.orig.fs, &config, size).map_err(|e| e.to_string())?;
+        let pr = run_point(&ctx.realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            s,
+            "{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+            fmt_bytes(size),
+            po.read_mb_s,
+            po.write_mb_s,
+            pr.read_mb_s,
+            pr.write_mb_s
+        );
+    }
+    emit(&ctx.opts, "fig4", &s)
+}
+
+/// Figure 5: layout score of the files created by the sequential
+/// benchmark, as a function of file size.
+pub fn fig5(ctx: &Ctx) -> Result<(), String> {
+    let config = SeqBenchConfig {
+        disk: ctx.disk.clone(),
+        ..SeqBenchConfig::default()
+    };
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Figure 5: File Fragmentation During Sequential I/O Benchmark"
+    );
+    let _ = writeln!(s, "size\tffs\tffs_realloc");
+    for size in paper_file_sizes() {
+        let po = run_point(&ctx.orig.fs, &config, size).map_err(|e| e.to_string())?;
+        let pr = run_point(&ctx.realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            s,
+            "{}\t{:.4}\t{:.4}",
+            fmt_bytes(size),
+            po.layout_score(),
+            pr.layout_score()
+        );
+    }
+    emit(&ctx.opts, "fig5", &s)
+}
+
+/// Figure 6: layout score of the hot files vs file size, alongside the
+/// sequential-benchmark layout for comparison.
+pub fn fig6(ctx: &Ctx) -> Result<(), String> {
+    let hot_o = ctx.orig.hot_files(HOT_DAYS);
+    let hot_r = ctx.realloc.hot_files(HOT_DAYS);
+    let s = by_size_tsv(
+        "Figure 6: Layout Score of Hot Files (see fig5 for the sequential curves)",
+        &[
+            ("ffs_hot", &ctx.orig.fs, Some(&hot_o)),
+            ("realloc_hot", &ctx.realloc.fs, Some(&hot_r)),
+        ],
+    );
+    emit(&ctx.opts, "fig6", &s)
+}
+
+/// Table 2: performance of recently modified files.
+pub fn table2(ctx: &Ctx) -> Result<(), String> {
+    let mut s = String::new();
+    let _ = writeln!(s, "# Table 2: Performance of Recently Modified Files");
+    let _ = writeln!(s, "metric\tffs\tffs_realloc\trealloc_advantage");
+    let hot_o = ctx.orig.hot_files(HOT_DAYS);
+    let hot_r = ctx.realloc.hot_files(HOT_DAYS);
+    let ro = run_hot_files(&ctx.orig.fs, &hot_o, &ctx.disk);
+    let rr = run_hot_files(&ctx.realloc.fs, &hot_r, &ctx.disk);
+    let _ = writeln!(
+        s,
+        "layout_score\t{:.3}\t{:.3}\t{:+.1}%",
+        ro.layout_score(),
+        rr.layout_score(),
+        (rr.layout_score() / ro.layout_score() - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "read_mb_s\t{:.3}\t{:.3}\t{:+.1}%",
+        ro.read_mb_s,
+        rr.read_mb_s,
+        (rr.read_mb_s / ro.read_mb_s - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        s,
+        "write_mb_s\t{:.3}\t{:.3}\t{:+.1}%",
+        ro.write_mb_s,
+        rr.write_mb_s,
+        (rr.write_mb_s / ro.write_mb_s - 1.0) * 100.0
+    );
+    let _ = writeln!(s, "hot_files\t{}\t{}\t", ro.nfiles, rr.nfiles);
+    let _ = writeln!(
+        s,
+        "hot_bytes_mb\t{:.1}\t{:.1}\t",
+        ro.bytes as f64 / MB as f64,
+        rr.bytes as f64 / MB as f64
+    );
+    emit(&ctx.opts, "table2", &s)
+}
+
+/// Extension: free-space cluster analysis of the aged file systems (the
+/// Smith94 observation motivating the paper).
+pub fn freespace(ctx: &Ctx) -> Result<(), String> {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Free-space clusters on the aged file systems (extension)"
+    );
+    let _ = writeln!(s, "policy\tfree_blocks\tclusterable_fraction\tlongest_run");
+    for (name, fs) in [("ffs", &ctx.orig.fs), ("ffs_realloc", &ctx.realloc.fs)] {
+        let st = free_space_stats(fs, 512);
+        let _ = writeln!(
+            s,
+            "{name}\t{}\t{:.3}\t{}",
+            st.free_blocks,
+            st.clusterable_fraction(),
+            st.longest_run
+        );
+        let head: Vec<String> = st.hist[..16].iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(s, "# {name} run-length hist 1..16: {}", head.join(" "));
+    }
+    emit(&ctx.opts, "freespace", &s)
+}
+
+/// Extension: the snapshot-derivation validation loop. Replays the main
+/// workload while taking nightly snapshots, derives a new workload from
+/// the snapshot diffs (the paper's Section 3.1 pipeline, with the same
+/// information loss), replays the derived workload, and prints both
+/// layout series. The derived run under-fragments relative to the
+/// original — the same relationship Figure 1 shows between the paper's
+/// snapshot-derived workload and the real file system it came from.
+pub fn snapval(ctx: &Ctx) -> Result<(), String> {
+    use aging::{diff_to_workload, generate, replay, AgingConfig, ReplayOptions};
+    use ffs::AllocPolicy;
+    let mut config = AgingConfig::paper(ctx.opts.seed);
+    config.days = ctx.opts.days.min(120);
+    if config.days < config.ramp_days {
+        config.ramp_days = (config.days / 3).max(1);
+    }
+    let params = &ctx.params;
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    let original = replay(
+        &w,
+        params,
+        AllocPolicy::Orig,
+        ReplayOptions {
+            snapshot_every_days: 1,
+            ..ReplayOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let derived_w = diff_to_workload(
+        &original.snapshots,
+        &config,
+        params.ncg,
+        params.data_capacity_bytes(),
+    );
+    let derived = replay(
+        &derived_w,
+        params,
+        AllocPolicy::Orig,
+        ReplayOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Snapshot-derivation validation: original vs snapshot-derived workload"
+    );
+    let _ = writeln!(s, "day	original	derived");
+    for (a, b) in original.daily.iter().zip(&derived.daily) {
+        let _ = writeln!(s, "{}	{:.4}	{:.4}", a.day, a.layout_score, b.layout_score);
+    }
+    emit(&ctx.opts, "snapval", &s)
+}
+
+/// Extension (Section 6 future work): aging under different usage
+/// profiles — news spool, database, personal computing — compared with
+/// the paper's home-directory workload, under both policies.
+pub fn profiles(ctx: &Ctx) -> Result<(), String> {
+    use aging::{generate, profiles, replay, ReplayOptions};
+    use ffs::AllocPolicy;
+    let days = ctx.opts.days.min(120);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Aging by usage profile ({days} days): final aggregate layout score"
+    );
+    let _ = writeln!(s, "profile	ffs	ffs_realloc	gap");
+    for p in profiles::all(ctx.opts.seed) {
+        let mut config = p.config.clone();
+        config.days = days;
+        config.ramp_days = (days / 3).max(1);
+        let w = generate(&config, ctx.params.ncg, ctx.params.data_capacity_bytes());
+        let mut scores = Vec::new();
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let r = replay(&w, &ctx.params, policy, ReplayOptions::default())
+                .map_err(|e| e.to_string())?;
+            scores.push(r.daily.last().map_or(1.0, |d| d.layout_score));
+        }
+        let _ = writeln!(
+            s,
+            "{}	{:.4}	{:.4}	{:+.4}",
+            p.name,
+            scores[0],
+            scores[1],
+            scores[1] - scores[0]
+        );
+    }
+    emit(&ctx.opts, "profiles", &s)
+}
+
+/// Extension: sensitivity of the day-300 layout gap to the realloc
+/// cluster size (maxcontig ablation).
+pub fn sweep(ctx: &Ctx) -> Result<(), String> {
+    use aging::{generate, replay, AgingConfig, ReplayOptions};
+    use ffs::AllocPolicy;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Ablation: final aggregate layout score vs maxcontig (realloc)"
+    );
+    let _ = writeln!(s, "maxcontig\tlayout_score");
+    let mut config = AgingConfig::paper(ctx.opts.seed);
+    config.days = ctx.opts.days.min(120);
+    if config.days < config.ramp_days {
+        config.ramp_days = (config.days / 3).max(1);
+    }
+    for maxcontig in [1u32, 2, 4, 7, 14, 28] {
+        let mut params = ctx.params.clone();
+        params.maxcontig = maxcontig;
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let r = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            s,
+            "{maxcontig}\t{:.4}",
+            r.daily.last().map_or(1.0, |d| d.layout_score)
+        );
+    }
+    emit(&ctx.opts, "sweep", &s)
+}

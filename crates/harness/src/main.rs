@@ -1,0 +1,97 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness <experiment> [--days N] [--seed S] [--out DIR]
+//! ```
+//!
+//! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
+//! `fig4`, `fig5`, `fig6`, `table2`, `freespace`, `sweep`, or `all`.
+//! Each experiment prints a tab-separated series (the rows/lines of the
+//! corresponding paper exhibit) to stdout and, when `--out` is given,
+//! into `DIR/<experiment>.tsv`.
+
+mod ctx;
+mod experiments;
+
+use std::process::ExitCode;
+
+use crate::ctx::{Ctx, Options};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all> \
+         [--days N] [--seed S] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let mut opts = Options::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--days" => {
+                opts.days = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                opts.out_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    match run(&cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("harness: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, opts: &Options) -> Result<(), String> {
+    if cmd == "table1" {
+        // Table 1 needs no aging run.
+        return experiments::table1(opts);
+    }
+    let ctx = Ctx::build(opts)?;
+    match cmd {
+        "fig1" => experiments::fig1(&ctx),
+        "fig2" => experiments::fig2(&ctx),
+        "fig3" => experiments::fig3(&ctx),
+        "fig4" => experiments::fig4(&ctx),
+        "fig5" => experiments::fig5(&ctx),
+        "fig6" => experiments::fig6(&ctx),
+        "table2" => experiments::table2(&ctx),
+        "freespace" => experiments::freespace(&ctx),
+        "snapval" => experiments::snapval(&ctx),
+        "profiles" => experiments::profiles(&ctx),
+        "sweep" => experiments::sweep(&ctx),
+        "all" => {
+            experiments::table1(&ctx.opts)?;
+            experiments::fig1(&ctx)?;
+            experiments::fig2(&ctx)?;
+            experiments::fig3(&ctx)?;
+            experiments::fig4(&ctx)?;
+            experiments::fig5(&ctx)?;
+            experiments::fig6(&ctx)?;
+            experiments::table2(&ctx)?;
+            experiments::freespace(&ctx)?;
+            experiments::snapval(&ctx)?;
+            experiments::profiles(&ctx)?;
+            Ok(())
+        }
+        _ => Err(format!("unknown experiment '{cmd}'")),
+    }
+}

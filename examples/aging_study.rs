@@ -1,0 +1,74 @@
+//! Studying the aging methodology itself (Section 3 of the paper):
+//! how does the synthetic workload's churn shape fragmentation, and how
+//! does the "real file system" reference variant compare?
+//!
+//! ```text
+//! cargo run --release --example aging_study [DAYS]
+//! ```
+
+use ffs_aging::prelude::*;
+
+/// Replays a workload and returns the final aggregate layout score.
+fn final_score(workload: &Workload, params: &FsParams, policy: AllocPolicy) -> f64 {
+    replay(workload, params, policy, ReplayOptions::default())
+        .expect("replay")
+        .daily
+        .last()
+        .map_or(1.0, |d| d.layout_score)
+}
+
+fn main() {
+    let days: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(90);
+    let params = FsParams::paper_502mb();
+    let capacity = params.data_capacity_bytes();
+    let mut base = AgingConfig::paper(2024);
+    base.days = days;
+    if days < base.ramp_days {
+        base.ramp_days = (days / 3).max(1);
+    }
+
+    // 1. The aging-validation comparison of Figure 1: the simulated
+    //    workload vs the heavier-churn real-FS reference variant.
+    let sim = generate(&base, params.ncg, capacity);
+    let real = generate(&base.real_fs_variant(), params.ncg, capacity);
+    println!("figure-1 style comparison at day {days} (original FFS policy):");
+    println!(
+        "  simulated workload: layout {:.3}",
+        final_score(&sim, &params, AllocPolicy::Orig)
+    );
+    println!(
+        "  real-FS reference:  layout {:.3}",
+        final_score(&real, &params, AllocPolicy::Orig)
+    );
+
+    // 2. Sensitivity of fragmentation to the short-lived churn intensity
+    //    (the knob the paper's NFS traces control).
+    println!("\nshort-lived churn sensitivity (original FFS policy):");
+    for mult in [0.25, 0.5, 1.0, 2.0] {
+        let mut c = base.clone();
+        c.short_pairs_per_day *= mult;
+        let w = generate(&c, params.ncg, capacity);
+        println!(
+            "  {:>4.2}x short pairs/day -> layout {:.3}",
+            mult,
+            final_score(&w, &params, AllocPolicy::Orig)
+        );
+    }
+
+    // 3. And to the delete-correlation structure: scattered deletions
+    //    fragment much harder than cohort (project-cleanup) deletions.
+    println!("\ndeletion-structure sensitivity (original FFS policy):");
+    for scatter in [0.0, 0.4, 1.0] {
+        let mut c = base.clone();
+        c.scatter_deletes = scatter;
+        let w = generate(&c, params.ncg, capacity);
+        println!(
+            "  scatter_deletes {:.1} -> layout {:.3}",
+            scatter,
+            final_score(&w, &params, AllocPolicy::Orig)
+        );
+    }
+}

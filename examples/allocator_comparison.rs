@@ -1,0 +1,75 @@
+//! The paper's headline experiment at a laptop-friendly scale: age two
+//! file systems that differ only in their allocation policy, then compare
+//! fragmentation and I/O performance.
+//!
+//! ```text
+//! cargo run --release --example allocator_comparison [DAYS]
+//! ```
+//!
+//! With `DAYS = 300` this is Figure 2 + Table 2 of the paper on the full
+//! 502 MB geometry (takes a few seconds in release mode).
+
+use ffs_aging::prelude::*;
+
+fn main() {
+    let days: u32 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let params = FsParams::paper_502mb();
+    let disk = DiskParams::seagate_32430n();
+    let mut config = AgingConfig::paper(1996);
+    config.days = days;
+    if days < config.ramp_days {
+        config.ramp_days = (days / 3).max(1);
+    }
+    let workload = generate(&config, params.ncg, params.data_capacity_bytes());
+
+    let mut results = Vec::new();
+    for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+        let aged = replay(&workload, &params, policy, ReplayOptions::default()).expect("replay");
+        let last = *aged.daily.last().expect("at least one day");
+        println!(
+            "{:<14} day {:>3}: layout {:.3}, {} files, util {:.2}",
+            policy.label(),
+            last.day,
+            last.layout_score,
+            last.nfiles,
+            last.utilization
+        );
+        results.push((policy, aged));
+    }
+
+    // Hot-file benchmark (Table 2): files modified in the last month.
+    println!("\nhot-file benchmark (last 30 days):");
+    println!(
+        "{:<14} {:>7} {:>9} {:>10} {:>10}",
+        "policy", "files", "layout", "read MB/s", "write MB/s"
+    );
+    for (policy, aged) in &results {
+        let hot = aged.hot_files(30);
+        let r = run_hot_files(&aged.fs, &hot, &disk);
+        println!(
+            "{:<14} {:>7} {:>9.3} {:>10.3} {:>10.3}",
+            policy.label(),
+            r.nfiles,
+            r.layout_score(),
+            r.read_mb_s,
+            r.write_mb_s
+        );
+    }
+
+    // Free-space structure: the realloc policy must leave enough large
+    // clusters behind to keep working (the Smith94 observation).
+    println!("\nfree-space clusters:");
+    for (policy, aged) in &results {
+        let st = free_space_stats(&aged.fs, 512);
+        println!(
+            "{:<14} {:>6} free blocks, {:>5.1}% in clusters >= maxcontig, longest {}",
+            policy.label(),
+            st.free_blocks,
+            100.0 * st.clusterable_fraction(),
+            st.longest_run
+        );
+    }
+}

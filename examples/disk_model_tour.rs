@@ -1,0 +1,85 @@
+//! A tour of the disk timing model: the raw-device baselines of Figure 4
+//! and the three effects the paper's performance analysis rests on.
+//!
+//! ```text
+//! cargo run --release --example disk_model_tour
+//! ```
+
+use ffs_aging::prelude::*;
+use ffs_types::units::mb_per_sec;
+
+fn main() {
+    let p = DiskParams::seagate_32430n();
+    println!("Seagate ST32430N model:");
+    println!(
+        "  capacity        {:.2} GB",
+        p.capacity_bytes() as f64 / 1e9
+    );
+    println!("  revolution      {:.2} ms", p.rev_time_us() / 1000.0);
+    println!("  media rate      {:.2} MB/s", p.media_mb_per_sec());
+    println!("  average seek    {:.1} ms", p.avg_seek_ms);
+    println!("  max transfer    {} KB", p.max_transfer_bytes / 1024);
+
+    // Effect 1: the track buffer lets sequential reads stream at the
+    // media rate despite host think time between requests.
+    let r = raw_read_throughput(&p, 32 * MB);
+    println!("\nraw sequential read:  {:.2} MB/s", r.mb_per_sec);
+
+    // Effect 2: writes are unbuffered; back-to-back sequential writes
+    // lose most of a rotation per 64 KB request.
+    let w = raw_write_throughput(&p, 32 * MB);
+    println!("raw sequential write: {:.2} MB/s", w.mb_per_sec);
+    println!(
+        "  (write/read ratio {:.2} - the lost-rotation effect)",
+        w.mb_per_sec / r.mb_per_sec
+    );
+
+    // Effect 3: fragmentation penalty. Read the same 56 KB as one
+    // contiguous cluster vs seven scattered blocks.
+    let mut dev = Device::new(p.clone());
+    dev.read(500_000, 16); // Position the head somewhere definite.
+    let t0 = dev.now();
+    dev.transfer(IoKind::Read, 1_000_000, 56 * 1024);
+    let contig = dev.now() - t0;
+
+    let mut dev = Device::new(p.clone());
+    dev.read(500_000, 16);
+    let t0 = dev.now();
+    for i in 0..7u64 {
+        // Blocks spread ~1.5 MB apart within a cylinder-group-sized span.
+        dev.transfer(IoKind::Read, 1_000_000 + i * 3_000, 8 * 1024);
+    }
+    let scattered = dev.now() - t0;
+    println!(
+        "\n56 KB read, contiguous: {:.1} ms ({:.2} MB/s)",
+        contig / 1000.0,
+        mb_per_sec(56 * 1024, contig)
+    );
+    println!(
+        "56 KB read, scattered:  {:.1} ms ({:.2} MB/s) - {:.1}x slower",
+        scattered / 1000.0,
+        mb_per_sec(56 * 1024, scattered),
+        scattered / contig
+    );
+
+    // The same comparison for writes: the scattered case pays a
+    // positioning delay per block, the contiguous case one per cluster.
+    let mut dev = Device::new(p.clone());
+    dev.read(500_000, 16);
+    let t0 = dev.now();
+    dev.transfer(IoKind::Write, 1_000_000, 56 * 1024);
+    let contig_w = dev.now() - t0;
+    let mut dev = Device::new(p);
+    dev.read(500_000, 16);
+    let t0 = dev.now();
+    for i in 0..7u64 {
+        dev.transfer(IoKind::Write, 1_000_000 + i * 3_000, 8 * 1024);
+    }
+    let scattered_w = dev.now() - t0;
+    println!(
+        "56 KB write, contiguous: {:.1} ms; scattered: {:.1} ms ({:.1}x slower)",
+        contig_w / 1000.0,
+        scattered_w / 1000.0,
+        scattered_w / contig_w
+    );
+}

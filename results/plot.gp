@@ -1,0 +1,61 @@
+# Gnuplot script rendering the regenerated figures from the TSV files in
+# this directory. Produces SVGs alongside them:
+#
+#   cd results && gnuplot plot.gp
+#
+set terminal svg size 640,420 font "Helvetica,11"
+set datafile separator "\t"
+set key bottom left
+set grid ytics lc rgb "#dddddd"
+
+set output "fig1.svg"
+set title "Figure 1: Aggregate Layout Score Over Time - Real vs. Simulated"
+set xlabel "Time (Days)"
+set ylabel "Aggregate Layout Score"
+set yrange [0:1]
+plot "fig1.tsv" using 1:2 with lines lw 2 title "Simulated", \
+     "fig1.tsv" using 1:3 with lines lw 2 title "Real (reference model)"
+
+set output "fig2.svg"
+set title "Figure 2: Aggregate Layout Score Over Time - FFS vs. realloc"
+plot "fig2.tsv" using 1:3 with lines lw 2 title "FFS + Realloc", \
+     "fig2.tsv" using 1:2 with lines lw 2 title "FFS"
+
+set output "fig3.svg"
+set title "Figure 3: Layout Score as a Function of File Size"
+set xlabel "File Size"
+set xtics rotate by -45
+set yrange [0:1]
+plot "fig3.tsv" using 4:xtic(1) with linespoints lw 2 title "FFS + Realloc", \
+     "fig3.tsv" using 2:xtic(1) with linespoints lw 2 title "FFS"
+
+set output "fig4_read.svg"
+set title "Figure 4 (top): Sequential Read Performance"
+set ylabel "Throughput (MB/Sec)"
+set yrange [0:6]
+plot "fig4.tsv" using 4:xtic(1) with linespoints lw 2 title "FFS + Realloc", \
+     "fig4.tsv" using 2:xtic(1) with linespoints lw 2 title "FFS"
+
+set output "fig4_write.svg"
+set title "Figure 4 (bottom): Sequential Write Performance"
+plot "fig4.tsv" using 5:xtic(1) with linespoints lw 2 title "FFS + Realloc", \
+     "fig4.tsv" using 3:xtic(1) with linespoints lw 2 title "FFS"
+
+set output "fig5.svg"
+set title "Figure 5: File Fragmentation During Sequential I/O Benchmark"
+set ylabel "Layout Score"
+set yrange [0:1]
+plot "fig5.tsv" using 3:xtic(1) with linespoints lw 2 title "FFS + Realloc", \
+     "fig5.tsv" using 2:xtic(1) with linespoints lw 2 title "FFS"
+
+set output "fig6.svg"
+set title "Figure 6: Layout Score of Hot Files"
+plot "fig6.tsv" using 4:xtic(1) with linespoints lw 2 title "FFS + Realloc (hot)", \
+     "fig6.tsv" using 2:xtic(1) with linespoints lw 2 title "FFS (hot)"
+
+set output "snapval.svg"
+set title "Snapshot-derivation validation (extension)"
+set xlabel "Time (Days)"
+set xtics norotate
+plot "snapval.tsv" using 1:2 with lines lw 2 title "Original workload", \
+     "snapval.tsv" using 1:3 with lines lw 2 title "Snapshot-derived"

@@ -1,0 +1,110 @@
+//! Cross-crate integration tests: workload generation -> replay -> aged
+//! file system, exercised through the public facade.
+
+use ffs_aging::prelude::*;
+
+fn small_workload(days: u32, seed: u64) -> (FsParams, Workload) {
+    let params = FsParams::small_test();
+    let config = AgingConfig::small_test(days, seed);
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    (params, w)
+}
+
+#[test]
+fn aging_is_deterministic_end_to_end() {
+    let (params, w1) = small_workload(12, 99);
+    let (_, w2) = small_workload(12, 99);
+    let a = replay(&w1, &params, AllocPolicy::Realloc, ReplayOptions::default()).unwrap();
+    let b = replay(&w2, &params, AllocPolicy::Realloc, ReplayOptions::default()).unwrap();
+    assert_eq!(a.daily, b.daily);
+    assert_eq!(a.fs.nfiles(), b.fs.nfiles());
+    // Same layout of every single file.
+    for (x, y) in a.fs.files().zip(b.fs.files()) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn aged_fs_passes_full_consistency_check() {
+    let (params, w) = small_workload(15, 3);
+    for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+        let aged = replay(&w, &params, policy, ReplayOptions::default()).unwrap();
+        assert_consistent(&aged.fs);
+        assert_eq!(aged.skipped_creates, 0);
+    }
+}
+
+#[test]
+fn policies_see_identical_operation_streams() {
+    let (params, w) = small_workload(12, 17);
+    let a = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap();
+    let b = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default()).unwrap();
+    for (x, y) in a.daily.iter().zip(&b.daily) {
+        assert_eq!(x.nfiles, y.nfiles, "day {}", x.day);
+        assert_eq!(x.bytes_written, y.bytes_written, "day {}", x.day);
+    }
+    // Same live file sizes, different block placements.
+    let mut sizes_a: Vec<u64> = a.fs.files().map(|f| f.size).collect();
+    let mut sizes_b: Vec<u64> = b.fs.files().map(|f| f.size).collect();
+    sizes_a.sort_unstable();
+    sizes_b.sort_unstable();
+    assert_eq!(sizes_a, sizes_b);
+}
+
+#[test]
+fn different_seeds_age_differently() {
+    let (params, w1) = small_workload(8, 1);
+    let (_, w2) = small_workload(8, 2);
+    let a = replay(&w1, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap();
+    let b = replay(&w2, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap();
+    assert_ne!(
+        a.daily.last().unwrap().layout_score,
+        b.daily.last().unwrap().layout_score
+    );
+}
+
+#[test]
+fn workload_stats_match_replay_accounting() {
+    let (params, w) = small_workload(10, 5);
+    let stats = workload_stats(&w);
+    let aged = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap();
+    assert_eq!(stats.live_at_end as usize, aged.fs.nfiles());
+    assert_eq!(stats.bytes_written, aged.fs.bytes_written());
+    assert_eq!(
+        stats.live_bytes_at_end,
+        aged.fs.files().map(|f| f.size).sum::<u64>()
+    );
+}
+
+#[test]
+fn hot_set_shrinks_with_window() {
+    let (params, w) = small_workload(15, 9);
+    let aged = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default()).unwrap();
+    let h1 = aged.hot_files(1).len();
+    let h5 = aged.hot_files(5).len();
+    let hall = aged.hot_files(u32::MAX).len();
+    assert!(h1 <= h5 && h5 <= hall);
+    assert_eq!(hall, aged.fs.nfiles());
+}
+
+#[test]
+fn utilization_stays_within_trajectory_bounds() {
+    let (params, w) = small_workload(20, 21);
+    let aged = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default()).unwrap();
+    for d in &aged.daily {
+        assert!(
+            d.utilization < 0.97,
+            "day {} utilization {:.2}",
+            d.day,
+            d.utilization
+        );
+    }
+    // The ramp: utilization grows substantially from day 0.
+    let first = aged.daily.first().unwrap().utilization;
+    let max = aged
+        .daily
+        .iter()
+        .map(|d| d.utilization)
+        .fold(0.0f64, f64::max);
+    assert!(max > first + 0.2, "no growth: {first:.2} -> {max:.2}");
+}

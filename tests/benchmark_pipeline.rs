@@ -1,0 +1,96 @@
+//! End-to-end benchmark pipeline tests: age a file system, then run the
+//! paper's two benchmarks against it and check the physical sanity of the
+//! results.
+
+use ffs_aging::prelude::*;
+use ffs_types::units::mb_per_sec;
+
+fn aged(policy: AllocPolicy) -> (FsParams, ReplayResult) {
+    let params = FsParams::small_test();
+    let config = AgingConfig::small_test(12, 1234);
+    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    let r = replay(&w, &params, policy, ReplayOptions::default()).unwrap();
+    (params, r)
+}
+
+fn bench_config() -> SeqBenchConfig {
+    SeqBenchConfig {
+        total_bytes: 2 * MB,
+        ..SeqBenchConfig::default()
+    }
+}
+
+#[test]
+fn sequential_benchmark_runs_on_aged_fs() {
+    let (_, r) = aged(AllocPolicy::Realloc);
+    let p = run_point(&r.fs, &bench_config(), 32 * KB).unwrap();
+    assert_eq!(p.nfiles, 64);
+    assert!(p.read_mb_s > 0.2, "read {:.2}", p.read_mb_s);
+    assert!(p.write_mb_s > 0.05, "write {:.2}", p.write_mb_s);
+    assert!((0.0..=1.0).contains(&p.layout_score()));
+}
+
+#[test]
+fn throughput_never_exceeds_media_rate() {
+    let (_, r) = aged(AllocPolicy::Realloc);
+    let media = DiskParams::seagate_32430n().media_mb_per_sec();
+    for size in [16 * KB, 64 * KB, 256 * KB, MB] {
+        let p = run_point(&r.fs, &bench_config(), size).unwrap();
+        assert!(
+            p.read_mb_s <= media * 1.01 && p.write_mb_s <= media * 1.01,
+            "size {size}: read {:.2}, write {:.2} vs media {media:.2}",
+            p.read_mb_s,
+            p.write_mb_s
+        );
+    }
+}
+
+#[test]
+fn hot_file_benchmark_runs_on_aged_fs() {
+    let (_, r) = aged(AllocPolicy::Orig);
+    let hot = r.hot_files(5);
+    assert!(!hot.is_empty());
+    let res = run_hot_files(&r.fs, &hot, &DiskParams::seagate_32430n());
+    assert_eq!(res.nfiles, hot.len());
+    assert!(res.read_mb_s > 0.0 && res.write_mb_s > 0.0);
+    assert!(res.bytes > 0);
+}
+
+#[test]
+fn raw_device_baselines_are_ordered() {
+    // Figure 4's baselines: raw read streams near the media rate, raw
+    // write loses rotations and lands well below it.
+    let p = DiskParams::seagate_32430n();
+    let r = raw_read_throughput(&p, 16 * MB);
+    let w = raw_write_throughput(&p, 16 * MB);
+    assert!(r.mb_per_sec > w.mb_per_sec);
+    assert!(r.mb_per_sec > 0.85 * p.media_mb_per_sec());
+    assert!(w.mb_per_sec > 0.3 * p.media_mb_per_sec());
+}
+
+#[test]
+fn indirect_block_dip_shows_in_timing() {
+    // The 104 KB file size (first indirect block, cylinder-group switch)
+    // must read slower than 96 KB on a fresh file system — the paper's
+    // sharpest feature.
+    let fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+    let cfg = bench_config();
+    let p96 = run_point(&fs, &cfg, 96 * KB).unwrap();
+    let p104 = run_point(&fs, &cfg, 104 * KB).unwrap();
+    assert!(
+        p104.read_mb_s < p96.read_mb_s,
+        "96 KB {:.2} vs 104 KB {:.2}",
+        p96.read_mb_s,
+        p104.read_mb_s
+    );
+}
+
+#[test]
+fn mb_per_sec_is_consistent_with_simulated_time() {
+    let mut dev = Device::new(DiskParams::seagate_32430n());
+    let t0 = dev.now();
+    dev.transfer(IoKind::Read, 1000, MB);
+    let elapsed = dev.now() - t0;
+    let rate = mb_per_sec(MB, elapsed);
+    assert!(rate > 0.0 && rate < 20.0, "rate {rate:.2}");
+}

@@ -1,0 +1,206 @@
+//! Property-based integration tests: random operation sequences against
+//! the file system must preserve every invariant the consistency checker
+//! knows about, under both allocation policies.
+
+use ffs_aging::prelude::*;
+use ffs_types::{CgIdx, Ino};
+use proptest::prelude::*;
+
+/// A scripted operation for the property tests.
+#[derive(Clone, Debug)]
+enum PropOp {
+    Create { dir: u8, size: u64 },
+    Remove { pick: u16 },
+    Rewrite { pick: u16 },
+    Append { pick: u16, bytes: u64 },
+    Truncate { pick: u16, frac: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = PropOp> {
+    prop_oneof![
+        4 => (0u8..4, 1u64..400 * KB)
+            .prop_map(|(dir, size)| PropOp::Create { dir, size }),
+        2 => any::<u16>().prop_map(|pick| PropOp::Remove { pick }),
+        1 => any::<u16>().prop_map(|pick| PropOp::Rewrite { pick }),
+        2 => (any::<u16>(), 1u64..120 * KB)
+            .prop_map(|(pick, bytes)| PropOp::Append { pick, bytes }),
+        2 => (any::<u16>(), any::<u8>())
+            .prop_map(|(pick, frac)| PropOp::Truncate { pick, frac }),
+    ]
+}
+
+fn apply(fs: &mut Filesystem, live: &mut Vec<Ino>, op: &PropOp, dirs: &[ffs_types::DirId]) {
+    match *op {
+        PropOp::Create { dir, size } => {
+            if let Ok(ino) = fs.create(dirs[dir as usize % dirs.len()], size, 0) {
+                live.push(ino);
+            }
+        }
+        PropOp::Remove { pick } => {
+            if !live.is_empty() {
+                let ino = live.swap_remove(pick as usize % live.len());
+                fs.remove(ino).expect("live file removes cleanly");
+            }
+        }
+        PropOp::Rewrite { pick } => {
+            if !live.is_empty() {
+                let ino = live[pick as usize % live.len()];
+                fs.rewrite(ino, 1).expect("live file rewrites cleanly");
+            }
+        }
+        PropOp::Append { pick, bytes } => {
+            if !live.is_empty() {
+                let ino = live[pick as usize % live.len()];
+                // Out-of-space appends are legal; anything else is a bug.
+                match fs.append(ino, bytes, 2) {
+                    Ok(()) => {}
+                    Err(ffs_types::FsError::NoSpace { .. }) => {}
+                    Err(e) => panic!("append failed: {e}"),
+                }
+            }
+        }
+        PropOp::Truncate { pick, frac } => {
+            if !live.is_empty() {
+                let ino = live[pick as usize % live.len()];
+                let size = fs.file(ino).expect("live").size;
+                let new = size * (frac as u64 % 100) / 100;
+                fs.truncate(ino, new, 3).expect("truncate cleanly");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// After any operation sequence, the file system is internally
+    /// consistent: maps match files, counters match maps, and the
+    /// incremental layout aggregate matches a recomputation.
+    #[test]
+    fn any_op_sequence_leaves_fs_consistent(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        realloc in any::<bool>(),
+    ) {
+        let policy = if realloc {
+            AllocPolicy::Realloc
+        } else {
+            AllocPolicy::Orig
+        };
+        let mut fs = Filesystem::new(FsParams::small_test(), policy);
+        let dirs = fs.mkdir_per_cg().unwrap();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply(&mut fs, &mut live, op, &dirs);
+        }
+        assert_consistent(&fs);
+        prop_assert_eq!(fs.nfiles(), live.len());
+    }
+
+    /// Deleting everything returns the file system to its pristine free
+    /// space, no matter the interleaving.
+    #[test]
+    fn space_is_conserved(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut fs =
+            Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let dirs = fs.mkdir_per_cg().unwrap();
+        let free0 = fs.free_frags();
+        let blocks0 = fs.free_blocks();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply(&mut fs, &mut live, op, &dirs);
+        }
+        for ino in live {
+            fs.remove(ino).unwrap();
+        }
+        prop_assert_eq!(fs.free_frags(), free0);
+        prop_assert_eq!(fs.free_blocks(), blocks0);
+        assert_consistent(&fs);
+    }
+
+    /// The two policies always agree on *what* is stored (sizes, counts,
+    /// utilization) — they may only disagree on *where*.
+    #[test]
+    fn policies_agree_on_logical_state(
+        mut ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        // Partial growth after an out-of-space append may legitimately
+        // differ between policies; keep this property about the
+        // guaranteed-identical operations.
+        ops.retain(|op| !matches!(op, PropOp::Append { .. }));
+        let mut results = Vec::new();
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let mut fs = Filesystem::new(FsParams::small_test(), policy);
+            let dirs = fs.mkdir_per_cg().unwrap();
+            let mut live = Vec::new();
+            for op in &ops {
+                apply(&mut fs, &mut live, op, &dirs);
+            }
+            let mut sizes: Vec<u64> = fs.files().map(|f| f.size).collect();
+            sizes.sort_unstable();
+            results.push((fs.nfiles(), fs.bytes_written(), sizes));
+        }
+        prop_assert_eq!(&results[0], &results[1]);
+    }
+
+    /// Aggregate layout scores always lie in the unit interval and the
+    /// size-binned scores partition the live files.
+    #[test]
+    fn layout_analysis_invariants(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut fs =
+            Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = fs.mkdir_per_cg().unwrap();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply(&mut fs, &mut live, op, &dirs);
+        }
+        let agg = fs.aggregate_layout().score();
+        prop_assert!((0.0..=1.0).contains(&agg));
+        let bins = layout_by_size(&fs, &size_bins_paper(), |_| true);
+        let binned: u64 = bins.iter().map(|b| b.files).sum();
+        prop_assert_eq!(binned as usize, fs.nfiles());
+        for b in &bins {
+            if let Some(s) = b.score() {
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    /// Free-space statistics are consistent with the group maps after any
+    /// operation sequence.
+    #[test]
+    fn free_space_stats_match_counters(
+        ops in proptest::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut fs =
+            Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let dirs = fs.mkdir_per_cg().unwrap();
+        let mut live = Vec::new();
+        for op in &ops {
+            apply(&mut fs, &mut live, op, &dirs);
+        }
+        let st = free_space_stats(&fs, 4096);
+        prop_assert_eq!(st.free_blocks, fs.free_blocks());
+        let from_hist: u64 = st
+            .hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n as u64)
+            .sum();
+        prop_assert_eq!(from_hist, st.free_blocks);
+        // Per-group block counters agree with a direct map walk.
+        for g in 0..fs.ncg() {
+            let cg = fs.cg(CgIdx(g));
+            let walked = (0..cg.nblocks())
+                .filter(|&b| cg.is_block_free(b))
+                .count() as u32;
+            prop_assert_eq!(walked, cg.free_blocks());
+        }
+    }
+}
