@@ -1,0 +1,338 @@
+//! Checkpoint and resume for long aging runs.
+//!
+//! A ten-month replay at paper scale is long enough to want restarts: the
+//! checkpoint extends the nightly-[`Snapshot`](crate::snapshot::Snapshot)
+//! idea with exactly the extra state a *resume* needs that offline scoring
+//! does not — directory metadata, indirect-block addresses, the workload's
+//! `FileId -> Ino` live map, and the cumulative byte counter. Everything
+//! else (fragment maps, bitmaps, free counters, the layout aggregate) is
+//! derived state that [`Filesystem::restore`] rebuilds and re-verifies, so
+//! a checkpoint is small, textual, and cannot silently smuggle in an
+//! inconsistent map: a tampered or truncated file surfaces as
+//! [`FsError::Corrupt`] at restore time, never as a bad replay.
+
+use std::collections::HashMap;
+
+use ffs_types::{CgIdx, Daddr, DirId, FsError, FsParams, FsResult, Ino};
+
+use ffs::{AllocPolicy, DirMeta, FileMeta, Filesystem};
+
+use crate::workload::FileId;
+
+/// Everything a replay needs to continue from the end of a day.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Last completed workload day.
+    pub day: u32,
+    /// Cumulative bytes written since mkfs.
+    pub bytes_written: u64,
+    /// Creates skipped for lack of space before the checkpoint.
+    pub skipped_creates: u64,
+    /// Directory metadata, in id order.
+    pub dirs: Vec<DirMeta>,
+    /// File metadata, in inode order.
+    pub files: Vec<FileMeta>,
+    /// Workload file ids of still-live files, in id order.
+    pub live: Vec<(FileId, Ino)>,
+    /// Per-group `(rotor, inode_rotor)` allocator search positions, in
+    /// group order. Rotors are hints rather than derived state, so they
+    /// must travel with the checkpoint for a resume to make the same
+    /// allocation decisions the uninterrupted run would. Empty means
+    /// "unknown": restore then keeps the fresh-volume defaults.
+    pub rotors: Vec<(u32, u32)>,
+}
+
+/// Captures a checkpoint at the end of `day`.
+pub fn take_checkpoint(
+    fs: &Filesystem,
+    live: &HashMap<FileId, Ino>,
+    day: u32,
+    skipped_creates: u64,
+) -> Checkpoint {
+    let mut live: Vec<(FileId, Ino)> = live.iter().map(|(&f, &i)| (f, i)).collect();
+    live.sort();
+    Checkpoint {
+        day,
+        bytes_written: fs.bytes_written(),
+        skipped_creates,
+        dirs: fs.dirs().cloned().collect(),
+        files: fs.files().cloned().collect(),
+        live,
+        rotors: fs.rotors(),
+    }
+}
+
+fn addrs(v: &[Daddr]) -> String {
+    if v.is_empty() {
+        "-".to_string()
+    } else {
+        v.iter()
+            .map(|d| d.0.to_string())
+            .collect::<Vec<_>>()
+            .join(":")
+    }
+}
+
+fn parse_addrs(s: &str, what: &str) -> Result<Vec<Daddr>, String> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    s.split(':')
+        .map(|x| x.parse().map(Daddr))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad {what} list: {e}"))
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint to a line-based text format, one record
+    /// per line (`dir`, `file`, and `live` lines after a short header).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "# checkpoint day {}", self.day);
+        let _ = writeln!(s, "bytes {}", self.bytes_written);
+        let _ = writeln!(s, "skipped {}", self.skipped_creates);
+        for d in &self.dirs {
+            let _ = writeln!(
+                s,
+                "dir {} {} {} {} {}",
+                d.id.0, d.cg.0, d.block.0, d.ino_slot, d.nfiles
+            );
+        }
+        for f in &self.files {
+            let tail = match f.tail {
+                Some((d, n)) => format!("{}:{}", d.0, n),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "file {} {} {} {} {} {} {}",
+                f.ino.0,
+                f.dir.0,
+                f.size,
+                f.mtime_day,
+                addrs(&f.blocks),
+                tail,
+                addrs(&f.indirects)
+            );
+        }
+        for (fid, ino) in &self.live {
+            let _ = writeln!(s, "live {} {}", fid.0, ino.0);
+        }
+        for (rotor, irotor) in &self.rotors {
+            let _ = writeln!(s, "rotor {rotor} {irotor}");
+        }
+        s
+    }
+
+    /// Parses the text format produced by [`Checkpoint::to_text`].
+    pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty checkpoint")?;
+        let day: u32 = header
+            .strip_prefix("# checkpoint day ")
+            .ok_or("missing checkpoint header")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad day: {e}"))?;
+        let mut bytes_written = None;
+        let mut skipped_creates = None;
+        let mut dirs = Vec::new();
+        let mut files = Vec::new();
+        let mut live = Vec::new();
+        let mut rotors = Vec::new();
+        for (n, line) in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split_whitespace();
+            let kind = f.next().expect("non-empty line has a first token");
+            let mut field = |name: &str| {
+                f.next()
+                    .ok_or_else(|| format!("line {}: missing {name}", n + 1))
+            };
+            macro_rules! num {
+                ($name:literal) => {
+                    field($name)?
+                        .parse()
+                        .map_err(|e| format!("line {}: bad {}: {e}", n + 1, $name))?
+                };
+            }
+            match kind {
+                "bytes" => bytes_written = Some(num!("bytes")),
+                "skipped" => skipped_creates = Some(num!("skipped")),
+                "dir" => dirs.push(DirMeta {
+                    id: DirId(num!("dir id")),
+                    cg: CgIdx(num!("cg")),
+                    block: Daddr(num!("block")),
+                    ino_slot: num!("ino slot"),
+                    nfiles: num!("nfiles"),
+                }),
+                "file" => {
+                    let ino = Ino(num!("ino"));
+                    let dir = DirId(num!("dir"));
+                    let size = num!("size");
+                    let mtime_day = num!("mtime");
+                    let blocks = parse_addrs(field("blocks")?, "block")?;
+                    let tail_s = field("tail")?;
+                    let tail = if tail_s == "-" {
+                        None
+                    } else {
+                        let (a, b) = tail_s.split_once(':').ok_or("bad tail format")?;
+                        Some((
+                            Daddr(a.parse().map_err(|e| format!("bad tail: {e}"))?),
+                            b.parse().map_err(|e| format!("bad tail: {e}"))?,
+                        ))
+                    };
+                    let indirects = parse_addrs(field("indirects")?, "indirect")?;
+                    files.push(FileMeta {
+                        ino,
+                        dir,
+                        size,
+                        blocks,
+                        tail,
+                        indirects,
+                        mtime_day,
+                    });
+                }
+                "live" => live.push((FileId(num!("file id")), Ino(num!("ino")))),
+                "rotor" => rotors.push((num!("rotor"), num!("inode rotor"))),
+                other => return Err(format!("line {}: unknown record {other:?}", n + 1)),
+            }
+        }
+        Ok(Checkpoint {
+            day,
+            bytes_written: bytes_written.ok_or("missing bytes line")?,
+            skipped_creates: skipped_creates.ok_or("missing skipped line")?,
+            dirs,
+            files,
+            live,
+            rotors,
+        })
+    }
+
+    /// Rebuilds a file system and live-file map from the checkpoint.
+    ///
+    /// Only inode-level state is trusted; every allocation map, bitmap,
+    /// and counter is rebuilt by [`Filesystem::restore`] and re-verified
+    /// with the consistency checker, so a damaged checkpoint is rejected
+    /// with [`FsError::Corrupt`] rather than replayed.
+    pub fn restore(
+        &self,
+        params: FsParams,
+        policy: AllocPolicy,
+    ) -> FsResult<(Filesystem, HashMap<FileId, Ino>)> {
+        let mut fs = Filesystem::restore(
+            params,
+            policy,
+            self.dirs.clone(),
+            self.files.clone(),
+            self.bytes_written,
+        )?;
+        if !self.rotors.is_empty() {
+            fs.set_rotors(&self.rotors)?;
+        }
+        let mut live = HashMap::with_capacity(self.live.len());
+        for &(fid, ino) in &self.live {
+            if fs.file(ino).is_none() {
+                return Err(FsError::Corrupt(format!(
+                    "live map references missing inode {}",
+                    ino.0
+                )));
+            }
+            if live.insert(fid, ino).is_some() {
+                return Err(FsError::Corrupt(format!(
+                    "live map repeats file id {}",
+                    fid.0
+                )));
+            }
+        }
+        Ok((fs, live))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AgingConfig;
+    use crate::replay::{replay, ReplayOptions};
+    use crate::workload::generate;
+    use ffs::check;
+
+    fn checkpointed() -> (FsParams, Checkpoint) {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(10, 42);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let r = replay(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions {
+                checkpoint_every_days: 5,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        (params.clone(), r.checkpoints.last().unwrap().clone())
+    }
+
+    #[test]
+    fn text_round_trip_is_lossless() {
+        let (_, ck) = checkpointed();
+        let parsed = Checkpoint::from_text(&ck.to_text()).expect("parse");
+        assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn restore_rebuilds_a_consistent_fs() {
+        let (params, ck) = checkpointed();
+        let (fs, live) = ck.restore(params, AllocPolicy::Realloc).expect("restore");
+        assert!(check(&fs).is_empty());
+        assert_eq!(fs.nfiles(), ck.files.len());
+        assert_eq!(live.len(), ck.live.len());
+        assert_eq!(fs.bytes_written(), ck.bytes_written);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("nonsense").is_err());
+        assert!(Checkpoint::from_text("# checkpoint day 3\nbytes nope").is_err());
+        // Missing the mandatory bytes/skipped lines.
+        assert!(Checkpoint::from_text("# checkpoint day 3\n").is_err());
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_rejected_at_restore() {
+        let (params, ck) = checkpointed();
+        // Point a file's first block outside the volume.
+        let mut bad = ck.clone();
+        if let Some(f) = bad.files.iter_mut().find(|f| !f.blocks.is_empty()) {
+            f.blocks[0] = Daddr(u32::MAX - 7);
+        }
+        let e = bad.restore(params.clone(), AllocPolicy::Realloc).unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+        // Duplicate a block claim across two files.
+        let mut dup = ck.clone();
+        let stolen = dup
+            .files
+            .iter()
+            .find(|f| !f.blocks.is_empty())
+            .expect("a file with blocks")
+            .blocks[0];
+        let victim = dup
+            .files
+            .iter_mut()
+            .rfind(|f| !f.blocks.is_empty() && f.blocks[0] != stolen)
+            .expect("a second file with blocks");
+        victim.blocks[0] = stolen;
+        let e = dup.restore(params.clone(), AllocPolicy::Realloc).unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+        // Dangling live-map entry.
+        let mut dangle = ck.clone();
+        dangle.live.push((FileId(u64::MAX), Ino(u32::MAX)));
+        let e = dangle.restore(params, AllocPolicy::Realloc).unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+    }
+}

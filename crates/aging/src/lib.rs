@@ -24,6 +24,7 @@
 //! assert_eq!(aged.daily.len(), 5);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod profiles;
 pub mod replay;
@@ -32,9 +33,10 @@ pub mod snapshot;
 pub mod stats;
 pub mod workload;
 
+pub use checkpoint::{take_checkpoint, Checkpoint};
 pub use config::{AgingConfig, SizeDist};
 pub use profiles::Profile;
-pub use replay::{replay, DayStats, ReplayOptions, ReplayResult};
+pub use replay::{replay, resume, CrashReport, DayStats, ReplayOptions, ReplayResult};
 pub use snapshot::{diff_to_workload, take_snapshot, Snapshot, SnapshotEntry};
 pub use stats::{workload_stats, WorkloadStats};
 pub use workload::{generate, DayLog, FileId, Lifetime, Op, Workload};

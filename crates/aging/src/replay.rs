@@ -5,13 +5,27 @@
 //! paper's aging tool does), then applies each day's operations in time
 //! order, recording the aggregate layout score and utilization at the end
 //! of every simulated day — the data behind Figures 1 and 2.
+//!
+//! Two robustness hooks ride along for long runs:
+//!
+//! * **Crash injection** ([`ReplayOptions::crash_after_ops`]) simulates a
+//!   power cut mid-replay: after the `n`-th operation the derived
+//!   allocation state is scrambled the way a torn metadata flush would
+//!   leave it ([`ffs::inject_metadata_damage`]), the repairing fsck
+//!   ([`ffs::repair`]) is run, and the replay resumes on the repaired
+//!   file system. The [`CrashReport`] in the result records what broke
+//!   and what the repair did.
+//! * **Checkpointing** ([`ReplayOptions::checkpoint_every_days`]) captures
+//!   a [`Checkpoint`] at end of day, from which [`resume`] continues the
+//!   same workload in a later process.
 
 use std::collections::HashMap;
 
-use ffs_types::{FsError, FsParams, FsResult, Ino};
+use ffs_types::{DirId, FsError, FsParams, FsResult, Ino};
 
-use ffs::{assert_consistent, AllocPolicy, Filesystem};
+use ffs::{assert_consistent, inject_metadata_damage, repair, AllocPolicy, Filesystem, RepairReport};
 
+use crate::checkpoint::{take_checkpoint, Checkpoint};
 use crate::workload::{FileId, Op, Workload};
 
 /// End-of-day measurements.
@@ -29,6 +43,19 @@ pub struct DayStats {
     pub bytes_written: u64,
 }
 
+/// What an injected crash broke and what the repair did about it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashReport {
+    /// Global operation count at which the crash hit (1-based).
+    pub at_op: u64,
+    /// Workload day the crash interrupted.
+    pub day: u32,
+    /// Metadata perturbations the torn update applied.
+    pub damage_hits: u32,
+    /// The repairing fsck's account of the recovery.
+    pub repair: RepairReport,
+}
+
 /// Result of replaying a workload.
 #[derive(Clone, Debug)]
 pub struct ReplayResult {
@@ -44,6 +71,11 @@ pub struct ReplayResult {
     /// Nightly snapshots, when requested via
     /// [`ReplayOptions::snapshot_every_days`].
     pub snapshots: Vec<crate::snapshot::Snapshot>,
+    /// Checkpoints taken via [`ReplayOptions::checkpoint_every_days`].
+    pub checkpoints: Vec<Checkpoint>,
+    /// Record of the injected crash and its repair, when
+    /// [`ReplayOptions::crash_after_ops`] fired.
+    pub crash: Option<CrashReport>,
 }
 
 /// Options controlling a replay.
@@ -62,6 +94,17 @@ pub struct ReplayOptions {
     /// series in [`ReplayResult::snapshots`] — the paper's collection
     /// job.
     pub snapshot_every_days: u32,
+    /// Capture a resumable [`Checkpoint`] every `n` days (0 = never) into
+    /// [`ReplayResult::checkpoints`].
+    pub checkpoint_every_days: u32,
+    /// Simulate a power cut after this many operations (0 = never):
+    /// derived metadata is damaged as by a torn flush, the repairing fsck
+    /// runs, and the replay resumes. At most one crash fires per run.
+    pub crash_after_ops: u64,
+    /// Seed for the crash's metadata-damage pattern.
+    pub crash_damage_seed: u64,
+    /// How many metadata perturbations the crash applies.
+    pub crash_damage_hits: u32,
 }
 
 impl Default for ReplayOptions {
@@ -71,6 +114,10 @@ impl Default for ReplayOptions {
             cluster_first_fit: false,
             realloc_no_split: false,
             snapshot_every_days: 0,
+            checkpoint_every_days: 0,
+            crash_after_ops: 0,
+            crash_damage_seed: 0xC4A5_11ED,
+            crash_damage_hits: 8,
         }
     }
 }
@@ -91,11 +138,80 @@ pub fn replay(
     fs.set_cluster_first_fit(options.cluster_first_fit);
     fs.set_realloc_no_split(options.realloc_no_split);
     let dirs = fs.mkdir_per_cg()?;
-    let mut live: HashMap<FileId, Ino> = HashMap::new();
+    run_days(workload, fs, &dirs, HashMap::new(), None, 0, options)
+}
+
+/// Continues `workload` from a [`Checkpoint`] taken by an earlier replay.
+///
+/// Days up to and including `checkpoint.day` are skipped; the restored
+/// file system (rebuilt and re-verified by [`Checkpoint::restore`]) then
+/// replays the remainder. The returned [`ReplayResult::daily`] series
+/// covers only the resumed days. Op counting for
+/// [`ReplayOptions::crash_after_ops`] restarts at zero.
+pub fn resume(
+    workload: &Workload,
+    params: &FsParams,
+    policy: AllocPolicy,
+    options: ReplayOptions,
+    checkpoint: &Checkpoint,
+) -> FsResult<ReplayResult> {
+    if workload.ncg != params.ncg {
+        return Err(FsError::InvalidArg(
+            "workload generated for a different cylinder-group count",
+        ));
+    }
+    let (mut fs, live) = checkpoint.restore(params.clone(), policy)?;
+    fs.set_cluster_first_fit(options.cluster_first_fit);
+    fs.set_realloc_no_split(options.realloc_no_split);
+    // Recover the per-group directory table the op stream indexes by
+    // cylinder group. The replayer creates exactly one directory per
+    // group up front, so each group must own exactly one.
+    let mut dirs: Vec<Option<DirId>> = vec![None; params.ncg as usize];
+    for d in fs.dirs() {
+        let slot = &mut dirs[d.cg.0 as usize];
+        if slot.replace(d.id).is_some() {
+            return Err(FsError::Corrupt(format!(
+                "checkpoint has multiple directories in group {}",
+                d.cg.0
+            )));
+        }
+    }
+    let dirs: Vec<DirId> = dirs
+        .into_iter()
+        .enumerate()
+        .map(|(g, d)| d.ok_or(FsError::Corrupt(format!("group {g} has no directory"))))
+        .collect::<FsResult<_>>()?;
+    run_days(
+        workload,
+        fs,
+        &dirs,
+        live,
+        Some(checkpoint.day),
+        checkpoint.skipped_creates,
+        options,
+    )
+}
+
+/// The shared replay loop: applies every day after `resume_after` (all of
+/// them when `None`) to `fs`.
+fn run_days(
+    workload: &Workload,
+    mut fs: Filesystem,
+    dirs: &[DirId],
+    mut live: HashMap<FileId, Ino>,
+    resume_after: Option<u32>,
+    mut skipped: u64,
+    options: ReplayOptions,
+) -> FsResult<ReplayResult> {
     let mut daily = Vec::with_capacity(workload.days.len());
-    let mut skipped = 0u64;
     let mut snapshots = Vec::new();
+    let mut checkpoints = Vec::new();
+    let mut crash: Option<CrashReport> = None;
+    let mut ops_done = 0u64;
     for day_log in &workload.days {
+        if resume_after.is_some_and(|d| day_log.day <= d) {
+            continue;
+        }
         for op in &day_log.ops {
             match *op {
                 Op::Create {
@@ -130,6 +246,21 @@ pub fn replay(
                     }
                 }
             }
+            ops_done += 1;
+            if options.crash_after_ops > 0 && ops_done == options.crash_after_ops && crash.is_none()
+            {
+                // Power cut: a torn metadata flush scrambles derived
+                // state; fsck repairs it and the replay carries on.
+                let hits =
+                    inject_metadata_damage(&mut fs, options.crash_damage_seed, options.crash_damage_hits);
+                let report = repair(&mut fs);
+                crash = Some(CrashReport {
+                    at_op: ops_done,
+                    day: day_log.day,
+                    damage_hits: hits,
+                    repair: report,
+                });
+            }
         }
         daily.push(DayStats {
             day: day_log.day,
@@ -144,6 +275,11 @@ pub fn replay(
         if options.snapshot_every_days > 0 && (day_log.day + 1) % options.snapshot_every_days == 0 {
             snapshots.push(crate::snapshot::take_snapshot(&fs, day_log.day));
         }
+        if options.checkpoint_every_days > 0
+            && (day_log.day + 1) % options.checkpoint_every_days == 0
+        {
+            checkpoints.push(take_checkpoint(&fs, &live, day_log.day, skipped));
+        }
     }
     Ok(ReplayResult {
         daily,
@@ -151,6 +287,8 @@ pub fn replay(
         live,
         skipped_creates: skipped,
         snapshots,
+        checkpoints,
+        crash,
     })
 }
 
@@ -266,6 +404,84 @@ mod tests {
         }
         // The whole-history set contains every live file.
         assert_eq!(r.hot_files(u32::MAX).len(), r.fs.nfiles());
+    }
+
+    #[test]
+    fn crash_repair_resume_converges() {
+        // A mid-run power cut followed by repair must leave the replay on
+        // exactly the trajectory of the uninterrupted run: the torn
+        // update damages only derived state, and the fsck rebuild is
+        // lossless.
+        let clean = small_replay(AllocPolicy::Orig);
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(15, 42);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let crashed = replay(
+            &w,
+            &params,
+            AllocPolicy::Orig,
+            ReplayOptions {
+                verify_every_days: 5,
+                crash_after_ops: 123,
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("crashed replay recovers");
+        let c = crashed.crash.as_ref().expect("crash fired");
+        assert_eq!(c.at_op, 123);
+        assert!(c.damage_hits > 0);
+        assert!(c.repair.violations_found > 0, "damage must be visible");
+        assert!(c.repair.rebuilt);
+        assert!(
+            c.repair.files_removed.is_empty(),
+            "torn derived state must not cost files"
+        );
+        assert_eq!(crashed.daily, clean.daily);
+        assert_eq!(
+            crashed.fs.aggregate_layout(),
+            clean.fs.aggregate_layout()
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(15, 42);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let full = replay(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions {
+                checkpoint_every_days: 6,
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap();
+        let ck = &full.checkpoints[0];
+        assert_eq!(ck.day, 5);
+        // Round-trip through the text format, as a real restart would.
+        let ck = crate::checkpoint::Checkpoint::from_text(&ck.to_text()).unwrap();
+        let resumed = resume(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions {
+                verify_every_days: 3,
+                ..ReplayOptions::default()
+            },
+            &ck,
+        )
+        .expect("resume succeeds");
+        assert_eq!(resumed.daily.first().unwrap().day, 6);
+        assert_eq!(&full.daily[6..], &resumed.daily[..]);
+        assert_eq!(
+            full.fs.aggregate_layout(),
+            resumed.fs.aggregate_layout(),
+            "resume must land on the identical final layout"
+        );
+        assert_eq!(full.fs.nfiles(), resumed.fs.nfiles());
+        assert_eq!(full.live, resumed.live);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! Deterministic fault injection for the simulated disk.
+//!
+//! Real drives of the paper's era fail in two characteristic ways, and
+//! both matter to an allocation study:
+//!
+//! * **Transient errors** — a read or write fails once (vibration, a
+//!   marginal servo lock) and succeeds on retry. Each retry costs a full
+//!   revolution, so a fault-heavy run is slower but otherwise unchanged.
+//! * **Latent (grown) defects** — a sector goes permanently bad. After a
+//!   bounded number of retries the drive remaps it to a spare sector at
+//!   the end of the volume. The file system never sees the failure, but
+//!   its carefully contiguous allocation now hides a physical
+//!   discontinuity: every access crossing the remapped sector pays two
+//!   long seeks the layout score knows nothing about.
+//!
+//! A [`FaultPlan`] describes the faults declaratively and is seeded, so a
+//! given plan replayed against the same request stream produces the same
+//! errors, the same retries, and the same remap table — reproducibility
+//! is what makes fault runs debuggable. Install a plan on a
+//! [`crate::Device`] with [`crate::Device::inject_faults`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declarative, seedable description of the faults a run should see.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed for the fault stream; the same seed against the same request
+    /// stream yields identical faults.
+    pub seed: u64,
+    /// Per-media-request probability of a transient, retryable error.
+    pub transient_rate: f64,
+    /// Number of latent bad sectors scattered pseudo-randomly over the
+    /// data region.
+    pub latent_sectors: u32,
+    /// Explicitly placed bad sectors, in addition to the scattered ones.
+    pub explicit_bad: Vec<u64>,
+    /// Retries granted to a failing access before it is either remapped
+    /// (latent defect) or declared unrecoverable (persistent transient).
+    pub max_retries: u32,
+    /// Spare sectors reserved at the end of the volume for remapping;
+    /// when they run out, the next latent defect is an unrecoverable
+    /// error.
+    pub spare_sectors: u64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all; combine with the builder methods.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            transient_rate: 0.0,
+            latent_sectors: 0,
+            explicit_bad: Vec::new(),
+            max_retries: 3,
+            spare_sectors: 1024,
+        }
+    }
+
+    /// Sets the per-request transient error probability.
+    pub fn transient_rate(mut self, rate: f64) -> FaultPlan {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Scatters `n` latent bad sectors over the data region.
+    pub fn latent_sectors(mut self, n: u32) -> FaultPlan {
+        self.latent_sectors = n;
+        self
+    }
+
+    /// Marks one specific sector as latently bad.
+    pub fn bad_sector(mut self, lba: u64) -> FaultPlan {
+        self.explicit_bad.push(lba);
+        self
+    }
+
+    /// Sets the retry budget per failing access.
+    pub fn max_retries(mut self, n: u32) -> FaultPlan {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the size of the spare-sector pool.
+    pub fn spare_sectors(mut self, n: u64) -> FaultPlan {
+        self.spare_sectors = n;
+        self
+    }
+
+    /// True if the plan can never produce a fault.
+    pub fn is_noop(&self) -> bool {
+        self.transient_rate == 0.0 && self.latent_sectors == 0 && self.explicit_bad.is_empty()
+    }
+}
+
+/// Runtime fault state carried by a device: the latent-defect set, the
+/// grown remap table, and the error stream.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    transient_rate: f64,
+    max_retries: u32,
+    latent: BTreeSet<u64>,
+    remap: BTreeMap<u64, u64>,
+    spare_next: u64,
+    spare_end: u64,
+}
+
+impl FaultInjector {
+    /// Instantiates a plan against a volume of `total_sectors`. The spare
+    /// pool occupies the tail of the volume; latent defects are scattered
+    /// over the rest.
+    pub fn new(plan: &FaultPlan, total_sectors: u64) -> FaultInjector {
+        assert!(
+            plan.spare_sectors < total_sectors,
+            "spare pool swallows the volume"
+        );
+        let data_end = total_sectors - plan.spare_sectors;
+        let mut rng = StdRng::seed_from_u64(plan.seed);
+        let mut latent = BTreeSet::new();
+        for &lba in &plan.explicit_bad {
+            assert!(lba < data_end, "explicit bad sector inside spare pool");
+            latent.insert(lba);
+        }
+        for _ in 0..plan.latent_sectors {
+            // Draws collide rarely (sectors >> defects); retry on the few
+            // that do so the defect count is exact.
+            loop {
+                let lba = rng.gen_range(0..data_end);
+                if latent.insert(lba) {
+                    break;
+                }
+            }
+        }
+        FaultInjector {
+            rng,
+            transient_rate: plan.transient_rate,
+            max_retries: plan.max_retries,
+            latent,
+            remap: BTreeMap::new(),
+            spare_next: data_end,
+            spare_end: total_sectors,
+        }
+    }
+
+    /// The retry budget per failing access.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Rolls the dice for one media access attempt.
+    pub(crate) fn roll_transient(&mut self) -> bool {
+        self.transient_rate > 0.0 && self.rng.gen_bool(self.transient_rate)
+    }
+
+    /// Offset of the first latent bad sector within `[lba, lba + n)`, if
+    /// any.
+    pub(crate) fn first_latent_in(&self, lba: u64, n: u32) -> Option<u32> {
+        self.latent
+            .range(lba..lba + n as u64)
+            .next()
+            .map(|&bad| (bad - lba) as u32)
+    }
+
+    /// Remaps a latent bad sector to the next spare; `None` when the pool
+    /// is exhausted.
+    pub(crate) fn grow_remap(&mut self, lba: u64) -> Option<u64> {
+        if self.spare_next >= self.spare_end {
+            return None;
+        }
+        let spare = self.spare_next;
+        self.spare_next += 1;
+        self.latent.remove(&lba);
+        self.remap.insert(lba, spare);
+        Some(spare)
+    }
+
+    /// Splits a logical request into physically contiguous runs under the
+    /// current remap table. With no remaps in range this is the identity.
+    pub(crate) fn physical_runs(&self, lba: u64, sectors: u32) -> Vec<(u64, u32)> {
+        if self
+            .remap
+            .range(lba..lba + sectors as u64)
+            .next()
+            .is_none()
+        {
+            return vec![(lba, sectors)];
+        }
+        let mut runs: Vec<(u64, u32)> = Vec::new();
+        for logical in lba..lba + sectors as u64 {
+            let phys = *self.remap.get(&logical).unwrap_or(&logical);
+            match runs.last_mut() {
+                Some((start, n)) if *start + *n as u64 == phys => *n += 1,
+                _ => runs.push((phys, 1)),
+            }
+        }
+        runs
+    }
+
+    /// The grown remap table (logical → spare).
+    pub fn remap_table(&self) -> &BTreeMap<u64, u64> {
+        &self.remap
+    }
+
+    /// Latent bad sectors not yet discovered by an access.
+    pub fn latent_remaining(&self) -> usize {
+        self.latent.len()
+    }
+
+    /// Spare sectors still available for remapping.
+    pub fn spares_remaining(&self) -> u64 {
+        self.spare_end - self.spare_next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builder_composes() {
+        let p = FaultPlan::new(9)
+            .transient_rate(0.25)
+            .latent_sectors(4)
+            .bad_sector(77)
+            .max_retries(5)
+            .spare_sectors(64);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.transient_rate, 0.25);
+        assert_eq!(p.latent_sectors, 4);
+        assert_eq!(p.explicit_bad, vec![77]);
+        assert_eq!(p.max_retries, 5);
+        assert_eq!(p.spare_sectors, 64);
+        assert!(!p.is_noop());
+        assert!(FaultPlan::new(0).is_noop());
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(42).latent_sectors(16).spare_sectors(32);
+        let a = FaultInjector::new(&plan, 100_000);
+        let b = FaultInjector::new(&plan, 100_000);
+        assert_eq!(a.latent, b.latent);
+        assert_eq!(a.latent.len(), 16);
+        // All latent sectors stay clear of the spare pool.
+        assert!(a.latent.iter().all(|&s| s < 100_000 - 32));
+    }
+
+    #[test]
+    fn remap_splits_requests_around_grown_defects() {
+        let plan = FaultPlan::new(1).bad_sector(10).spare_sectors(8);
+        let mut inj = FaultInjector::new(&plan, 1000);
+        assert_eq!(inj.first_latent_in(8, 8), Some(2));
+        assert_eq!(inj.physical_runs(8, 8), vec![(8, 8)]);
+        let spare = inj.grow_remap(10).unwrap();
+        assert_eq!(spare, 992);
+        assert_eq!(inj.first_latent_in(8, 8), None);
+        assert_eq!(
+            inj.physical_runs(8, 8),
+            vec![(8, 2), (992, 1), (11, 5)]
+        );
+        assert_eq!(inj.remap_table().get(&10), Some(&992));
+        assert_eq!(inj.spares_remaining(), 7);
+    }
+
+    #[test]
+    fn spare_exhaustion_returns_none() {
+        let plan = FaultPlan::new(1)
+            .bad_sector(1)
+            .bad_sector(2)
+            .spare_sectors(1);
+        let mut inj = FaultInjector::new(&plan, 1000);
+        assert!(inj.grow_remap(1).is_some());
+        assert!(inj.grow_remap(2).is_none());
+    }
+}

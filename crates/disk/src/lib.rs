@@ -37,12 +37,14 @@
 //! ```
 
 pub mod device;
+pub mod fault;
 pub mod geometry;
 pub mod raw;
 pub mod seek;
 pub mod trace;
 
 pub use device::{Device, DeviceStats, IoKind};
+pub use fault::{FaultInjector, FaultPlan};
 pub use geometry::{Chs, Geometry};
 pub use raw::{raw_read_throughput, raw_write_throughput, RawSweep};
 pub use seek::SeekCurve;

@@ -10,6 +10,7 @@ use crate::ids::{DirId, Ino};
 /// These mirror the errno values the BSD kernel would produce (`ENOSPC`,
 /// `ENOENT`, ...), but carry enough context to debug a failed aging run.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FsError {
     /// The file system has no free block or fragment run large enough for
     /// the request (`ENOSPC`).
@@ -34,6 +35,18 @@ pub enum FsError {
     NoSuchDir(DirId),
     /// The caller passed an argument outside the legal range (`EINVAL`).
     InvalidArg(&'static str),
+    /// A device request failed permanently (`EIO`): the drive exhausted
+    /// its retries and had no spare sector left to remap to.
+    Io {
+        /// Logical block address of the failed request.
+        lba: u64,
+        /// True if the failed request was a write.
+        write: bool,
+    },
+    /// On-disk state failed a consistency or format check and could not
+    /// be interpreted — a checkpoint that does not parse, a snapshot
+    /// naming a fragment outside the volume, and the like.
+    Corrupt(String),
 }
 
 impl fmt::Display for FsError {
@@ -49,6 +62,11 @@ impl fmt::Display for FsError {
             FsError::NoSuchFile(ino) => write!(f, "no such file: {ino:?}"),
             FsError::NoSuchDir(dir) => write!(f, "no such directory: {dir:?}"),
             FsError::InvalidArg(what) => write!(f, "invalid argument: {what}"),
+            FsError::Io { lba, write } => {
+                let dir = if *write { "write" } else { "read" };
+                write!(f, "unrecoverable i/o error: {dir} at lba {lba}")
+            }
+            FsError::Corrupt(what) => write!(f, "corrupt on-disk state: {what}"),
         }
     }
 }
@@ -69,6 +87,22 @@ mod tests {
         assert!(FsError::NoSuchDir(DirId(2)).to_string().contains("dir#2"));
         assert!(FsError::InvalidArg("x").to_string().contains('x'));
         assert!(FsError::NoInodes.to_string().contains("inode"));
+    }
+
+    #[test]
+    fn io_and_corrupt_display_their_context() {
+        let e = FsError::Io {
+            lba: 4711,
+            write: true,
+        };
+        assert!(e.to_string().contains("write at lba 4711"));
+        let e = FsError::Io {
+            lba: 9,
+            write: false,
+        };
+        assert!(e.to_string().contains("read at lba 9"));
+        let e = FsError::Corrupt("bad checkpoint header".into());
+        assert!(e.to_string().contains("bad checkpoint header"));
     }
 
     #[test]

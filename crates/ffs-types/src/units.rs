@@ -13,9 +13,9 @@ pub const GB: u64 = 1024 * MB;
 /// "4 MB"), using the largest unit that divides the value exactly where
 /// possible and one decimal otherwise.
 pub fn fmt_bytes(bytes: u64) -> String {
-    if bytes >= MB && bytes % MB == 0 {
+    if bytes >= MB && bytes.is_multiple_of(MB) {
         format!("{} MB", bytes / MB)
-    } else if bytes >= KB && bytes % KB == 0 {
+    } else if bytes >= KB && bytes.is_multiple_of(KB) {
         format!("{} KB", bytes / KB)
     } else if bytes >= MB {
         format!("{:.1} MB", bytes as f64 / MB as f64)

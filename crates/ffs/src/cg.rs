@@ -452,9 +452,50 @@ impl CylGroup {
         self.map[block as usize]
     }
 
+    /// Raw mutable access to the fragment map, for fsck-style rebuild and
+    /// fault injection. Counters are NOT maintained; callers must restore
+    /// consistency themselves (that is the point of the exercise).
+    pub(crate) fn raw_map_mut(&mut self) -> &mut [u8] {
+        &mut self.map
+    }
+
+    /// Raw mutable access to the inode bitmap; same caveats as
+    /// [`CylGroup::raw_map_mut`].
+    pub(crate) fn raw_imap_mut(&mut self) -> &mut [u64] {
+        &mut self.imap
+    }
+
+    /// Number of inode slots in the group.
+    pub fn ninodes(&self) -> u32 {
+        self.ninodes
+    }
+
+    /// Overwrites the free-space counters, for fsck-style rebuild and
+    /// fault injection.
+    pub(crate) fn set_free_counts(&mut self, frags: u32, blocks: u32) {
+        self.free_frags = frags;
+        self.free_blocks = blocks;
+    }
+
+    /// Overwrites the free-inode counter, for fsck-style rebuild.
+    pub(crate) fn set_free_inodes(&mut self, n: u32) {
+        self.free_inodes = n;
+    }
+
     /// Current rotor position.
     pub fn rotor(&self) -> u32 {
         self.rotor
+    }
+
+    /// Current inode-rotor position.
+    pub fn irotor(&self) -> u32 {
+        self.irotor
+    }
+
+    /// Overwrites both rotors, for checkpoint restore.
+    pub(crate) fn set_rotors(&mut self, rotor: u32, irotor: u32) {
+        self.rotor = rotor;
+        self.irotor = irotor;
     }
 }
 

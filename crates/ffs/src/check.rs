@@ -4,31 +4,197 @@
 //! plus every derived counter — against the file system's incremental
 //! state. Used by integration tests and (periodically) by long aging runs
 //! to guarantee the two policies are compared on a sound substrate.
+//!
+//! Each inconsistency is reported as a typed [`Violation`] so callers can
+//! react structurally: [`crate::repair`] dispatches on the variants, the
+//! harness counts them by kind, and tests assert on exactly the defect
+//! they planted rather than on message substrings.
 
 use std::collections::BTreeMap;
 
-use ffs_types::{CgIdx, Daddr};
+use ffs_types::{CgIdx, Daddr, DirId, Ino};
 
-use crate::fs::Filesystem;
+use crate::fs::{Filesystem, LayoutAgg};
 use crate::layout::recompute_aggregate;
+
+/// One consistency violation found by [`check`].
+///
+/// The variants split into two families, which is what
+/// [`crate::repair::repair`] keys on: *structural* damage to a file's
+/// claim on the disk (double allocation, misalignment, bad tails), which
+/// fsck resolves by removing the offending file, and *derived-state*
+/// drift (maps, bitmaps, counters, aggregates), which is rebuilt from the
+/// files without losing anything.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A fragment is claimed by more than one owner.
+    DoubleAlloc {
+        /// The doubly claimed fragment.
+        addr: Daddr,
+        /// What kind of owner made the second claim.
+        what: &'static str,
+    },
+    /// A full data or indirect block sits at a non-block-aligned address.
+    MisalignedBlock {
+        /// The misaligned address.
+        block: Daddr,
+        /// File owning the block.
+        ino: Ino,
+    },
+    /// A tail run's length is outside `1..frags_per_block`.
+    BadTailLength {
+        /// File owning the tail.
+        ino: Ino,
+        /// The offending length in fragments.
+        len: u32,
+    },
+    /// A tail run crosses a block boundary.
+    TailCrossesBlock {
+        /// File owning the tail.
+        ino: Ino,
+    },
+    /// A live file's inode slot is not marked allocated in its group.
+    FileInodeSlotFree(
+        /// The file whose slot is wrongly free.
+        Ino,
+    ),
+    /// A live directory's inode slot is not marked allocated in its group.
+    DirInodeSlotFree(
+        /// The directory whose slot is wrongly free.
+        DirId,
+    ),
+    /// A group's fragment map disagrees with the map rebuilt from the
+    /// live files.
+    MapMismatch {
+        /// Cylinder group index.
+        cg: u32,
+        /// Block index within the group.
+        block: u32,
+        /// The map byte as stored.
+        actual: u8,
+        /// The map byte rebuilt from the files.
+        expected: u8,
+    },
+    /// A group's free-fragment counter disagrees with its map.
+    FreeFragsDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// The counter as stored.
+        counter: u32,
+        /// The value recomputed from the map.
+        map: u32,
+    },
+    /// A group's free-block counter disagrees with its map.
+    FreeBlocksDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// The counter as stored.
+        counter: u32,
+        /// The value recomputed from the map.
+        map: u32,
+    },
+    /// The file system's used-data byte counter disagrees with the files.
+    UsedDataDrift {
+        /// The counter as stored, in bytes.
+        counter: u64,
+        /// The value recomputed from the files, in bytes.
+        recomputed: u64,
+    },
+    /// The incremental layout aggregate disagrees with a recomputation.
+    LayoutAggDrift {
+        /// The aggregate as maintained incrementally.
+        incremental: LayoutAgg,
+        /// The aggregate recomputed from the files.
+        recomputed: LayoutAgg,
+    },
+}
+
+impl Violation {
+    /// True for damage to a file's claim on the disk, which repair can
+    /// only resolve by removing the file; false for derived state that
+    /// can be rebuilt losslessly.
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            Violation::DoubleAlloc { .. }
+                | Violation::MisalignedBlock { .. }
+                | Violation::BadTailLength { .. }
+                | Violation::TailCrossesBlock { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::DoubleAlloc { addr, what } => {
+                write!(f, "double allocation at {addr:?} ({what})")
+            }
+            Violation::MisalignedBlock { block, ino } => {
+                write!(f, "misaligned block {block:?} in {ino:?}")
+            }
+            Violation::BadTailLength { ino, len } => {
+                write!(f, "bad tail length {len} in {ino:?}")
+            }
+            Violation::TailCrossesBlock { ino } => {
+                write!(f, "tail of {ino:?} crosses a block boundary")
+            }
+            Violation::FileInodeSlotFree(ino) => {
+                write!(f, "{ino:?} has unallocated inode slot")
+            }
+            Violation::DirInodeSlotFree(dir) => {
+                write!(f, "{dir:?} has unallocated inode slot")
+            }
+            Violation::MapMismatch {
+                cg,
+                block,
+                actual,
+                expected,
+            } => write!(
+                f,
+                "cg {cg} block {block}: map byte {actual:08b}, expected {expected:08b}"
+            ),
+            Violation::FreeFragsDrift { cg, counter, map } => {
+                write!(f, "cg {cg}: free_frags counter {counter} vs map {map}")
+            }
+            Violation::FreeBlocksDrift { cg, counter, map } => {
+                write!(f, "cg {cg}: free_blocks counter {counter} vs map {map}")
+            }
+            Violation::UsedDataDrift {
+                counter,
+                recomputed,
+            } => write!(
+                f,
+                "used_data accounting: {counter} bytes vs {recomputed} recomputed"
+            ),
+            Violation::LayoutAggDrift {
+                incremental,
+                recomputed,
+            } => write!(
+                f,
+                "layout aggregate drift: incremental {incremental:?} vs recomputed {recomputed:?}"
+            ),
+        }
+    }
+}
 
 /// Runs all consistency checks, returning every violation found (empty
 /// means the file system is consistent).
-pub fn check(fs: &Filesystem) -> Vec<String> {
+pub fn check(fs: &Filesystem) -> Vec<Violation> {
     let mut errs = Vec::new();
     let params = fs.params();
     let fpb = params.frags_per_block();
     // Expected allocation map: fragment address -> usage count.
     let mut expected: BTreeMap<u32, u32> = BTreeMap::new();
-    let mut mark = |errs: &mut Vec<String>, what: &str, d: Daddr, frags: u32| {
+    let mut mark = |errs: &mut Vec<Violation>, what: &'static str, d: Daddr, frags: u32| {
         for i in 0..frags {
             let e = expected.entry(d.0 + i).or_insert(0);
             *e += 1;
             if *e > 1 {
-                errs.push(format!(
-                    "double allocation at {:?} ({what})",
-                    Daddr(d.0 + i)
-                ));
+                errs.push(Violation::DoubleAlloc {
+                    addr: Daddr(d.0 + i),
+                    what,
+                });
             }
         }
     };
@@ -38,7 +204,10 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
         for &b in &f.blocks {
             mark(&mut errs, "data block", b, fpb);
             if b.0 % fpb != 0 {
-                errs.push(format!("misaligned block {b:?} in {:?}", f.ino));
+                errs.push(Violation::MisalignedBlock {
+                    block: b,
+                    ino: f.ino,
+                });
             }
         }
         for &b in &f.indirects {
@@ -47,7 +216,7 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
         if let Some((d, n)) = f.tail {
             mark(&mut errs, "tail", d, n);
             if n == 0 || n >= fpb {
-                errs.push(format!("bad tail length {n} in {:?}", f.ino));
+                errs.push(Violation::BadTailLength { ino: f.ino, len: n });
             }
         }
         data_frags += f.data_frags(params);
@@ -55,12 +224,12 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
         // The inode slot must be allocated in its group.
         let (cg, slot) = params.ino_to_cg(f.ino);
         if !fs.cg(cg).inode_used(slot) {
-            errs.push(format!("{:?} has unallocated inode slot", f.ino));
+            errs.push(Violation::FileInodeSlotFree(f.ino));
         }
         // Tail fragments must not cross a block boundary.
         if let Some((d, n)) = f.tail {
             if d.0 % fpb + n > fpb {
-                errs.push(format!("tail of {:?} crosses a block boundary", f.ino));
+                errs.push(Violation::TailCrossesBlock { ino: f.ino });
             }
         }
     }
@@ -68,7 +237,7 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
         mark(&mut errs, "directory block", d.block, fpb);
         meta_frags += fpb as u64;
         if !fs.cg(d.cg).inode_used(d.ino_slot) {
-            errs.push(format!("{:?} has unallocated inode slot", d.id));
+            errs.push(Violation::DirInodeSlotFree(d.id));
         }
     }
     // Compare the maps group by group.
@@ -89,11 +258,12 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
                 byte = 0xFF; // Static metadata area.
             }
             if cg.map_byte(b) != byte {
-                errs.push(format!(
-                    "cg {g} block {b}: map byte {:08b}, expected {:08b}",
-                    cg.map_byte(b),
-                    byte
-                ));
+                errs.push(Violation::MapMismatch {
+                    cg: g,
+                    block: b,
+                    actual: cg.map_byte(b),
+                    expected: byte,
+                });
             }
             if byte == 0 {
                 free_blocks += 1;
@@ -101,35 +271,35 @@ pub fn check(fs: &Filesystem) -> Vec<String> {
             free_frags += fpb - byte.count_ones();
         }
         if cg.free_frags() != free_frags {
-            errs.push(format!(
-                "cg {g}: free_frags counter {} vs map {}",
-                cg.free_frags(),
-                free_frags
-            ));
+            errs.push(Violation::FreeFragsDrift {
+                cg: g,
+                counter: cg.free_frags(),
+                map: free_frags,
+            });
         }
         if cg.free_blocks() != free_blocks {
-            errs.push(format!(
-                "cg {g}: free_blocks counter {} vs map {}",
-                cg.free_blocks(),
-                free_blocks
-            ));
+            errs.push(Violation::FreeBlocksDrift {
+                cg: g,
+                counter: cg.free_blocks(),
+                map: free_blocks,
+            });
         }
     }
     // Aggregate counters.
     if fs.used_data_bytes() != data_frags * params.fsize as u64 {
-        errs.push(format!(
-            "used_data accounting: {} bytes vs {} recomputed",
-            fs.used_data_bytes(),
-            data_frags * params.fsize as u64
-        ));
+        errs.push(Violation::UsedDataDrift {
+            counter: fs.used_data_bytes(),
+            recomputed: data_frags * params.fsize as u64,
+        });
     }
     let _ = meta_frags;
     let inc = fs.aggregate_layout();
     let full = recompute_aggregate(fs);
     if inc != full {
-        errs.push(format!(
-            "layout aggregate drift: incremental {inc:?} vs recomputed {full:?}"
-        ));
+        errs.push(Violation::LayoutAggDrift {
+            incremental: inc,
+            recomputed: full,
+        });
     }
     errs
 }
@@ -141,7 +311,10 @@ pub fn assert_consistent(fs: &Filesystem) {
     assert!(
         errs.is_empty(),
         "file system inconsistent:\n  {}",
-        errs.join("\n  ")
+        errs.iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n  ")
     );
 }
 
@@ -195,5 +368,41 @@ mod tests {
             }
         }
         assert_consistent(&fs);
+    }
+
+    #[test]
+    fn violations_are_typed_and_printable() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let d = fs.mkdir().unwrap();
+        let ino = fs.create(d, 20 * KB, 0).unwrap();
+        // Plant a double claim: a second file pointing at the first
+        // file's blocks.
+        let twin = fs.create(d, KB, 0).unwrap();
+        let stolen = fs.files.get(&ino).unwrap().blocks.clone();
+        fs.files.get_mut(&twin).unwrap().blocks = stolen;
+        let errs = check(&fs);
+        assert!(errs.iter().any(|v| matches!(
+            v,
+            Violation::DoubleAlloc {
+                what: "data block",
+                ..
+            }
+        )));
+        assert!(errs.iter().all(|v| !v.to_string().is_empty()));
+        // Structural classification: the double claim is structural,
+        // the knock-on counter drift is not.
+        assert!(errs.iter().any(|v| v.is_structural()));
+    }
+
+    #[test]
+    fn counter_drift_is_reported_as_drift() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let d = fs.mkdir().unwrap();
+        fs.create(d, 32 * KB, 0).unwrap();
+        fs.used_data_frags += 3;
+        let errs = check(&fs);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Violation::UsedDataDrift { .. }));
+        assert!(!errs[0].is_structural());
     }
 }

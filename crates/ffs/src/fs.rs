@@ -344,6 +344,104 @@ impl Filesystem {
         self.params.ncg
     }
 
+    /// Reconstructs a file system from its inode table alone — the
+    /// restore path of the aging checkpoint machinery. The caller
+    /// supplies what a checkpoint records (directories, files, the
+    /// cumulative write counter); every piece of derived state (fragment
+    /// maps, inode bitmaps, free counters, layout aggregates) is rebuilt
+    /// by the same machinery [`crate::repair::repair`] uses, and the
+    /// result is verified with [`crate::check::check`].
+    ///
+    /// Returns [`FsError::Corrupt`] when the claims are malformed (an
+    /// address outside the volume, a misaligned block, conflicting
+    /// owners) — the signature of a corrupted or truncated checkpoint.
+    pub fn restore(
+        params: FsParams,
+        policy: AllocPolicy,
+        dirs: Vec<DirMeta>,
+        files: Vec<FileMeta>,
+        bytes_written: u64,
+    ) -> FsResult<Filesystem> {
+        let fpb = params.frags_per_block();
+        let last = CgIdx(params.ncg - 1);
+        let frag_limit = params.cg_base(last).0 + params.cg_nblocks(last) * fpb;
+        let inode_limit = params.ncg * params.inodes_per_cg();
+        let block_ok = |d: Daddr| {
+            d.0.is_multiple_of(fpb) && d.0.checked_add(fpb).is_some_and(|e| e <= frag_limit)
+        };
+        for d in &dirs {
+            if d.cg.0 >= params.ncg || d.ino_slot >= params.inodes_per_cg() || !block_ok(d.block)
+            {
+                return Err(FsError::Corrupt(format!(
+                    "directory {:?} has claims outside the volume",
+                    d.id
+                )));
+            }
+        }
+        for f in &files {
+            let blocks_ok = f.blocks.iter().chain(f.indirects.iter()).all(|&b| block_ok(b));
+            let tail_ok = f.tail.is_none_or(|(d, n)| {
+                (1..fpb).contains(&n)
+                    && d.0 % fpb + n <= fpb
+                    && d.0.checked_add(n).is_some_and(|e| e <= frag_limit)
+            });
+            if !blocks_ok || !tail_ok || f.ino.0 >= inode_limit {
+                return Err(FsError::Corrupt(format!(
+                    "file {:?} has claims outside the volume",
+                    f.ino
+                )));
+            }
+        }
+        let mut fs = Filesystem::new(params, policy);
+        fs.bytes_written = bytes_written;
+        fs.next_dir = dirs.iter().map(|d| d.id.0 + 1).max().unwrap_or(0);
+        for d in dirs {
+            fs.dirs.insert(d.id, d);
+        }
+        for f in files {
+            fs.files.insert(f.ino, f);
+        }
+        crate::repair::rebuild_allocation_state(&mut fs);
+        if let Some(v) = crate::check::check(&fs).into_iter().next() {
+            return Err(FsError::Corrupt(format!(
+                "restored state inconsistent: {v}"
+            )));
+        }
+        Ok(fs)
+    }
+
+    /// Per-group `(rotor, inode_rotor)` search positions, in group order.
+    /// Together with the inode table they make a checkpoint resume
+    /// allocation-exact: the rotors are search *hints*, not derived
+    /// state, so [`Filesystem::restore`] cannot rebuild them.
+    pub fn rotors(&self) -> Vec<(u32, u32)> {
+        self.cgs.iter().map(|c| (c.rotor(), c.irotor())).collect()
+    }
+
+    /// Restores per-group rotor positions captured by
+    /// [`Filesystem::rotors`]. Rejects a vector of the wrong length or a
+    /// rotor outside its group as [`FsError::Corrupt`].
+    pub fn set_rotors(&mut self, rotors: &[(u32, u32)]) -> FsResult<()> {
+        if rotors.len() != self.cgs.len() {
+            return Err(FsError::Corrupt(format!(
+                "rotor table has {} entries for {} groups",
+                rotors.len(),
+                self.cgs.len()
+            )));
+        }
+        for (g, (&(rotor, irotor), cg)) in rotors.iter().zip(&self.cgs).enumerate() {
+            if rotor >= cg.nblocks() || irotor > cg.ninodes() {
+                return Err(FsError::Corrupt(format!(
+                    "rotor ({rotor}, {irotor}) outside group {g}"
+                )));
+            }
+        }
+        for (&(rotor, irotor), cg) in rotors.iter().zip(&mut self.cgs) {
+            cg.set_rotors(rotor, irotor);
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Internals.
     // ------------------------------------------------------------------

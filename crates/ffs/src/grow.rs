@@ -212,23 +212,21 @@ impl Filesystem {
             self.free_block_at(addr);
         }
         // Demote the donor block into the new tail.
-        if tail_new > 0 {
-            if self.files[&ino].blocks.len() as u32 == keep_blocks {
-                let addr = self
-                    .files
-                    .get_mut(&ino)
-                    .expect("live file")
-                    .blocks
-                    .pop()
-                    .expect("donor exists");
-                // Free the unused back portion of the block.
-                let g = self.params.dtog(addr);
-                let cg = &mut self.cgs[g.0 as usize];
-                let (b, off) = cg.daddr_to_block(addr);
-                debug_assert_eq!(off, 0);
-                cg.free_frag_run(b, tail_new, fpb - tail_new);
-                self.files.get_mut(&ino).expect("live file").tail = Some((addr, tail_new));
-            }
+        if tail_new > 0 && self.files[&ino].blocks.len() as u32 == keep_blocks {
+            let addr = self
+                .files
+                .get_mut(&ino)
+                .expect("live file")
+                .blocks
+                .pop()
+                .expect("donor exists");
+            // Free the unused back portion of the block.
+            let g = self.params.dtog(addr);
+            let cg = &mut self.cgs[g.0 as usize];
+            let (b, off) = cg.daddr_to_block(addr);
+            debug_assert_eq!(off, 0);
+            cg.free_frag_run(b, tail_new, fpb - tail_new);
+            self.files.get_mut(&ino).expect("live file").tail = Some((addr, tail_new));
         }
         // Drop indirect blocks the shorter file no longer needs.
         let need = indirects_needed(&self.params, nfull_new);

@@ -40,11 +40,13 @@ pub mod fs;
 pub mod grow;
 pub mod inode;
 pub mod layout;
+pub mod repair;
 
 pub use alloc::{realloc_windows, AllocPolicy, AllocStats};
 pub use cg::CylGroup;
-pub use check::{assert_consistent, check};
+pub use check::{assert_consistent, check, Violation};
 pub use freespace::{free_space_stats, FreeSpaceStats};
 pub use fs::{DirMeta, Filesystem, LayoutAgg};
 pub use inode::FileMeta;
 pub use layout::{layout_by_size, recompute_aggregate, size_bins_paper, SizeBinScore};
+pub use repair::{inject_metadata_damage, repair, RepairReport};

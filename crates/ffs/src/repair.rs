@@ -1,0 +1,398 @@
+//! A repairing fsck: rebuilds derived allocation state from the live
+//! files and, when files themselves make conflicting claims, removes the
+//! later claimant — the same resolution `fsck_ffs` applies to duplicate
+//! blocks.
+//!
+//! The inode table (the [`crate::FileMeta`]/[`crate::fs::DirMeta`] maps)
+//! is the source of truth, exactly as on a real FFS where fsck walks the
+//! inodes and reconstructs the cylinder-group bitmaps and summary
+//! counters from them. Everything derived — fragment maps, inode bitmaps,
+//! free counters, the layout aggregate, per-directory file counts — is
+//! rebuilt losslessly. Only structurally damaged files (double claims,
+//! misaligned blocks, impossible tails) cost data, and the
+//! [`RepairReport`] names each one.
+//!
+//! This module also hosts [`inject_metadata_damage`]: seeded, bounded
+//! corruption of exactly the derived state a torn update (power cut
+//! mid-flush) leaves behind. Crash-recovery tests and the aging replay's
+//! crash injection drive damage and repair against each other and then
+//! prove convergence with [`check`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use ffs_types::{CgIdx, Daddr, Ino};
+
+use crate::check::{check, Violation};
+use crate::fs::Filesystem;
+use crate::layout::recompute_aggregate;
+
+/// What [`repair`] found and did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RepairReport {
+    /// Violations the pre-repair check reported.
+    pub violations_found: usize,
+    /// How many of those were structural (file-claim damage).
+    pub structural: usize,
+    /// Files removed because their claims were damaged or conflicted
+    /// with an earlier inode — fsck's duplicate-block resolution.
+    pub files_removed: Vec<Ino>,
+    /// Fragments that were marked allocated but claimed by no live file
+    /// or directory; freed by the map rebuild.
+    pub orphaned_frags_freed: u64,
+    /// True when any derived state (maps, bitmaps, counters, aggregates)
+    /// was rewritten.
+    pub rebuilt: bool,
+}
+
+impl RepairReport {
+    /// True when the file system needed no repair at all.
+    pub fn was_clean(&self) -> bool {
+        self.violations_found == 0
+    }
+}
+
+/// Checks the file system and repairs every violation found, returning a
+/// report of the damage. After this returns, [`check`] is empty — the
+/// repair tests hold that as an invariant for arbitrary damage.
+pub fn repair(fs: &mut Filesystem) -> RepairReport {
+    let before = check(fs);
+    if before.is_empty() {
+        return RepairReport::default();
+    }
+    let mut report = RepairReport {
+        violations_found: before.len(),
+        structural: before.iter().filter(|v| v.is_structural()).count(),
+        ..RepairReport::default()
+    };
+    // Files named in structural violations are beyond map rebuilds.
+    let mut condemned: BTreeSet<Ino> = BTreeSet::new();
+    for v in &before {
+        match *v {
+            Violation::MisalignedBlock { ino, .. }
+            | Violation::BadTailLength { ino, .. }
+            | Violation::TailCrossesBlock { ino } => {
+                condemned.insert(ino);
+            }
+            _ => {}
+        }
+    }
+    // Pass 1 (fsck phase 1): walk the inodes in order and collect each
+    // file's claim on the disk. The first claimant of a fragment keeps
+    // it; any later file claiming an already-claimed fragment is
+    // condemned, like fsck clearing the inode with the duplicate block.
+    let fpb = fs.params.frags_per_block();
+    let mut claimed: BTreeSet<u32> = BTreeSet::new();
+    for d in fs.dirs.values() {
+        for i in 0..fpb {
+            claimed.insert(d.block.0 + i);
+        }
+    }
+    let inos: Vec<Ino> = fs.files.keys().copied().collect();
+    for ino in inos {
+        if condemned.contains(&ino) {
+            continue;
+        }
+        let f = &fs.files[&ino];
+        let mut frags: Vec<u32> = Vec::new();
+        for &b in f.blocks.iter().chain(f.indirects.iter()) {
+            frags.extend((0..fpb).map(|i| b.0 + i));
+        }
+        if let Some((d, n)) = f.tail {
+            frags.extend((0..n).map(|i| d.0 + i));
+        }
+        if frags.iter().any(|a| claimed.contains(a)) {
+            condemned.insert(ino);
+        } else {
+            claimed.extend(frags);
+        }
+    }
+    for &ino in &condemned {
+        fs.files.remove(&ino);
+        report.files_removed.push(ino);
+    }
+    // Orphan accounting: allocated map bits outside the metadata area
+    // that no surviving owner claims.
+    for g in 0..fs.params.ncg {
+        let cg = &fs.cgs[g as usize];
+        let base = fs.params.cg_base(CgIdx(g)).0;
+        for b in cg.meta_blocks()..cg.nblocks() {
+            let byte = cg.map_byte(b);
+            for i in 0..fpb {
+                if byte & (1 << i) != 0 && !claimed.contains(&(base + b * fpb + i)) {
+                    report.orphaned_frags_freed += 1;
+                }
+            }
+        }
+    }
+    // Pass 2 (fsck phases 4-5): rebuild all derived state from the
+    // surviving inodes.
+    rebuild_allocation_state(fs);
+    report.rebuilt = true;
+    debug_assert!(check(fs).is_empty(), "repair did not converge");
+    report
+}
+
+/// Rebuilds every piece of derived allocation state — fragment maps,
+/// inode bitmaps, free counters, directory counts, the layout aggregate,
+/// and the used-space counters — from the live files and directories.
+///
+/// Shared between [`repair`] and checkpoint restore: a checkpoint stores
+/// only the inode table, and this reconstructs the rest, guaranteeing a
+/// restored file system and a repaired one are bit-identical when their
+/// inode tables agree.
+pub(crate) fn rebuild_allocation_state(fs: &mut Filesystem) {
+    let params = fs.params.clone();
+    let fpb = params.frags_per_block();
+    for cg in &mut fs.cgs {
+        let (nb, mb) = (cg.nblocks(), cg.meta_blocks());
+        for (b, byte) in cg.raw_map_mut().iter_mut().enumerate() {
+            *byte = if (b as u32) < mb { 0xFF } else { 0 };
+        }
+        let _ = nb;
+        for w in cg.raw_imap_mut() {
+            *w = 0;
+        }
+        cg.set_ndirs(0);
+    }
+    let mark_run = |fs: &mut Filesystem, d: Daddr, n: u32| {
+        let g = params.dtog(d);
+        let cg = &mut fs.cgs[g.0 as usize];
+        let (blk, off) = cg.daddr_to_block(d);
+        let mask = (((1u16 << n) - 1) << off) as u8;
+        cg.raw_map_mut()[blk as usize] |= mask;
+    };
+    let mark_slot = |fs: &mut Filesystem, g: CgIdx, slot: u32| {
+        let imap = fs.cgs[g.0 as usize].raw_imap_mut();
+        imap[(slot / 64) as usize] |= 1 << (slot % 64);
+    };
+    let dirs: Vec<_> = fs.dirs.values().cloned().collect();
+    let mut used_meta = 0u64;
+    for d in &dirs {
+        mark_run(fs, d.block, fpb);
+        mark_slot(fs, d.cg, d.ino_slot);
+        let cg = &mut fs.cgs[d.cg.0 as usize];
+        cg.set_ndirs(cg.ndirs() + 1);
+        used_meta += fpb as u64;
+    }
+    let files: Vec<_> = fs.files.values().cloned().collect();
+    let mut used_data = 0u64;
+    for f in &files {
+        for &b in f.blocks.iter().chain(f.indirects.iter()) {
+            mark_run(fs, b, fpb);
+        }
+        if let Some((d, n)) = f.tail {
+            mark_run(fs, d, n);
+        }
+        let (g, slot) = params.ino_to_cg(f.ino);
+        mark_slot(fs, g, slot);
+        used_data += f.data_frags(&params);
+        used_meta += f.indirects.len() as u64 * fpb as u64;
+    }
+    // Counters from the rebuilt maps.
+    for cg in &mut fs.cgs {
+        let mut free_frags = 0u32;
+        let mut free_blocks = 0u32;
+        for b in 0..cg.nblocks() {
+            let byte = cg.map_byte(b);
+            free_frags += fpb - byte.count_ones();
+            if byte == 0 {
+                free_blocks += 1;
+            }
+        }
+        cg.set_free_counts(free_frags, free_blocks);
+        let used_inodes: u32 = cg.raw_imap_mut().iter().map(|w| w.count_ones()).sum();
+        let ninodes = cg.ninodes();
+        cg.set_free_inodes(ninodes - used_inodes);
+    }
+    fs.used_data_frags = used_data;
+    fs.used_meta_frags = used_meta;
+    // Per-directory live-file counts.
+    let mut counts: std::collections::BTreeMap<ffs_types::DirId, u32> = Default::default();
+    for f in &files {
+        *counts.entry(f.dir).or_insert(0) += 1;
+    }
+    for d in fs.dirs.values_mut() {
+        d.nfiles = counts.get(&d.id).copied().unwrap_or(0);
+    }
+    fs.agg = recompute_aggregate(fs);
+}
+
+/// Damage profile of a torn update: perturbs up to `hits` pieces of
+/// *derived* allocation state — orphaned fragments and inode slots in
+/// the bitmaps, drifted free counters, drifted aggregates, and cleared
+/// live-inode bits — without touching the inode table itself. Returns the
+/// number of perturbations applied.
+///
+/// The damage is seeded and therefore reproducible; [`repair`] restores
+/// every category losslessly, which the recovery tests assert.
+pub fn inject_metadata_damage(fs: &mut Filesystem, seed: u64, hits: u32) -> u32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fpb = fs.params.frags_per_block();
+    let ncg = fs.params.ncg;
+    let mut applied = 0u32;
+    for _ in 0..hits {
+        let kind = rng.gen_range(0u32..6);
+        let g = rng.gen_range(0..ncg) as usize;
+        match kind {
+            0 => {
+                // Orphan a fragment: mark a free fragment allocated.
+                let cg = &mut fs.cgs[g];
+                let (mb, nb) = (cg.meta_blocks(), cg.nblocks());
+                if nb > mb {
+                    let b = rng.gen_range(mb..nb) as usize;
+                    let bit = 1u8 << rng.gen_range(0..fpb);
+                    let map = cg.raw_map_mut();
+                    if map[b] & bit == 0 {
+                        map[b] |= bit;
+                        applied += 1;
+                    }
+                }
+            }
+            1 => {
+                // Drift the free-fragment counter.
+                let cg = &mut fs.cgs[g];
+                let (ff, fb) = (cg.free_frags(), cg.free_blocks());
+                cg.set_free_counts(ff.saturating_add(rng.gen_range(1..4)), fb);
+                applied += 1;
+            }
+            2 => {
+                // Drift the free-block counter.
+                let cg = &mut fs.cgs[g];
+                let (ff, fb) = (cg.free_frags(), cg.free_blocks());
+                cg.set_free_counts(ff, fb.saturating_sub(rng.gen_range(1..3)));
+                applied += 1;
+            }
+            3 => {
+                // Orphan an inode slot: mark a free slot used.
+                let cg = &mut fs.cgs[g];
+                let slot = rng.gen_range(0..cg.ninodes());
+                let (w, b) = ((slot / 64) as usize, slot % 64);
+                let imap = cg.raw_imap_mut();
+                if imap[w] & (1 << b) == 0 {
+                    imap[w] |= 1 << b;
+                    applied += 1;
+                }
+            }
+            4 => {
+                // Drift the used-data counter.
+                fs.used_data_frags = fs.used_data_frags.saturating_add(rng.gen_range(1..5));
+                applied += 1;
+            }
+            _ => {
+                // Clear a live file's inode bit (lost inode-bitmap
+                // update), or drift the layout aggregate when no file
+                // exists to damage.
+                let victim = {
+                    let n = fs.files.len();
+                    if n == 0 {
+                        None
+                    } else {
+                        fs.files.keys().nth(rng.gen_range(0..n)).copied()
+                    }
+                };
+                if let Some(ino) = victim {
+                    let (g, slot) = fs.params.ino_to_cg(ino);
+                    let (w, b) = ((slot / 64) as usize, slot % 64);
+                    fs.cgs[g.0 as usize].raw_imap_mut()[w] &= !(1 << b);
+                } else {
+                    fs.agg.opt = fs.agg.opt.wrapping_add(1);
+                }
+                applied += 1;
+            }
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use crate::check::assert_consistent;
+    use ffs_types::{FsParams, KB};
+
+    fn aged_fs() -> Filesystem {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+        let dirs = fs.mkdir_per_cg().unwrap();
+        let mut live = Vec::new();
+        for i in 0u64..120 {
+            let d = dirs[(i % 4) as usize];
+            live.push(fs.create(d, 1 + (i * 6151) % (60 * KB), i as u32).unwrap());
+            if i % 3 == 0 {
+                let v = live.swap_remove((i as usize * 7) % live.len());
+                fs.remove(v).unwrap();
+            }
+        }
+        fs
+    }
+
+    #[test]
+    fn clean_fs_needs_no_repair() {
+        let mut fs = aged_fs();
+        let report = repair(&mut fs);
+        assert!(report.was_clean());
+        assert!(report.files_removed.is_empty());
+        assert!(!report.rebuilt);
+    }
+
+    #[test]
+    fn metadata_damage_is_repaired_losslessly() {
+        let mut fs = aged_fs();
+        let pristine = fs.clone();
+        let applied = inject_metadata_damage(&mut fs, 99, 25);
+        assert!(applied > 0);
+        assert!(!check(&fs).is_empty(), "damage went undetected");
+        let report = repair(&mut fs);
+        assert!(!report.was_clean());
+        assert!(report.files_removed.is_empty(), "derived damage cost files");
+        assert_consistent(&fs);
+        // Lossless: every file and directory survives with its layout.
+        assert_eq!(fs.files, pristine.files);
+        assert_eq!(fs.dirs, pristine.dirs);
+        assert_eq!(fs.aggregate_layout(), pristine.aggregate_layout());
+        assert_eq!(fs.free_frags(), pristine.free_frags());
+    }
+
+    #[test]
+    fn orphaned_fragments_are_counted_and_freed() {
+        let mut fs = aged_fs();
+        let free0 = fs.free_frags();
+        // Orphan three specific fragments.
+        for (b, bit) in [(40u32, 0u32), (41, 3), (45, 7)] {
+            let cg = &mut fs.cgs[0];
+            cg.raw_map_mut()[b as usize] |= 1 << bit;
+        }
+        let report = repair(&mut fs);
+        assert_eq!(report.orphaned_frags_freed, 3);
+        assert_eq!(fs.free_frags(), free0);
+        assert_consistent(&fs);
+    }
+
+    #[test]
+    fn duplicate_claim_condemns_the_later_file() {
+        let mut fs = aged_fs();
+        let inos: Vec<Ino> = fs.files.keys().copied().collect();
+        let (keep, lose) = (inos[0], *inos.last().unwrap());
+        assert!(keep < lose);
+        // The later file also claims the earlier file's first block.
+        let stolen = fs.files[&keep].blocks[0];
+        fs.files.get_mut(&lose).unwrap().blocks.push(stolen);
+        let report = repair(&mut fs);
+        assert_eq!(report.files_removed, vec![lose]);
+        assert!(report.structural > 0);
+        assert!(fs.file(keep).is_some());
+        assert!(fs.file(lose).is_none());
+        assert_consistent(&fs);
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut fs = aged_fs();
+        inject_metadata_damage(&mut fs, 3, 10);
+        repair(&mut fs);
+        let again = repair(&mut fs);
+        assert!(again.was_clean());
+    }
+}

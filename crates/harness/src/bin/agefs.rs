@@ -5,17 +5,30 @@
 //! profile and length), prints the per-day summary, and optionally dumps
 //! the nightly snapshots in the text format `aging::Snapshot` parses.
 //!
+//! Robustness options exercise the full fault pipeline: a fault plan
+//! injects transient and latent sector errors into a post-aging media
+//! sweep of every live file (retries and spare-sector remaps are
+//! reported), a crash point simulates a power cut mid-replay followed by
+//! the repairing fsck, and checkpoints let a long run stop and resume.
+//!
 //! ```text
 //! agefs [--days N] [--seed S] [--policy orig|realloc]
 //!       [--profile home|news|database|personal]
 //!       [--snapshots DIR] [--verify-every N]
+//!       [--crash-after-ops N] [--crash-seed S]
+//!       [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//!       [--fault-transient RATE] [--fault-latent N] [--fault-seed S]
 //! ```
 
 use std::process::ExitCode;
 
-use aging::{generate, profiles, replay, workload_stats, ReplayOptions};
-use ffs::AllocPolicy;
-use ffs_types::FsParams;
+use aging::{
+    generate, profiles, replay, resume, workload_stats, Checkpoint, ReplayOptions, ReplayResult,
+};
+use disk::{Device, FaultPlan};
+use ffs::{check, AllocPolicy};
+use ffs_types::{DiskParams, FsParams};
+use iobench::FsDiskMap;
 
 struct Args {
     days: u32,
@@ -24,13 +37,23 @@ struct Args {
     profile: String,
     snapshots: Option<String>,
     verify_every: u32,
+    crash_after_ops: u64,
+    crash_seed: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: u32,
+    resume: Option<String>,
+    fault_transient: f64,
+    fault_latent: u32,
+    fault_seed: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: agefs [--days N] [--seed S] [--policy orig|realloc] \
          [--profile home|news|database|personal] [--snapshots DIR] \
-         [--verify-every N]"
+         [--verify-every N] [--crash-after-ops N] [--crash-seed S] \
+         [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] \
+         [--fault-transient RATE] [--fault-latent N] [--fault-seed S]"
     );
     std::process::exit(2);
 }
@@ -43,6 +66,14 @@ fn parse_args() -> Args {
         profile: "home".to_string(),
         snapshots: None,
         verify_every: 0,
+        crash_after_ops: 0,
+        crash_seed: None,
+        checkpoint: None,
+        checkpoint_every: 0,
+        resume: None,
+        fault_transient: 0.0,
+        fault_latent: 0,
+        fault_seed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,9 +83,14 @@ fn parse_args() -> Args {
                 usage()
             })
         };
+        macro_rules! parsed {
+            ($name:literal) => {
+                next($name).parse().unwrap_or_else(|_| usage())
+            };
+        }
         match a.as_str() {
-            "--days" => args.days = next("--days").parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = next("--seed").parse().unwrap_or_else(|_| usage()),
+            "--days" => args.days = parsed!("--days"),
+            "--seed" => args.seed = parsed!("--seed"),
             "--policy" => {
                 args.policy = match next("--policy").as_str() {
                     "orig" | "ffs" => AllocPolicy::Orig,
@@ -64,13 +100,53 @@ fn parse_args() -> Args {
             }
             "--profile" => args.profile = next("--profile"),
             "--snapshots" => args.snapshots = Some(next("--snapshots")),
-            "--verify-every" => {
-                args.verify_every = next("--verify-every").parse().unwrap_or_else(|_| usage())
-            }
+            "--verify-every" => args.verify_every = parsed!("--verify-every"),
+            "--crash-after-ops" => args.crash_after_ops = parsed!("--crash-after-ops"),
+            "--crash-seed" => args.crash_seed = Some(parsed!("--crash-seed")),
+            "--checkpoint" => args.checkpoint = Some(next("--checkpoint")),
+            "--checkpoint-every" => args.checkpoint_every = parsed!("--checkpoint-every"),
+            "--resume" => args.resume = Some(next("--resume")),
+            "--fault-transient" => args.fault_transient = parsed!("--fault-transient"),
+            "--fault-latent" => args.fault_latent = parsed!("--fault-latent"),
+            "--fault-seed" => args.fault_seed = Some(parsed!("--fault-seed")),
             _ => usage(),
         }
     }
     args
+}
+
+/// Reads every live file through a fault-injecting device — the media
+/// sweep a scrubber (or a nervous operator) runs after a crash. Returns
+/// false when a file is unreadable even after retries and remapping.
+fn fault_sweep(result: &ReplayResult, params: &FsParams, plan: &FaultPlan) -> bool {
+    let disk = DiskParams::seagate_32430n();
+    let map = FsDiskMap::new(params, disk.sector_size, 0);
+    let mut dev = Device::new(disk);
+    dev.inject_faults(plan);
+    let mut files = 0u64;
+    let mut failed = 0u64;
+    for f in result.fs.files() {
+        files += 1;
+        for (addr, frags) in f.chunks(params) {
+            if dev.try_read(map.lba(addr), map.sectors(frags)).is_err() {
+                failed += 1;
+                break;
+            }
+        }
+    }
+    let stats = dev.stats();
+    let inj = dev.fault_injector().expect("plan installed");
+    eprintln!(
+        "# sweep: {files} files read, {failed} unreadable; \
+         {} transient errors, {} retries, {} remapped sectors \
+         ({} spares left), {:.1} ms lost to retries",
+        stats.transient_errors,
+        stats.retries,
+        stats.remaps,
+        inj.spares_remaining(),
+        stats.retry_time_us / 1000.0
+    );
+    failed == 0
 }
 
 fn main() -> ExitCode {
@@ -96,12 +172,43 @@ fn main() -> ExitCode {
         stats.bytes_written as f64 / (1u64 << 30) as f64,
         stats.live_at_end
     );
-    let options = ReplayOptions {
+    let mut options = ReplayOptions {
         verify_every_days: args.verify_every,
         snapshot_every_days: if args.snapshots.is_some() { 1 } else { 0 },
+        checkpoint_every_days: if args.checkpoint.is_some() {
+            args.checkpoint_every.max(1)
+        } else {
+            args.checkpoint_every
+        },
+        crash_after_ops: args.crash_after_ops,
         ..ReplayOptions::default()
     };
-    let result = match replay(&workload, &params, args.policy, options) {
+    if let Some(seed) = args.crash_seed {
+        options.crash_damage_seed = seed;
+    }
+    let run = match &args.resume {
+        None => replay(&workload, &params, args.policy, options),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("agefs: reading {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Checkpoint::from_text(&text) {
+                Ok(ck) => {
+                    eprintln!("# resuming after day {} from {path}", ck.day);
+                    resume(&workload, &params, args.policy, options, &ck)
+                }
+                Err(e) => {
+                    eprintln!("agefs: bad checkpoint {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let result = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("agefs: replay failed: {e}");
@@ -133,9 +240,52 @@ fn main() -> ExitCode {
         }
         eprintln!("# wrote {} snapshots to {dir}/", result.snapshots.len());
     }
+    if let Some(path) = &args.checkpoint {
+        match result.checkpoints.last() {
+            Some(ck) => {
+                if let Err(e) = std::fs::write(path, ck.to_text()) {
+                    eprintln!("agefs: writing {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("# checkpoint after day {} written to {path}", ck.day);
+            }
+            None => eprintln!("# no checkpoint reached (run shorter than interval)"),
+        }
+    }
+    if let Some(c) = &result.crash {
+        eprintln!(
+            "# crash: power cut at op {} (day {}), {} metadata perturbations; \
+             fsck found {} violations ({} structural), freed {} orphaned frags, \
+             removed {} files, resumed",
+            c.at_op,
+            c.day,
+            c.damage_hits,
+            c.repair.violations_found,
+            c.repair.structural,
+            c.repair.orphaned_frags_freed,
+            c.repair.files_removed.len()
+        );
+    }
+    let violations = check(&result.fs);
+    if violations.is_empty() {
+        eprintln!("# fsck: clean");
+    } else {
+        eprintln!("# fsck: {} violations remain", violations.len());
+        for v in &violations {
+            eprintln!("#   {v}");
+        }
+        return ExitCode::FAILURE;
+    }
+    let plan = FaultPlan::new(args.fault_seed.unwrap_or(args.seed))
+        .transient_rate(args.fault_transient)
+        .latent_sectors(args.fault_latent);
+    if !plan.is_noop() && !fault_sweep(&result, &params, &plan) {
+        eprintln!("# sweep: unreadable files remain");
+        return ExitCode::FAILURE;
+    }
     eprintln!(
         "# final: layout {:.4} under {} ({} skipped creates)",
-        result.daily.last().map_or(1.0, |d| d.layout_score),
+        result.fs.aggregate_layout().score(),
         args.policy.label(),
         result.skipped_creates
     );

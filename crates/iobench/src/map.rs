@@ -139,7 +139,7 @@ mod tests {
         let mut eng = IoEngine::new(&mut dev, &params, map);
         eng.transfer_file(IoKind::Write, &meta, &params);
         assert!(eng.dev.stats().writes >= 2);
-        assert_eq!(eng.dev.stats().sectors_written as u64, 224);
+        assert_eq!(eng.dev.stats().sectors_written, 224);
     }
 
     #[test]

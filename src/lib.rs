@@ -61,12 +61,13 @@ pub use iobench;
 /// The most common imports, re-exported in one place.
 pub mod prelude {
     pub use aging::{
-        generate, replay, workload_stats, AgingConfig, ReplayOptions, ReplayResult, Workload,
+        generate, replay, resume, workload_stats, AgingConfig, Checkpoint, ReplayOptions,
+        ReplayResult, Workload,
     };
-    pub use disk::{raw_read_throughput, raw_write_throughput, Device, IoKind};
+    pub use disk::{raw_read_throughput, raw_write_throughput, Device, FaultPlan, IoKind};
     pub use ffs::{
-        assert_consistent, free_space_stats, layout_by_size, size_bins_paper, AllocPolicy,
-        Filesystem,
+        assert_consistent, check, free_space_stats, inject_metadata_damage, layout_by_size,
+        repair, size_bins_paper, AllocPolicy, Filesystem, RepairReport, Violation,
     };
     pub use ffs_types::{DiskParams, FsParams, KB, MB};
     pub use iobench::{run_hot_files, run_point, run_sweep, SeqBenchConfig};
