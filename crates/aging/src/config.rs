@@ -142,6 +142,50 @@ impl AgingConfig {
         c
     }
 
+    /// A canonical, field-complete text rendering of the configuration,
+    /// used to build artifact-cache keys: two configs fingerprint
+    /// identically iff every workload-shaping knob matches. Floats are
+    /// printed with Rust's shortest round-trip `Display`, so distinct
+    /// values never collapse to one fingerprint.
+    pub fn fingerprint(&self) -> String {
+        let AgingConfig {
+            days,
+            seed,
+            initial_util,
+            plateau_util,
+            ramp_days,
+            peak_util,
+            wobble,
+            short_pairs_per_day,
+            long_creates_per_day,
+            long_modifies_per_day,
+            rewrites_per_day,
+            burst_prob,
+            cg_skew,
+            long_sizes,
+            short_sizes,
+            delete_age_bias,
+            scatter_deletes,
+        } = self;
+        format!(
+            "days={days} seed={seed} initial_util={initial_util} \
+             plateau_util={plateau_util} ramp_days={ramp_days} peak_util={peak_util} \
+             wobble={wobble} short_pairs={short_pairs_per_day} \
+             long_creates={long_creates_per_day} long_modifies={long_modifies_per_day} \
+             rewrites={rewrites_per_day} burst_prob={burst_prob} cg_skew={cg_skew} \
+             long_sizes={}/{}/{}/{} short_sizes={}/{}/{}/{} \
+             delete_age_bias={delete_age_bias} scatter_deletes={scatter_deletes}",
+            long_sizes.median,
+            long_sizes.sigma,
+            long_sizes.min,
+            long_sizes.max,
+            short_sizes.median,
+            short_sizes.sigma,
+            short_sizes.min,
+            short_sizes.max,
+        )
+    }
+
     /// The "real file system" variant used as Figure 1's reference: the
     /// same model with the fragmentation sources the paper says its aging
     /// workload under-represents turned up — heavier same-day churn and
@@ -210,6 +254,21 @@ mod tests {
         assert!(real.scatter_deletes > base.scatter_deletes);
         assert_ne!(real.seed, base.seed);
         assert_eq!(real.days, base.days);
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_configs() {
+        let a = AgingConfig::paper(1);
+        assert_eq!(a.fingerprint(), AgingConfig::paper(1).fingerprint());
+        assert_ne!(a.fingerprint(), AgingConfig::paper(2).fingerprint());
+        let mut b = AgingConfig::paper(1);
+        b.wobble += 1e-9;
+        assert_ne!(a.fingerprint(), b.fingerprint(), "float drift must show");
+        assert_ne!(
+            a.fingerprint(),
+            a.real_fs_variant().fingerprint(),
+            "the reference-run variant is a different artifact"
+        );
     }
 
     #[test]

@@ -43,6 +43,43 @@ pub struct DayStats {
     pub bytes_written: u64,
 }
 
+impl DayStats {
+    /// Renders the day as one whitespace-separated record line. Floats
+    /// use Rust's shortest round-trip `Display`, so
+    /// [`DayStats::from_record`] reproduces the value bit for bit — a
+    /// cached aging artifact replays Figures 1 and 2 byte-identically.
+    pub fn to_record(&self) -> String {
+        format!(
+            "{} {} {} {} {}",
+            self.day, self.layout_score, self.utilization, self.nfiles, self.bytes_written
+        )
+    }
+
+    /// Parses a line produced by [`DayStats::to_record`].
+    pub fn from_record(line: &str) -> Result<DayStats, String> {
+        let mut f = line.split_whitespace();
+        let mut field = |name: &str| f.next().ok_or_else(|| format!("missing {name}"));
+        macro_rules! num {
+            ($name:literal) => {
+                field($name)?
+                    .parse()
+                    .map_err(|e| format!("bad {}: {e}", $name))?
+            };
+        }
+        let stats = DayStats {
+            day: num!("day"),
+            layout_score: num!("layout score"),
+            utilization: num!("utilization"),
+            nfiles: num!("nfiles"),
+            bytes_written: num!("bytes written"),
+        };
+        if f.next().is_some() {
+            return Err("trailing fields on day record".into());
+        }
+        Ok(stats)
+    }
+}
+
 /// What an injected crash broke and what the repair did about it.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CrashReport {
@@ -482,6 +519,19 @@ mod tests {
         );
         assert_eq!(full.fs.nfiles(), resumed.fs.nfiles());
         assert_eq!(full.live, resumed.live);
+    }
+
+    #[test]
+    fn day_record_round_trip_is_bit_exact() {
+        let r = small_replay(AllocPolicy::Realloc);
+        for d in &r.daily {
+            let parsed = DayStats::from_record(&d.to_record()).expect("parse");
+            assert_eq!(&parsed, d, "round trip must be lossless");
+        }
+        assert!(DayStats::from_record("").is_err());
+        assert!(DayStats::from_record("1 0.5 0.5 10").is_err());
+        assert!(DayStats::from_record("1 0.5 0.5 10 99 extra").is_err());
+        assert!(DayStats::from_record("1 x 0.5 10 99").is_err());
     }
 
     #[test]

@@ -20,6 +20,35 @@ pub fn age_paper_fs(days: u32, seed: u64, policy: AllocPolicy) -> ReplayResult {
     replay(&w, &params, policy, ReplayOptions::default()).expect("bench aging replay")
 }
 
+/// Like [`age_paper_fs`], but through the `exp` artifact store: the
+/// first bench run per `(days, seed, policy)` ages the file system, and
+/// every later one — same process or not — loads it. Benches that age
+/// as *setup* (not as the thing being measured) should use this so the
+/// suite's wall clock is not dominated by repeated identical agings.
+pub fn age_paper_fs_cached(
+    days: u32,
+    seed: u64,
+    policy: AllocPolicy,
+    cache_dir: impl Into<std::path::PathBuf>,
+) -> ReplayResult {
+    let params = FsParams::paper_502mb();
+    let mut config = AgingConfig::paper(seed);
+    config.days = days;
+    if days < config.ramp_days {
+        config.ramp_days = (days / 3).max(1);
+    }
+    let store = exp::ArtifactStore::new(cache_dir);
+    exp::age_cached(
+        Some(&store),
+        &params,
+        &config,
+        policy,
+        ReplayOptions::default(),
+    )
+    .expect("bench aging replay")
+    .result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -29,5 +58,19 @@ mod tests {
         let r = age_paper_fs(3, 7, AllocPolicy::Realloc);
         assert_eq!(r.daily.len(), 3);
         assert!(r.fs.nfiles() > 0);
+    }
+
+    #[test]
+    fn cached_aging_matches_direct_aging() {
+        let dir = std::env::temp_dir().join(format!("bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let direct = age_paper_fs(3, 7, AllocPolicy::Orig);
+        let cold = age_paper_fs_cached(3, 7, AllocPolicy::Orig, &dir);
+        let warm = age_paper_fs_cached(3, 7, AllocPolicy::Orig, &dir);
+        for r in [&cold, &warm] {
+            assert_eq!(r.fs.digest(), direct.fs.digest());
+            assert_eq!(r.daily.len(), 3);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

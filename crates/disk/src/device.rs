@@ -57,6 +57,26 @@ pub struct DeviceStats {
     pub retry_time_us: f64,
 }
 
+impl DeviceStats {
+    /// Adds every counter of `other` into `self`, so the totals of
+    /// several independent device runs can be reported as one.
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.sectors_read += other.sectors_read;
+        self.sectors_written += other.sectors_written;
+        self.buffer_hits += other.buffer_hits;
+        self.seeks += other.seeks;
+        self.seek_time_us += other.seek_time_us;
+        self.rot_wait_us += other.rot_wait_us;
+        self.stream_time_us += other.stream_time_us;
+        self.transient_errors += other.transient_errors;
+        self.retries += other.retries;
+        self.remaps += other.remaps;
+        self.retry_time_us += other.retry_time_us;
+    }
+}
+
 /// Read-ahead state: the drive keeps streaming sequentially from the last
 /// media read, bounded by the track-buffer capacity ahead of the furthest
 /// sector the host has consumed.

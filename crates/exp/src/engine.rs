@@ -1,0 +1,417 @@
+//! A deterministic job DAG executed on a `std::thread` worker pool.
+//!
+//! Jobs are pure functions of their declared dependencies, so the
+//! engine's only degrees of freedom — which ready job a worker picks and
+//! how many workers exist — cannot change any job's output. That is the
+//! property the harness's determinism tests pin down: `--jobs 4`
+//! produces byte-identical exhibits to `--jobs 1`.
+//!
+//! Failure is contained, not fatal: a failed job marks its transitive
+//! dependents `skipped` and every other job still runs, so one broken
+//! experiment cannot hide the results (or errors) of the rest.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::record::{Metrics, RunRecord};
+
+/// The work function of a job: consumes its dependencies' outputs
+/// through [`JobCtx`], reports measurements into [`JobCtx::metrics`].
+pub type JobFn<T> = Box<dyn FnOnce(&mut JobCtx<'_, T>) -> Result<T, String> + Send>;
+
+/// One node of the DAG.
+pub struct JobSpec<T> {
+    /// Unique identifier (also the `job` field of the run record).
+    pub id: String,
+    /// Identifiers of jobs whose outputs this one consumes.
+    pub deps: Vec<String>,
+    /// The work.
+    pub run: JobFn<T>,
+}
+
+impl<T> JobSpec<T> {
+    /// Convenience constructor.
+    pub fn new<F>(id: &str, deps: &[&str], run: F) -> JobSpec<T>
+    where
+        F: FnOnce(&mut JobCtx<'_, T>) -> Result<T, String> + Send + 'static,
+    {
+        JobSpec {
+            id: id.to_string(),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// What a running job sees: its dependencies' outputs and its record's
+/// metrics section.
+pub struct JobCtx<'a, T> {
+    deps: Vec<(&'a str, Arc<T>)>,
+    /// Measurements merged into the job's [`RunRecord`].
+    pub metrics: &'a mut Metrics,
+}
+
+impl<T> JobCtx<'_, T> {
+    /// The output of dependency `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not declared in the job's `deps` — that is a
+    /// bug in the DAG construction, not a runtime condition.
+    pub fn dep(&self, id: &str) -> &T {
+        self.deps
+            .iter()
+            .find(|(d, _)| *d == id)
+            .map(|(_, v)| v.as_ref())
+            .unwrap_or_else(|| panic!("job consumed undeclared dependency {id:?}"))
+    }
+
+    /// Like [`JobCtx::dep`], but returns an owned handle — for jobs that
+    /// need a dependency and `metrics` borrowed at the same time.
+    ///
+    /// # Panics
+    /// Panics if `id` was not declared in the job's `deps`.
+    pub fn dep_arc(&self, id: &str) -> Arc<T> {
+        self.deps
+            .iter()
+            .find(|(d, _)| *d == id)
+            .map(|(_, v)| Arc::clone(v))
+            .unwrap_or_else(|| panic!("job consumed undeclared dependency {id:?}"))
+    }
+}
+
+/// Terminal state of one job.
+#[derive(Clone, Debug)]
+pub enum JobOutcome<T> {
+    /// The job ran and produced its output.
+    Ok(Arc<T>),
+    /// The job ran and returned an error.
+    Failed(String),
+    /// The job never ran because a dependency did not produce output.
+    Skipped(String),
+}
+
+impl<T> JobOutcome<T> {
+    /// The output, when the job succeeded.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The failure or skip reason, when the job did not succeed.
+    pub fn err(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed(e) | JobOutcome::Skipped(e) => Some(e),
+        }
+    }
+}
+
+/// Everything a finished DAG run produced.
+pub struct EngineRun<T> {
+    /// Terminal state of every job, by id.
+    pub outcomes: BTreeMap<String, JobOutcome<T>>,
+    /// One record per job, sorted by job id.
+    pub records: Vec<RunRecord>,
+}
+
+struct Pending<T> {
+    id: String,
+    deps: Vec<String>,
+    run: Option<JobFn<T>>,
+    waiting_on: usize,
+    dependents: Vec<usize>,
+}
+
+struct Shared<T> {
+    jobs: Vec<Pending<T>>,
+    outcomes: Vec<Option<JobOutcome<T>>>,
+    records: Vec<Option<RunRecord>>,
+    ready: VecDeque<usize>,
+    unfinished: usize,
+}
+
+/// Executes `jobs` on `workers` threads (clamped to at least 1) and
+/// returns every outcome and run record.
+///
+/// Fails up front — before running anything — on duplicate ids, unknown
+/// dependencies, or cycles.
+pub fn run_jobs<T: Send + Sync + 'static>(
+    jobs: Vec<JobSpec<T>>,
+    workers: usize,
+) -> Result<EngineRun<T>, String> {
+    let index: HashMap<String, usize> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.id.clone(), i))
+        .collect();
+    if index.len() != jobs.len() {
+        let mut seen = std::collections::BTreeSet::new();
+        for j in &jobs {
+            if !seen.insert(&j.id) {
+                return Err(format!("duplicate job id {:?}", j.id));
+            }
+        }
+    }
+    let mut pending: Vec<Pending<T>> = jobs
+        .into_iter()
+        .map(|j| Pending {
+            waiting_on: j.deps.len(),
+            id: j.id,
+            deps: j.deps,
+            run: Some(j.run),
+            dependents: Vec::new(),
+        })
+        .collect();
+    for i in 0..pending.len() {
+        for d in pending[i].deps.clone() {
+            let &dep = index
+                .get(&d)
+                .ok_or_else(|| format!("job {:?} depends on unknown job {d:?}", pending[i].id))?;
+            pending[dep].dependents.push(i);
+        }
+    }
+    // Kahn's algorithm over a copy of the in-degrees: any node never
+    // reached sits on a cycle.
+    let mut indeg: Vec<usize> = pending.iter().map(|p| p.waiting_on).collect();
+    let mut queue: VecDeque<usize> = (0..pending.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut reached = 0usize;
+    while let Some(i) = queue.pop_front() {
+        reached += 1;
+        for &d in &pending[i].dependents {
+            indeg[d] -= 1;
+            if indeg[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    if reached != pending.len() {
+        let stuck: Vec<&str> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, _)| pending[i].id.as_str())
+            .collect();
+        return Err(format!("dependency cycle through: {}", stuck.join(", ")));
+    }
+
+    let n = pending.len();
+    let ready: VecDeque<usize> = (0..n).filter(|&i| pending[i].waiting_on == 0).collect();
+    let shared = Mutex::new(Shared {
+        jobs: pending,
+        outcomes: (0..n).map(|_| None).collect(),
+        records: (0..n).map(|_| None).collect(),
+        ready,
+        unfinished: n,
+    });
+    let cond = Condvar::new();
+    let workers = workers.clamp(1, n.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&shared, &cond));
+        }
+    });
+
+    let shared = shared.into_inner().map_err(|_| "engine worker panicked")?;
+    let mut outcomes = BTreeMap::new();
+    let mut records = Vec::with_capacity(n);
+    for (p, (o, r)) in shared
+        .jobs
+        .into_iter()
+        .zip(shared.outcomes.into_iter().zip(shared.records))
+    {
+        outcomes.insert(
+            p.id,
+            o.ok_or("engine finished with an unresolved job")?,
+        );
+        records.push(r.ok_or("engine finished with an unrecorded job")?);
+    }
+    records.sort_by(|a, b| a.job.cmp(&b.job));
+    Ok(EngineRun { outcomes, records })
+}
+
+fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
+    let mut guard = shared.lock().expect("engine lock");
+    loop {
+        let i = loop {
+            if guard.unfinished == 0 {
+                return;
+            }
+            // Lowest-index first keeps the pick order stable; harmless
+            // either way, but it makes schedules easier to reason about.
+            if let Some(&min) = guard.ready.iter().min() {
+                guard.ready.retain(|&j| j != min);
+                break min;
+            }
+            guard = cond.wait(guard).expect("engine lock");
+        };
+        let id = guard.jobs[i].id.clone();
+        let dep_names = guard.jobs[i].deps.clone();
+        // A dependency that failed (or was itself skipped) skips this job.
+        let mut blocked = None;
+        let mut dep_vals = Vec::with_capacity(dep_names.len());
+        for d in &dep_names {
+            let di = guard
+                .jobs
+                .iter()
+                .position(|p| &p.id == d)
+                .expect("deps validated");
+            match guard.outcomes[di].as_ref().expect("dep finished") {
+                JobOutcome::Ok(v) => dep_vals.push(Arc::clone(v)),
+                _ => {
+                    blocked = Some(format!("dependency {d:?} did not produce output"));
+                    break;
+                }
+            }
+        }
+        let run = guard.jobs[i].run.take().expect("job runs once");
+        let (outcome, record) = if let Some(reason) = blocked {
+            (
+                JobOutcome::Skipped(reason.clone()),
+                RunRecord {
+                    job: id,
+                    deps: dep_names,
+                    status: "skipped".into(),
+                    error: Some(reason),
+                    wall_s: 0.0,
+                    metrics: Metrics::default(),
+                },
+            )
+        } else {
+            drop(guard);
+            let mut metrics = Metrics::default();
+            let mut ctx = JobCtx {
+                deps: dep_names
+                    .iter()
+                    .map(String::as_str)
+                    .zip(dep_vals)
+                    .collect(),
+                metrics: &mut metrics,
+            };
+            let t0 = Instant::now();
+            let result = run(&mut ctx);
+            let wall_s = t0.elapsed().as_secs_f64();
+            let (outcome, status, error) = match result {
+                Ok(v) => (JobOutcome::Ok(Arc::new(v)), "ok", None),
+                Err(e) => (JobOutcome::Failed(e.clone()), "failed", Some(e)),
+            };
+            guard = shared.lock().expect("engine lock");
+            (
+                outcome,
+                RunRecord {
+                    job: id,
+                    deps: dep_names,
+                    status: status.into(),
+                    error,
+                    wall_s,
+                    metrics,
+                },
+            )
+        };
+        guard.outcomes[i] = Some(outcome);
+        guard.records[i] = Some(record);
+        guard.unfinished -= 1;
+        for d in guard.jobs[i].dependents.clone() {
+            guard.jobs[d].waiting_on -= 1;
+            if guard.jobs[d].waiting_on == 0 {
+                guard.ready.push_back(d);
+            }
+        }
+        cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Vec<JobSpec<u64>> {
+        vec![
+            JobSpec::new("a", &[], |_| Ok(1)),
+            JobSpec::new("b", &["a"], |c| Ok(c.dep("a") * 10)),
+            JobSpec::new("c", &["a"], |c| Ok(c.dep("a") * 100)),
+            JobSpec::new("d", &["b", "c"], |c| Ok(c.dep("b") + c.dep("c"))),
+        ]
+    }
+
+    #[test]
+    fn diamond_resolves_identically_for_any_worker_count() {
+        for workers in [1, 2, 8] {
+            let run = run_jobs(diamond(), workers).unwrap();
+            assert_eq!(run.outcomes["d"].ok(), Some(&110));
+            assert_eq!(run.records.len(), 4);
+            assert!(run.records.iter().all(|r| r.status == "ok"));
+            let ids: Vec<&str> = run.records.iter().map(|r| r.job.as_str()).collect();
+            assert_eq!(ids, ["a", "b", "c", "d"], "records sorted by id");
+        }
+    }
+
+    #[test]
+    fn failure_skips_transitive_dependents_but_not_siblings() {
+        let jobs: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("a", &[], |_| Err("boom".into())),
+            JobSpec::new("b", &["a"], |_| Ok(2)),
+            JobSpec::new("c", &["b"], |_| Ok(3)),
+            JobSpec::new("solo", &[], |_| Ok(4)),
+        ];
+        let run = run_jobs(jobs, 3).unwrap();
+        assert_eq!(run.outcomes["a"].err(), Some("boom"));
+        assert!(matches!(run.outcomes["b"], JobOutcome::Skipped(_)));
+        assert!(matches!(run.outcomes["c"], JobOutcome::Skipped(_)));
+        assert_eq!(run.outcomes["solo"].ok(), Some(&4));
+        let b = run.records.iter().find(|r| r.job == "b").unwrap();
+        assert_eq!(b.status, "skipped");
+        assert!(b.error.as_deref().unwrap().contains("\"a\""));
+    }
+
+    #[test]
+    fn metrics_land_in_the_record() {
+        let jobs: Vec<JobSpec<u64>> = vec![JobSpec::new("m", &[], |c| {
+            c.metrics.ops = Some(42);
+            c.metrics.note("flavor", "test");
+            Ok(0)
+        })];
+        let run = run_jobs(jobs, 1).unwrap();
+        assert_eq!(run.records[0].metrics.ops, Some(42));
+        assert_eq!(run.records[0].metrics.notes[0].1, "test");
+    }
+
+    fn expect_err(r: Result<EngineRun<u64>, String>) -> String {
+        match r {
+            Ok(_) => panic!("graph should have been rejected"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn bad_graphs_are_rejected_up_front() {
+        let dup: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("x", &[], |_| Ok(0)),
+            JobSpec::new("x", &[], |_| Ok(0)),
+        ];
+        assert!(expect_err(run_jobs(dup, 1)).contains("duplicate"));
+        let unknown: Vec<JobSpec<u64>> = vec![JobSpec::new("y", &["ghost"], |_| Ok(0))];
+        assert!(expect_err(run_jobs(unknown, 1)).contains("unknown"));
+        let cycle: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("p", &["q"], |_| Ok(0)),
+            JobSpec::new("q", &["p"], |_| Ok(0)),
+        ];
+        assert!(expect_err(run_jobs(cycle, 1)).contains("cycle"));
+    }
+
+    #[test]
+    fn wide_fanout_completes_under_contention() {
+        let mut jobs: Vec<JobSpec<u64>> = vec![JobSpec::new("root", &[], |_| Ok(7))];
+        for i in 0..50u64 {
+            jobs.push(JobSpec::new(&format!("leaf{i:02}"), &["root"], move |c| {
+                Ok(c.dep("root") + i)
+            }));
+        }
+        let run = run_jobs(jobs, 4).unwrap();
+        for i in 0..50u64 {
+            assert_eq!(run.outcomes[&format!("leaf{i:02}")].ok(), Some(&(7 + i)));
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Structured run records: one JSON object per executed job.
+//!
+//! Records are written as JSON lines (`runs.jsonl`) so they survive a
+//! partial run and append cleanly from other tooling. The environment is
+//! offline (no serde), so the writer emits a fixed field order by hand
+//! and the reader is a small extractor that understands exactly the
+//! output of [`RunRecord::to_json`] — enough for [`crate::report`] and
+//! the determinism tests, not a general JSON parser.
+
+use std::fmt::Write as _;
+
+use disk::DeviceStats;
+
+/// Whether a job's expensive artifact came from the store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A valid artifact was loaded; the work was skipped.
+    Hit,
+    /// No artifact existed; the work ran and the result was stored.
+    Miss,
+    /// An artifact existed but failed validation; it was discarded and
+    /// the work re-ran (then overwrote the bad artifact).
+    Corrupt,
+    /// Caching was disabled for this run.
+    Disabled,
+}
+
+impl CacheStatus {
+    /// The string stored in the `cache` field of the run record.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Corrupt => "corrupt",
+            CacheStatus::Disabled => "disabled",
+        }
+    }
+}
+
+/// Job-reported measurements, merged into the engine's [`RunRecord`].
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Artifact-cache outcome, for jobs that consult the store.
+    pub cache: Option<CacheStatus>,
+    /// Content-address of the job's artifact, when cached.
+    pub key: Option<String>,
+    /// Workload operations replayed (0 when the work was skipped on a
+    /// cache hit).
+    pub ops: Option<u64>,
+    /// Simulated-device counters accumulated by the job's benchmarks.
+    pub device: Option<DeviceStats>,
+    /// Free-form `key=value` annotations.
+    pub notes: Vec<(String, String)>,
+}
+
+impl Metrics {
+    /// Adds a free-form annotation.
+    pub fn note(&mut self, key: &str, value: impl ToString) {
+        self.notes.push((key.to_string(), value.to_string()));
+    }
+
+    /// Accumulates device counters from one benchmark phase.
+    pub fn add_device(&mut self, stats: &DeviceStats) {
+        match &mut self.device {
+            Some(d) => d.merge(stats),
+            None => self.device = Some(stats.clone()),
+        }
+    }
+}
+
+/// One line of `runs.jsonl`: what a job did and what it cost.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Job identifier (e.g. `age:ffs`, `fig2`).
+    pub job: String,
+    /// Identifiers of the jobs this one consumed.
+    pub deps: Vec<String>,
+    /// `ok`, `failed`, or `skipped` (a dependency failed).
+    pub status: String,
+    /// Error message for failed/skipped jobs.
+    pub error: Option<String>,
+    /// Wall-clock seconds spent running the job.
+    pub wall_s: f64,
+    /// Job-reported measurements.
+    pub metrics: Metrics,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn device_json(d: &DeviceStats) -> String {
+    format!(
+        "{{\"reads\":{},\"writes\":{},\"sectors_read\":{},\"sectors_written\":{},\
+         \"buffer_hits\":{},\"seeks\":{},\"seek_time_us\":{},\"rot_wait_us\":{},\
+         \"stream_time_us\":{},\"transient_errors\":{},\"retries\":{},\"remaps\":{},\
+         \"retry_time_us\":{}}}",
+        d.reads,
+        d.writes,
+        d.sectors_read,
+        d.sectors_written,
+        d.buffer_hits,
+        d.seeks,
+        d.seek_time_us,
+        d.rot_wait_us,
+        d.stream_time_us,
+        d.transient_errors,
+        d.retries,
+        d.remaps,
+        d.retry_time_us
+    )
+}
+
+impl RunRecord {
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"job\":");
+        push_json_str(&mut s, &self.job);
+        s.push_str(",\"deps\":[");
+        for (i, d) in self.deps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, d);
+        }
+        s.push_str("],\"status\":");
+        push_json_str(&mut s, &self.status);
+        if let Some(e) = &self.error {
+            s.push_str(",\"error\":");
+            push_json_str(&mut s, e);
+        }
+        let _ = write!(s, ",\"wall_s\":{:.6}", self.wall_s);
+        if let Some(c) = self.metrics.cache {
+            s.push_str(",\"cache\":");
+            push_json_str(&mut s, c.as_str());
+        }
+        if let Some(k) = &self.metrics.key {
+            s.push_str(",\"key\":");
+            push_json_str(&mut s, k);
+        }
+        if let Some(ops) = self.metrics.ops {
+            let _ = write!(s, ",\"ops\":{ops}");
+        }
+        if let Some(d) = &self.metrics.device {
+            let _ = write!(s, ",\"device\":{}", device_json(d));
+        }
+        for (k, v) in &self.metrics.notes {
+            s.push(',');
+            push_json_str(&mut s, k);
+            s.push(':');
+            push_json_str(&mut s, v);
+        }
+        s.push('}');
+        s
+    }
+
+    /// Extracts the string value of `field` from a line produced by
+    /// [`RunRecord::to_json`]. Returns `None` when absent.
+    pub fn field_str(line: &str, field: &str) -> Option<String> {
+        let pat = format!("\"{field}\":\"");
+        let start = line.find(&pat)? + pat.len();
+        let mut out = String::new();
+        let mut chars = line[start..].chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        let v = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(v)?);
+                    }
+                    other => out.push(other),
+                },
+                c => out.push(c),
+            }
+        }
+        None
+    }
+
+    /// Extracts the numeric value of a top-level `field`.
+    pub fn field_num(line: &str, field: &str) -> Option<f64> {
+        let pat = format!("\"{field}\":");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunRecord {
+        let mut metrics = Metrics {
+            cache: Some(CacheStatus::Miss),
+            key: Some("00ff00ff00ff00ff".into()),
+            ops: Some(1234),
+            device: None,
+            notes: Vec::new(),
+        };
+        metrics.note("days", 300u32);
+        metrics.add_device(&DeviceStats {
+            reads: 10,
+            writes: 4,
+            ..DeviceStats::default()
+        });
+        RunRecord {
+            job: "age:ffs".into(),
+            deps: vec!["table1".into()],
+            status: "ok".into(),
+            error: None,
+            wall_s: 1.5,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_the_fields_the_report_reads() {
+        let line = sample().to_json();
+        assert_eq!(RunRecord::field_str(&line, "job").unwrap(), "age:ffs");
+        assert_eq!(RunRecord::field_str(&line, "status").unwrap(), "ok");
+        assert_eq!(RunRecord::field_str(&line, "cache").unwrap(), "miss");
+        assert_eq!(RunRecord::field_num(&line, "wall_s").unwrap(), 1.5);
+        assert_eq!(RunRecord::field_num(&line, "ops").unwrap(), 1234.0);
+        assert_eq!(RunRecord::field_num(&line, "reads").unwrap(), 10.0);
+        assert_eq!(RunRecord::field_str(&line, "days").unwrap(), "300");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = sample();
+        r.error = Some("bad \"quote\"\nand \\slash".into());
+        r.status = "failed".into();
+        let line = r.to_json();
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            RunRecord::field_str(&line, "error").unwrap(),
+            "bad \"quote\"\nand \\slash"
+        );
+        // Escaped content cannot shadow a real field.
+        let mut r = sample();
+        r.error = Some("\"status\":\"ok\" impostor".into());
+        let line = r.to_json();
+        assert_eq!(RunRecord::field_str(&line, "status").unwrap(), "ok");
+    }
+
+    #[test]
+    fn device_counters_accumulate() {
+        let mut m = Metrics::default();
+        m.add_device(&DeviceStats {
+            reads: 3,
+            seek_time_us: 1.5,
+            ..DeviceStats::default()
+        });
+        m.add_device(&DeviceStats {
+            reads: 4,
+            seek_time_us: 2.5,
+            ..DeviceStats::default()
+        });
+        let d = m.device.unwrap();
+        assert_eq!(d.reads, 7);
+        assert_eq!(d.seek_time_us, 4.0);
+    }
+
+    #[test]
+    fn absent_fields_read_as_none() {
+        let r = RunRecord {
+            job: "fig1".into(),
+            deps: vec![],
+            status: "ok".into(),
+            error: None,
+            wall_s: 0.0,
+            metrics: Metrics::default(),
+        };
+        let line = r.to_json();
+        assert!(RunRecord::field_str(&line, "cache").is_none());
+        assert!(RunRecord::field_num(&line, "ops").is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! `harness report`: summarize a `runs.jsonl` into a where-did-time-go
+//! table.
+
+use crate::record::RunRecord;
+
+struct Row {
+    job: String,
+    status: String,
+    cache: String,
+    wall_s: f64,
+    ops: f64,
+}
+
+/// Renders a human-readable summary of the run records in `jsonl`
+/// (the contents of a `runs.jsonl` file): one row per job sorted by
+/// wall time, then cache and failure totals.
+pub fn summarize(jsonl: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut rows = Vec::new();
+    for (n, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let job = RunRecord::field_str(line, "job")
+            .ok_or_else(|| format!("runs.jsonl line {}: no job field", n + 1))?;
+        rows.push(Row {
+            job,
+            status: RunRecord::field_str(line, "status").unwrap_or_else(|| "?".into()),
+            cache: RunRecord::field_str(line, "cache").unwrap_or_else(|| "-".into()),
+            wall_s: RunRecord::field_num(line, "wall_s").unwrap_or(0.0),
+            ops: RunRecord::field_num(line, "ops").unwrap_or(0.0),
+        });
+    }
+    if rows.is_empty() {
+        return Err("no run records".into());
+    }
+    let total: f64 = rows.iter().map(|r| r.wall_s).sum();
+    // Slowest first: the table answers "where did the time go".
+    rows.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s).then(a.job.cmp(&b.job)));
+    let width = rows.iter().map(|r| r.job.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:<7}  {:<8}  {:>8}  {:>6}  {:>9}",
+        "job", "status", "cache", "wall_s", "%wall", "ops"
+    );
+    for r in &rows {
+        let pct = if total > 0.0 { 100.0 * r.wall_s / total } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:<7}  {:<8}  {:>8.3}  {:>5.1}%  {:>9}",
+            r.job, r.status, r.cache, r.wall_s, pct, r.ops as u64
+        );
+    }
+    let hits = rows.iter().filter(|r| r.cache == "hit").count();
+    let misses = rows
+        .iter()
+        .filter(|r| r.cache == "miss" || r.cache == "corrupt")
+        .count();
+    let failed = rows.iter().filter(|r| r.status != "ok").count();
+    let _ = writeln!(
+        out,
+        "total {:.3}s over {} jobs; cache {hits} hit / {misses} miss; {failed} not ok",
+        total,
+        rows.len()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CacheStatus, Metrics, RunRecord};
+
+    fn record(job: &str, wall: f64, cache: Option<CacheStatus>) -> String {
+        RunRecord {
+            job: job.into(),
+            deps: vec![],
+            status: "ok".into(),
+            error: None,
+            wall_s: wall,
+            metrics: Metrics {
+                cache,
+                ..Metrics::default()
+            },
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn summary_orders_by_wall_time_and_counts_cache() {
+        let jsonl = [
+            record("fig1", 0.5, None),
+            record("age:ffs", 4.0, Some(CacheStatus::Miss)),
+            record("age:realloc", 2.0, Some(CacheStatus::Hit)),
+        ]
+        .join("\n");
+        let s = summarize(&jsonl).unwrap();
+        let age_pos = s.find("age:ffs").unwrap();
+        let fig_pos = s.find("fig1").unwrap();
+        assert!(age_pos < fig_pos, "slowest job leads:\n{s}");
+        assert!(s.contains("1 hit / 1 miss"), "{s}");
+        assert!(s.contains("0 not ok"), "{s}");
+        assert!(s.contains("total 6.500s over 3 jobs"), "{s}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(summarize("").is_err());
+        assert!(summarize("\n\n").is_err());
+    }
+}

@@ -1,0 +1,411 @@
+//! The content-addressed artifact store for aged file systems.
+//!
+//! Aging is the expensive step of every experiment (two to three
+//! multi-month replays per harness invocation), and its product is a
+//! pure function of its inputs — exactly the profile of an artifact
+//! worth persisting. The store keeps one text file per [`AgedKey`]:
+//!
+//! ```text
+//! # exp aged artifact v1
+//! key <16-hex content address>
+//! policy <orig|realloc>
+//! fsdigest <Filesystem::digest of the saved image>
+//! skipped <creates skipped for lack of space>
+//! daily <day> <layout> <util> <nfiles> <bytes>     (one per aged day)
+//! # checkpoint day <N>
+//! <the allocation-exact aging::Checkpoint text>
+//! ```
+//!
+//! Loading **trusts nothing**: the checkpoint restore path rebuilds all
+//! derived allocation state and re-verifies it with the consistency
+//! checker, and the restored image's [`ffs::Filesystem::digest`] must
+//! match the recorded one. Any damage — truncation, bit rot, a key
+//! collision, hand editing — surfaces as [`FsError::Corrupt`] and the
+//! caller re-ages transparently instead of trusting the artifact.
+//! Writes go through a temporary file and an atomic rename so a crashed
+//! writer can never leave a half-written artifact under a valid name.
+
+use std::path::{Path, PathBuf};
+
+use aging::{generate, replay, take_checkpoint, AgingConfig, Checkpoint, DayStats, ReplayOptions, ReplayResult};
+use ffs::AllocPolicy;
+use ffs_types::{FsError, FsParams, FsResult};
+
+use crate::key::{aged_key, AgedKey, FORMAT_VERSION};
+use crate::record::CacheStatus;
+
+/// A directory of cached aged-file-system artifacts.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+/// The product of [`age_cached`]: the aged run plus its provenance.
+pub struct AgedRun {
+    /// The aged file system and its day-by-day series.
+    pub result: ReplayResult,
+    /// Whether the image came from the store.
+    pub cache: CacheStatus,
+    /// The content address of the artifact.
+    pub key: AgedKey,
+    /// Workload operations replayed to produce the image (0 on a hit).
+    pub ops: u64,
+}
+
+impl ArtifactStore {
+    /// Opens (or designates) a store rooted at `dir`. The directory is
+    /// created lazily on first save.
+    pub fn new(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The artifact path for a key.
+    pub fn path_for(&self, key: &AgedKey) -> PathBuf {
+        self.dir.join(format!("{}.aged", key.hex))
+    }
+
+    /// Loads and validates the artifact for `key`.
+    ///
+    /// Returns `Ok(None)` when no artifact exists, and
+    /// [`FsError::Corrupt`] when one exists but fails any validation
+    /// step — the caller should discard it and recompute.
+    pub fn load(
+        &self,
+        key: &AgedKey,
+        params: &FsParams,
+        policy: AllocPolicy,
+    ) -> FsResult<Option<ReplayResult>> {
+        let path = self.path_for(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(FsError::Corrupt(format!(
+                    "unreadable artifact {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        self.parse(key, params, policy, &text).map(Some)
+    }
+
+    fn parse(
+        &self,
+        key: &AgedKey,
+        params: &FsParams,
+        policy: AllocPolicy,
+        text: &str,
+    ) -> FsResult<ReplayResult> {
+        let corrupt = |what: &str| FsError::Corrupt(format!("aged artifact: {what}"));
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| corrupt("empty file"))?;
+        if header != format!("# exp aged artifact v{FORMAT_VERSION}") {
+            return Err(corrupt(&format!("unknown format {header:?}")));
+        }
+        let mut stored_key = None;
+        let mut stored_digest = None;
+        let mut skipped = None;
+        let mut daily: Vec<DayStats> = Vec::new();
+        let mut checkpoint_text = String::new();
+        for line in lines.by_ref() {
+            if line.starts_with("# checkpoint day ") {
+                checkpoint_text.push_str(line);
+                checkpoint_text.push('\n');
+                break;
+            }
+            match line.split_once(' ') {
+                Some(("key", v)) => stored_key = Some(v.to_string()),
+                Some(("policy", _)) => {
+                    // Informational; the digest check below is the
+                    // authoritative policy validation.
+                }
+                Some(("fsdigest", v)) => {
+                    stored_digest =
+                        Some(v.parse::<u64>().map_err(|e| corrupt(&format!("bad fsdigest: {e}")))?);
+                }
+                Some(("skipped", v)) => {
+                    skipped =
+                        Some(v.parse::<u64>().map_err(|e| corrupt(&format!("bad skipped: {e}")))?);
+                }
+                Some(("daily", v)) => {
+                    daily.push(DayStats::from_record(v).map_err(|e| corrupt(&e))?);
+                }
+                _ => return Err(corrupt(&format!("unknown record {line:?}"))),
+            }
+        }
+        for line in lines {
+            checkpoint_text.push_str(line);
+            checkpoint_text.push('\n');
+        }
+        let stored_key = stored_key.ok_or_else(|| corrupt("missing key line"))?;
+        if stored_key != key.hex {
+            return Err(corrupt(&format!(
+                "key mismatch: file says {stored_key}, wanted {}",
+                key.hex
+            )));
+        }
+        let stored_digest = stored_digest.ok_or_else(|| corrupt("missing fsdigest line"))?;
+        let skipped = skipped.ok_or_else(|| corrupt("missing skipped line"))?;
+        if daily.is_empty() {
+            return Err(corrupt("no daily series"));
+        }
+        let ck = Checkpoint::from_text(&checkpoint_text)
+            .map_err(|e| corrupt(&format!("checkpoint: {e}")))?;
+        let last_day = daily.last().expect("non-empty").day;
+        if ck.day != last_day {
+            return Err(corrupt(&format!(
+                "checkpoint day {} disagrees with daily series end {last_day}",
+                ck.day
+            )));
+        }
+        // Restore rebuilds and re-verifies all derived allocation state;
+        // a tampered inode table is caught here...
+        let (fs, live) = ck.restore(params.clone(), policy)?;
+        // ...and the digest pins the rest (rotors, counters, identity).
+        let digest = fs.digest();
+        if digest != stored_digest {
+            return Err(corrupt(&format!(
+                "digest mismatch: restored {digest}, recorded {stored_digest}"
+            )));
+        }
+        Ok(ReplayResult {
+            daily,
+            fs,
+            live,
+            skipped_creates: skipped,
+            snapshots: Vec::new(),
+            checkpoints: Vec::new(),
+            crash: None,
+        })
+    }
+
+    /// Persists an aged run under `key` (atomic replace).
+    pub fn save(&self, key: &AgedKey, result: &ReplayResult) -> Result<PathBuf, String> {
+        use std::fmt::Write as _;
+        let last = result
+            .daily
+            .last()
+            .ok_or("cannot cache a zero-day aging run")?;
+        let ck = take_checkpoint(&result.fs, &result.live, last.day, result.skipped_creates);
+        let mut text = format!("# exp aged artifact v{FORMAT_VERSION}\n");
+        let _ = writeln!(text, "key {}", key.hex);
+        let _ = writeln!(
+            text,
+            "policy {}",
+            match result.fs.policy() {
+                AllocPolicy::Orig => "orig",
+                AllocPolicy::Realloc => "realloc",
+            }
+        );
+        let _ = writeln!(text, "fsdigest {}", result.fs.digest());
+        let _ = writeln!(text, "skipped {}", result.skipped_creates);
+        for d in &result.daily {
+            let _ = writeln!(text, "daily {}", d.to_record());
+        }
+        text.push_str(&ck.to_text());
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let path = self.path_for(key);
+        let tmp = self.dir.join(format!("{}.tmp{}", key.hex, std::process::id()));
+        std::fs::write(&tmp, &text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("installing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+/// Ages a file system, going through the artifact store when one is
+/// given: a valid cached image is reused (`cache: hit`), a missing one
+/// is built and saved (`miss`), and a damaged one is discarded, rebuilt,
+/// and overwritten (`corrupt`) — never trusted.
+pub fn age_cached(
+    store: Option<&ArtifactStore>,
+    params: &FsParams,
+    config: &AgingConfig,
+    policy: AllocPolicy,
+    options: ReplayOptions,
+) -> Result<AgedRun, String> {
+    let key = aged_key(params, config, policy, &options);
+    let mut cache = CacheStatus::Disabled;
+    if let Some(store) = store {
+        match store.load(&key, params, policy) {
+            Ok(Some(result)) => {
+                return Ok(AgedRun {
+                    result,
+                    cache: CacheStatus::Hit,
+                    key,
+                    ops: 0,
+                })
+            }
+            Ok(None) => cache = CacheStatus::Miss,
+            Err(_) => cache = CacheStatus::Corrupt,
+        }
+    }
+    let w = generate(config, params.ncg, params.data_capacity_bytes());
+    let ops = w.days.iter().map(|d| d.ops.len() as u64).sum();
+    let result = replay(&w, params, policy, options).map_err(|e| e.to_string())?;
+    if let Some(store) = store {
+        if !result.daily.is_empty() {
+            store.save(&key, &result)?;
+        }
+    }
+    Ok(AgedRun {
+        result,
+        cache,
+        key,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("exp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small() -> (FsParams, AgingConfig) {
+        (FsParams::small_test(), AgingConfig::small_test(8, 42))
+    }
+
+    #[test]
+    fn miss_then_hit_reproduces_the_run_exactly() {
+        let dir = tmpdir("roundtrip");
+        let store = ArtifactStore::new(&dir);
+        let (params, config) = small();
+        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        assert_eq!(cold.cache, CacheStatus::Miss);
+        assert!(cold.ops > 0);
+        assert!(store.path_for(&cold.key).exists());
+        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        assert_eq!(warm.ops, 0);
+        assert_eq!(warm.key, cold.key);
+        assert_eq!(warm.result.daily, cold.result.daily, "day series bit-exact");
+        assert_eq!(warm.result.fs.digest(), cold.result.fs.digest());
+        assert_eq!(warm.result.live, cold.result.live);
+        assert_eq!(warm.result.skipped_creates, cold.result.skipped_creates);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncached_run_reports_disabled() {
+        let (params, config) = small();
+        let run = age_cached(None, &params, &config, AllocPolicy::Orig,
+                             ReplayOptions::default())
+            .unwrap();
+        assert_eq!(run.cache, CacheStatus::Disabled);
+        assert!(run.ops > 0);
+    }
+
+    #[test]
+    fn distinct_policies_store_distinct_artifacts() {
+        let dir = tmpdir("policies");
+        let store = ArtifactStore::new(&dir);
+        let (params, config) = small();
+        let o = age_cached(Some(&store), &params, &config, AllocPolicy::Orig,
+                           ReplayOptions::default())
+            .unwrap();
+        let r = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                           ReplayOptions::default())
+            .unwrap();
+        assert_ne!(o.key.hex, r.key.hex);
+        assert_eq!(o.cache, CacheStatus::Miss);
+        assert_eq!(r.cache, CacheStatus::Miss);
+        assert!(store.path_for(&o.key).exists() && store.path_for(&r.key).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_and_rebuilt() {
+        let dir = tmpdir("corrupt");
+        let store = ArtifactStore::new(&dir);
+        let (params, config) = small();
+        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        let path = store.path_for(&cold.key);
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation: cut the artifact mid-checkpoint.
+        std::fs::write(&path, &original[..original.len() / 2]).unwrap();
+        let e = store
+            .load(&cold.key, &params, AllocPolicy::Realloc)
+            .unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+
+        // Tampering: steal a block address inside a file record.
+        let tampered = original.replacen("file ", "file 999999 ", 1);
+        std::fs::write(&path, tampered).unwrap();
+        let e = store
+            .load(&cold.key, &params, AllocPolicy::Realloc)
+            .unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+
+        // A wrong-key artifact under the right name is a collision, not
+        // a hit.
+        let miskeyed = original.replacen(&format!("key {}", cold.key.hex), "key 0000000000000000", 1);
+        std::fs::write(&path, miskeyed).unwrap();
+        let e = store
+            .load(&cold.key, &params, AllocPolicy::Realloc)
+            .unwrap_err();
+        assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
+
+        // age_cached treats all of that as "re-age, overwrite".
+        std::fs::write(&path, &original[..original.len() / 3]).unwrap();
+        let healed = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                                ReplayOptions::default())
+            .unwrap();
+        assert_eq!(healed.cache, CacheStatus::Corrupt);
+        assert!(healed.ops > 0, "the image was rebuilt, not trusted");
+        assert_eq!(healed.result.daily, cold.result.daily);
+        // The store healed: next call hits.
+        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_image_ages_on_identically() {
+        // The point of the cache: continuing work on a restored image is
+        // indistinguishable from continuing on the original.
+        let dir = tmpdir("continue");
+        let store = ArtifactStore::new(&dir);
+        let (params, config) = small();
+        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
+                              ReplayOptions::default())
+            .unwrap();
+        assert_eq!(warm.cache, CacheStatus::Hit);
+        let mut a = cold.result.fs.clone();
+        let mut b = warm.result.fs.clone();
+        let da = a.mkdir().unwrap();
+        let db = b.mkdir().unwrap();
+        let ia = a.create(da, 100 * 1024, 99).unwrap();
+        let ib = b.create(db, 100 * 1024, 99).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(
+            a.file(ia).unwrap().blocks,
+            b.file(ib).unwrap().blocks,
+            "allocation decisions must match block for block"
+        );
+        assert_eq!(a.digest(), b.digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -442,6 +442,76 @@ impl Filesystem {
         Ok(())
     }
 
+    /// A stable 64-bit digest (FNV-1a) of every allocation-relevant
+    /// piece of state: parameters, policy, directories, inodes with all
+    /// their block claims, rotors, and the cumulative write counter.
+    ///
+    /// Two file systems with equal digests behave identically under
+    /// further allocation, so the artifact cache uses the digest to
+    /// validate that a deserialized aged image really is the one that
+    /// was saved. The digest is independent of *how* the state was
+    /// reached (clone, checkpoint restore, replay) because it reads only
+    /// canonical state in canonical (BTreeMap / group) order.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.params.size_bytes);
+        eat(self.params.bsize as u64);
+        eat(self.params.fsize as u64);
+        eat(self.params.ncg as u64);
+        eat(self.params.maxcontig as u64);
+        eat(self.params.minfree_pct as u64);
+        eat(self.params.bytes_per_inode as u64);
+        eat(self.params.inode_size as u64);
+        eat(match self.policy {
+            AllocPolicy::Orig => 0,
+            AllocPolicy::Realloc => 1,
+        });
+        eat(self.bytes_written);
+        eat(self.next_dir as u64);
+        eat(self.dirs.len() as u64);
+        for d in self.dirs.values() {
+            eat(d.id.0 as u64);
+            eat(d.cg.0 as u64);
+            eat(d.block.0 as u64);
+            eat(d.ino_slot as u64);
+            eat(d.nfiles as u64);
+        }
+        eat(self.files.len() as u64);
+        for f in self.files.values() {
+            eat(f.ino.0 as u64);
+            eat(f.dir.0 as u64);
+            eat(f.size);
+            eat(f.mtime_day as u64);
+            eat(f.blocks.len() as u64);
+            for b in &f.blocks {
+                eat(b.0 as u64);
+            }
+            match f.tail {
+                Some((d, n)) => {
+                    eat(1);
+                    eat(d.0 as u64);
+                    eat(n as u64);
+                }
+                None => eat(0),
+            }
+            eat(f.indirects.len() as u64);
+            for b in &f.indirects {
+                eat(b.0 as u64);
+            }
+        }
+        for (rotor, irotor) in self.rotors() {
+            eat(rotor as u64);
+            eat(irotor as u64);
+        }
+        h
+    }
+
     // ------------------------------------------------------------------
     // Internals.
     // ------------------------------------------------------------------
@@ -613,6 +683,28 @@ mod tests {
         let mut f = Filesystem::new(FsParams::small_test(), policy);
         let d = f.mkdir_in(CgIdx(0)).unwrap();
         (f, d)
+    }
+
+    #[test]
+    fn digest_tracks_allocation_state() {
+        let (mut a, d) = fs(AllocPolicy::Orig);
+        let empty = a.digest();
+        assert_eq!(empty, a.clone().digest(), "clone preserves the digest");
+        let ino = a.create(d, 24 * KB, 3).unwrap();
+        let with_file = a.digest();
+        assert_ne!(empty, with_file, "allocation must change the digest");
+        // An identically-built file system digests identically.
+        let (mut b, db) = fs(AllocPolicy::Orig);
+        b.create(db, 24 * KB, 3).unwrap();
+        assert_eq!(with_file, b.digest());
+        // Deleting does not return to the mkfs digest: bytes_written and
+        // rotors remember the history that steers future allocation.
+        a.remove(ino).unwrap();
+        assert_ne!(a.digest(), empty);
+        // Policy is part of the digest.
+        let (o, _) = fs(AllocPolicy::Orig);
+        let (r, _) = fs(AllocPolicy::Realloc);
+        assert_ne!(o.digest(), r.digest());
     }
 
     #[test]

@@ -1,9 +1,15 @@
-//! Shared experiment context: the two aged file systems (one per
-//! allocation policy) plus the real-FS reference run, built once and
-//! reused by every figure.
+//! Shared experiment options and inputs.
+//!
+//! Before the experiment engine existed this module aged the file
+//! systems itself, once per process, sequentially. The agings are now
+//! jobs in the engine's DAG (built in [`crate::driver`]) so they run
+//! concurrently and persist in the artifact cache; what remains here is
+//! the option set every command shares and the cheap static inputs
+//! (file-system and disk parameters) every experiment consumes.
 
-use aging::{generate, replay, AgingConfig, ReplayOptions, ReplayResult};
-use ffs::AllocPolicy;
+use std::path::PathBuf;
+
+use aging::AgingConfig;
 use ffs_types::{DiskParams, FsParams};
 
 /// Command-line options shared by all experiments.
@@ -13,8 +19,14 @@ pub struct Options {
     pub days: u32,
     /// Workload seed.
     pub seed: u64,
-    /// Directory for TSV outputs (stdout only when absent).
-    pub out_dir: Option<String>,
+    /// Directory for TSV outputs and `runs.jsonl`.
+    pub out_dir: String,
+    /// Worker threads for the job DAG (0 = one per core, capped at 8).
+    pub jobs: usize,
+    /// Artifact-cache directory (`<out_dir>/cache` when unset).
+    pub cache_dir: Option<String>,
+    /// Disables the artifact cache entirely.
+    pub no_cache: bool,
 }
 
 impl Default for Options {
@@ -22,100 +34,106 @@ impl Default for Options {
         Options {
             days: 300,
             seed: 1996,
-            out_dir: None,
+            out_dir: "results".into(),
+            jobs: 0,
+            cache_dir: None,
+            no_cache: false,
         }
     }
 }
 
-/// The aged state every experiment consumes.
-pub struct Ctx {
-    /// The options the context was built with.
-    pub opts: Options,
+impl Options {
+    /// The worker-pool size the engine should use.
+    pub fn worker_count(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+
+    /// Where aged-file-system artifacts live.
+    pub fn cache_path(&self) -> PathBuf {
+        match &self.cache_dir {
+            Some(d) => PathBuf::from(d),
+            None => PathBuf::from(&self.out_dir).join("cache"),
+        }
+    }
+
+    /// The paper's aging configuration at this option set's seed and
+    /// length (with the ramp shortened to fit truncated runs).
+    pub fn aging_config(&self) -> AgingConfig {
+        let mut config = AgingConfig::paper(self.seed);
+        config.days = self.days;
+        if self.days < config.ramp_days {
+            config.ramp_days = (self.days / 3).max(1);
+        }
+        config
+    }
+}
+
+/// The static inputs every experiment consumes: Table 1's file-system
+/// and disk parameters plus the run's length and seed.
+#[derive(Clone, Debug)]
+pub struct Shared {
     /// File-system parameters (Table 1).
     pub params: FsParams,
     /// Disk parameters (Table 1).
     pub disk: DiskParams,
-    /// Aging run under the original FFS allocator.
-    pub orig: ReplayResult,
-    /// Aging run under the realloc allocator.
-    pub realloc: ReplayResult,
-    /// The "real file system" reference run (Figure 1), aged with the
-    /// heavier-churn workload variant under the original allocator.
-    pub real_ref: ReplayResult,
+    /// Days the main runs age.
+    pub days: u32,
+    /// Workload seed.
+    pub seed: u64,
 }
 
-impl Ctx {
-    /// Ages the file systems. This is the expensive step (~10 months of
-    /// operations replayed three times).
-    pub fn build(opts: &Options) -> Result<Ctx, String> {
-        let params = FsParams::paper_502mb();
-        let disk = DiskParams::seagate_32430n();
-        let mut config = AgingConfig::paper(opts.seed);
-        config.days = opts.days;
-        if opts.days < config.ramp_days {
-            config.ramp_days = (opts.days / 3).max(1);
+impl Shared {
+    /// Builds the shared inputs for an option set.
+    pub fn from_options(opts: &Options) -> Shared {
+        Shared {
+            params: FsParams::paper_502mb(),
+            disk: DiskParams::seagate_32430n(),
+            days: opts.days,
+            seed: opts.seed,
         }
-        let capacity = params.data_capacity_bytes();
-        eprintln!(
-            "# aging {} days on {} MB fs (seed {}) ...",
-            config.days,
-            params.size_bytes >> 20,
-            config.seed
-        );
-        let w = generate(&config, params.ncg, capacity);
-        let t0 = std::time::Instant::now();
-        let orig = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default())
-            .map_err(|e| e.to_string())?;
-        eprintln!(
-            "#   FFS:          layout {:.3}, util {:.2}, {} files, {:.1} GB written ({:.1}s)",
-            orig.daily.last().map_or(1.0, |d| d.layout_score),
-            orig.daily.last().map_or(0.0, |d| d.utilization),
-            orig.fs.nfiles(),
-            orig.fs.bytes_written() as f64 / (1u64 << 30) as f64,
-            t0.elapsed().as_secs_f64()
-        );
-        let t1 = std::time::Instant::now();
-        let realloc = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
-            .map_err(|e| e.to_string())?;
-        eprintln!(
-            "#   FFS+Realloc:  layout {:.3}, util {:.2}, {} files ({:.1}s)",
-            realloc.daily.last().map_or(1.0, |d| d.layout_score),
-            realloc.daily.last().map_or(0.0, |d| d.utilization),
-            realloc.fs.nfiles(),
-            t1.elapsed().as_secs_f64()
-        );
-        let st = realloc.fs.alloc_stats();
-        eprintln!(
-            "#     realloc windows: {} contig, {} moved, {} failed",
-            st.realloc_already_contig, st.realloc_moves, st.realloc_failures
-        );
-        let real_cfg = config.real_fs_variant();
-        let wr = generate(&real_cfg, params.ncg, capacity);
-        let real_ref = replay(&wr, &params, AllocPolicy::Orig, ReplayOptions::default())
-            .map_err(|e| e.to_string())?;
-        eprintln!(
-            "#   real-FS ref:  layout {:.3}",
-            real_ref.daily.last().map_or(1.0, |d| d.layout_score)
-        );
-        Ok(Ctx {
-            opts: opts.clone(),
-            params,
-            disk,
-            orig,
-            realloc,
-            real_ref,
-        })
     }
 }
 
-/// Prints `content` to stdout and, when an output directory is
-/// configured, also into `<dir>/<name>.tsv`.
-pub fn emit(opts: &Options, name: &str, content: &str) -> Result<(), String> {
-    print!("{content}");
-    if let Some(dir) = &opts.out_dir {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
-        let path = format!("{dir}/{name}.tsv");
-        std::fs::write(&path, content).map_err(|e| format!("writing {path}: {e}"))?;
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = Options::default();
+        assert_eq!(o.days, 300);
+        assert_eq!(o.seed, 1996);
+        assert_eq!(o.out_dir, "results");
+        assert_eq!(o.cache_path(), PathBuf::from("results/cache"));
+        assert!(o.worker_count() >= 1);
     }
-    Ok(())
+
+    #[test]
+    fn truncated_runs_shorten_the_ramp() {
+        let o = Options {
+            days: 30,
+            ..Options::default()
+        };
+        let c = o.aging_config();
+        assert_eq!(c.days, 30);
+        assert!(c.ramp_days <= 30);
+        assert_eq!(Options::default().aging_config().ramp_days, 90);
+    }
+
+    #[test]
+    fn explicit_cache_dir_wins() {
+        let mut o = Options {
+            cache_dir: Some("/tmp/elsewhere".into()),
+            ..Options::default()
+        };
+        assert_eq!(o.cache_path(), PathBuf::from("/tmp/elsewhere"));
+        o.jobs = 3;
+        assert_eq!(o.worker_count(), 3);
+    }
 }

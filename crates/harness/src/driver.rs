@@ -1,0 +1,223 @@
+//! Builds the experiment DAG and drives it through the engine.
+//!
+//! The graph has two layers: three aging jobs (`age:ffs`, `age:realloc`,
+//! `age:realref`) that each produce an aged file system — through the
+//! artifact cache, so a warm run loads them instead of replaying ten
+//! months of workload — and one job per requested exhibit consuming the
+//! aged runs it needs. Exhibit jobs return their TSV as a string; this
+//! module prints and writes the blocks in canonical order *after* the
+//! engine finishes, so worker count and scheduling order cannot change
+//! the bytes the user sees.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use aging::{ReplayOptions, ReplayResult};
+use exp::{age_cached, ArtifactStore, JobCtx, JobOutcome, JobSpec, RunRecord};
+use ffs::AllocPolicy;
+
+use crate::ctx::{Options, Shared};
+use crate::experiments;
+
+/// The exhibits `all` runs, in the order their output is emitted.
+/// `sweep` (the maxcontig ablation) is runnable by name but excluded
+/// from `all`, as before the engine existed.
+pub const EXHIBITS: &[&str] = &[
+    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table2", "freespace", "snapval",
+    "profiles",
+];
+
+/// Whether `name` is an experiment the driver can run.
+pub fn is_experiment(name: &str) -> bool {
+    name == "sweep" || EXHIBITS.contains(&name)
+}
+
+/// What a job produces: an aged file system (aging layer) or a TSV
+/// block (exhibit layer).
+pub enum JobOut {
+    /// Output of an aging job (boxed: a `ReplayResult` is large and the
+    /// TSV variant is small).
+    Aged(Box<ReplayResult>),
+    /// Output of an exhibit job.
+    Tsv(String),
+}
+
+/// The aged runs an exhibit consumes.
+fn deps_of(name: &str) -> &'static [&'static str] {
+    match name {
+        "fig1" => &["age:ffs", "age:realref"],
+        "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "table2" | "freespace" => {
+            &["age:ffs", "age:realloc"]
+        }
+        _ => &[],
+    }
+}
+
+fn aged<'a>(ctx: &'a JobCtx<'_, JobOut>, id: &str) -> &'a ReplayResult {
+    match ctx.dep(id) {
+        JobOut::Aged(r) => r,
+        JobOut::Tsv(_) => unreachable!("{id} is an aging job"),
+    }
+}
+
+/// Owned variant of [`aged`] for jobs that also borrow `ctx.metrics`.
+fn aged_arc(ctx: &JobCtx<'_, JobOut>, id: &str) -> std::sync::Arc<JobOut> {
+    ctx.dep_arc(id)
+}
+
+fn as_aged(out: &JobOut) -> &ReplayResult {
+    match out {
+        JobOut::Aged(r) => r,
+        JobOut::Tsv(_) => unreachable!("aging jobs produce aged file systems"),
+    }
+}
+
+fn aging_job(
+    id: &str,
+    opts: &Options,
+    sh: &Shared,
+    policy: AllocPolicy,
+    real_variant: bool,
+) -> JobSpec<JobOut> {
+    let params = sh.params.clone();
+    let mut config = opts.aging_config();
+    if real_variant {
+        config = config.real_fs_variant();
+    }
+    let store = (!opts.no_cache).then(|| ArtifactStore::new(opts.cache_path()));
+    JobSpec::new(id, &[], move |ctx| {
+        let run = age_cached(
+            store.as_ref(),
+            &params,
+            &config,
+            policy,
+            ReplayOptions::default(),
+        )?;
+        ctx.metrics.cache = Some(run.cache);
+        ctx.metrics.key = Some(run.key.hex.clone());
+        ctx.metrics.ops = Some(run.ops);
+        Ok(JobOut::Aged(Box::new(run.result)))
+    })
+}
+
+fn exhibit_job(name: &'static str, sh: &Shared) -> JobSpec<JobOut> {
+    let sh = sh.clone();
+    JobSpec::new(name, deps_of(name), move |ctx| {
+        let tsv = match name {
+            "table1" => experiments::table1(&sh),
+            "fig1" => experiments::fig1(aged(ctx, "age:ffs"), aged(ctx, "age:realref")),
+            "fig2" => experiments::fig2(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "fig3" => experiments::fig3(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "fig4" => {
+                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                experiments::fig4(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
+            }
+            "fig5" => {
+                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                experiments::fig5(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
+            }
+            "fig6" => experiments::fig6(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "table2" => {
+                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                experiments::table2(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
+            }
+            "freespace" => experiments::freespace(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "snapval" => experiments::snapval(&sh, ctx.metrics),
+            "profiles" => experiments::profiles(&sh, ctx.metrics),
+            "sweep" => experiments::sweep(&sh, ctx.metrics),
+            other => Err(format!("unknown experiment '{other}'")),
+        }?;
+        Ok(JobOut::Tsv(tsv))
+    })
+}
+
+/// Outcome of one requested experiment.
+pub struct ExperimentResult {
+    /// Experiment name.
+    pub name: &'static str,
+    /// `Err` holds the failure (or skip) reason.
+    pub outcome: Result<(), String>,
+}
+
+/// A completed driver run.
+pub struct Summary {
+    /// Per-experiment outcomes, in emission order.
+    pub results: Vec<ExperimentResult>,
+}
+
+impl Summary {
+    /// Whether every requested experiment produced its exhibit.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.outcome.is_ok())
+    }
+}
+
+fn fail(jsonl: &[RunRecord], id: &str) -> String {
+    jsonl
+        .iter()
+        .find(|r| r.job == id)
+        .and_then(|r| r.error.clone())
+        .unwrap_or_else(|| "no output produced".into())
+}
+
+/// Runs `requested` (names from [`EXHIBITS`] plus `sweep`) through the
+/// engine, writes run records to `<out>/runs.jsonl` and each exhibit to
+/// stdout and `<out>/<name>.tsv`, and returns per-experiment outcomes.
+pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String> {
+    let sh = Shared::from_options(opts);
+    let mut jobs: Vec<JobSpec<JobOut>> = Vec::new();
+    let mut aging_needed: Vec<&str> = Vec::new();
+    for name in requested {
+        for dep in deps_of(name) {
+            if !aging_needed.contains(dep) {
+                aging_needed.push(dep);
+            }
+        }
+    }
+    for id in &aging_needed {
+        jobs.push(match *id {
+            "age:ffs" => aging_job(id, opts, &sh, AllocPolicy::Orig, false),
+            "age:realloc" => aging_job(id, opts, &sh, AllocPolicy::Realloc, false),
+            "age:realref" => aging_job(id, opts, &sh, AllocPolicy::Orig, true),
+            other => unreachable!("unknown aging job {other}"),
+        });
+    }
+    for name in requested {
+        jobs.push(exhibit_job(name, &sh));
+    }
+
+    let run = exp::run_jobs(jobs, opts.worker_count())?;
+
+    let out_dir = Path::new(&opts.out_dir);
+    fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+    let mut jsonl = String::new();
+    for rec in &run.records {
+        jsonl.push_str(&rec.to_json());
+        jsonl.push('\n');
+    }
+    let runs_path = out_dir.join("runs.jsonl");
+    fs::write(&runs_path, jsonl).map_err(|e| format!("write {}: {e}", runs_path.display()))?;
+
+    let mut results = Vec::new();
+    let mut stdout = std::io::stdout().lock();
+    for name in requested {
+        let outcome = match run.outcomes.get(*name) {
+            Some(JobOutcome::Ok(out)) => match out.as_ref() {
+                JobOut::Tsv(tsv) => {
+                    let path = out_dir.join(format!("{name}.tsv"));
+                    fs::write(&path, tsv).map_err(|e| format!("write {}: {e}", path.display()))?;
+                    let _ = stdout.write_all(tsv.as_bytes());
+                    let _ = stdout.write_all(b"\n");
+                    Ok(())
+                }
+                JobOut::Aged(_) => unreachable!("{name} is an exhibit job"),
+            },
+            Some(JobOutcome::Failed(e)) => Err(e.clone()),
+            Some(JobOutcome::Skipped(why)) => Err(why.clone()),
+            None => Err(fail(&run.records, name)),
+        };
+        results.push(ExperimentResult { name, outcome });
+    }
+    Ok(Summary { results })
+}

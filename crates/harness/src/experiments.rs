@@ -1,25 +1,31 @@
-//! One function per paper exhibit. Each prints the exhibit's series as a
-//! TSV block headed by a comment naming the figure/table it regenerates.
+//! One function per paper exhibit. Each is a pure function of its
+//! inputs (the shared parameters and the aged runs it consumes) that
+//! returns the exhibit's TSV block — the engine decides scheduling and
+//! the driver decides where the bytes go, so `--jobs N` cannot change a
+//! single byte of output. Functions that drive the simulated disk also
+//! report op counts and [`disk::DeviceStats`] into their job's
+//! [`Metrics`] for the structured run record.
 
 use std::fmt::Write as _;
 
 use aging::ReplayResult;
 use disk::{raw_read_throughput, raw_write_throughput};
+use exp::Metrics;
 use ffs::{free_space_stats, layout_by_size, size_bins_paper, Filesystem};
 use ffs_types::units::fmt_bytes;
 use ffs_types::{Ino, MB};
 use iobench::{paper_file_sizes, run_hot_files, run_point, SeqBenchConfig};
 
-use crate::ctx::{emit, Ctx, Options};
+use crate::ctx::Shared;
 
 /// Days of the aging run whose modified files form the "hot" set
 /// (Section 5.2: "the last month").
 const HOT_DAYS: u32 = 30;
 
 /// Table 1: the benchmark configuration.
-pub fn table1(opts: &Options) -> Result<(), String> {
-    let p = ffs_types::FsParams::paper_502mb();
-    let d = ffs_types::DiskParams::seagate_32430n();
+pub fn table1(sh: &Shared) -> Result<String, String> {
+    let p = &sh.params;
+    let d = &sh.disk;
     let mut s = String::new();
     let _ = writeln!(s, "# Table 1: Benchmark Configuration");
     let _ = writeln!(s, "param\tvalue");
@@ -54,7 +60,7 @@ pub fn table1(opts: &Options) -> Result<(), String> {
     let _ = writeln!(s, "fs.cylinder_groups\t{}", p.ncg);
     let _ = writeln!(s, "fs.rotational_gap\t0");
     let _ = writeln!(s, "fs.minfree_pct\t{}", p.minfree_pct);
-    emit(opts, "table1", &s)
+    Ok(s)
 }
 
 fn layout_series_tsv(title: &str, series: &[(&str, &ReplayResult)]) -> String {
@@ -77,21 +83,19 @@ fn layout_series_tsv(title: &str, series: &[(&str, &ReplayResult)]) -> String {
 }
 
 /// Figure 1: aggregate layout score over time, real vs simulated.
-pub fn fig1(ctx: &Ctx) -> Result<(), String> {
-    let s = layout_series_tsv(
+pub fn fig1(orig: &ReplayResult, real_ref: &ReplayResult) -> Result<String, String> {
+    Ok(layout_series_tsv(
         "Figure 1: Aggregate Layout Score Over Time: Real vs. Simulated",
-        &[("simulated", &ctx.orig), ("real", &ctx.real_ref)],
-    );
-    emit(&ctx.opts, "fig1", &s)
+        &[("simulated", orig), ("real", real_ref)],
+    ))
 }
 
 /// Figure 2: aggregate layout score over time, FFS vs realloc.
-pub fn fig2(ctx: &Ctx) -> Result<(), String> {
-    let s = layout_series_tsv(
+pub fn fig2(orig: &ReplayResult, realloc: &ReplayResult) -> Result<String, String> {
+    Ok(layout_series_tsv(
         "Figure 2: Aggregate Layout Score Over Time: FFS vs. realloc",
-        &[("ffs", &ctx.orig), ("ffs_realloc", &ctx.realloc)],
-    );
-    emit(&ctx.opts, "fig2", &s)
+        &[("ffs", orig), ("ffs_realloc", realloc)],
+    ))
 }
 
 fn by_size_tsv(title: &str, sets: &[(&str, &Filesystem, Option<&[Ino]>)]) -> String {
@@ -132,35 +136,38 @@ fn by_size_tsv(title: &str, sets: &[(&str, &Filesystem, Option<&[Ino]>)]) -> Str
 
 /// Figure 3: layout score as a function of file size on the aged file
 /// systems.
-pub fn fig3(ctx: &Ctx) -> Result<(), String> {
-    let s = by_size_tsv(
+pub fn fig3(orig: &ReplayResult, realloc: &ReplayResult) -> Result<String, String> {
+    Ok(by_size_tsv(
         "Figure 3: Layout Score as a Function of File Size (aged fs)",
-        &[
-            ("ffs", &ctx.orig.fs, None),
-            ("ffs_realloc", &ctx.realloc.fs, None),
-        ],
-    );
-    emit(&ctx.opts, "fig3", &s)
+        &[("ffs", &orig.fs, None), ("ffs_realloc", &realloc.fs, None)],
+    ))
 }
 
 /// Figure 4: sequential read/write throughput vs file size, plus the raw
-/// device baselines. Also computes Figure 5's layout data (cached by the
-/// caller via [`fig5`] re-running the sweep; the sweep is deterministic).
-pub fn fig4(ctx: &Ctx) -> Result<(), String> {
+/// device baselines. (Figure 5 re-runs the same deterministic sweep for
+/// its layout column; the two jobs are independent in the DAG.)
+pub fn fig4(
+    sh: &Shared,
+    orig: &ReplayResult,
+    realloc: &ReplayResult,
+    m: &mut Metrics,
+) -> Result<String, String> {
     let config = SeqBenchConfig {
-        disk: ctx.disk.clone(),
+        disk: sh.disk.clone(),
         ..SeqBenchConfig::default()
     };
-    let raw_r = raw_read_throughput(&ctx.disk, 32 * MB).mb_per_sec;
-    let raw_w = raw_write_throughput(&ctx.disk, 32 * MB).mb_per_sec;
+    let raw_r = raw_read_throughput(&sh.disk, 32 * MB).mb_per_sec;
+    let raw_w = raw_write_throughput(&sh.disk, 32 * MB).mb_per_sec;
     let mut s = String::new();
     let _ = writeln!(s, "# Figure 4: Sequential I/O Performance (MB/s)");
     let _ = writeln!(s, "# raw_read\t{raw_r:.3}");
     let _ = writeln!(s, "# raw_write\t{raw_w:.3}");
     let _ = writeln!(s, "size\tffs_read\tffs_write\trealloc_read\trealloc_write");
     for size in paper_file_sizes() {
-        let po = run_point(&ctx.orig.fs, &config, size).map_err(|e| e.to_string())?;
-        let pr = run_point(&ctx.realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        let po = run_point(&orig.fs, &config, size).map_err(|e| e.to_string())?;
+        let pr = run_point(&realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        m.add_device(&po.device);
+        m.add_device(&pr.device);
         let _ = writeln!(
             s,
             "{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
@@ -171,14 +178,19 @@ pub fn fig4(ctx: &Ctx) -> Result<(), String> {
             pr.write_mb_s
         );
     }
-    emit(&ctx.opts, "fig4", &s)
+    Ok(s)
 }
 
 /// Figure 5: layout score of the files created by the sequential
 /// benchmark, as a function of file size.
-pub fn fig5(ctx: &Ctx) -> Result<(), String> {
+pub fn fig5(
+    sh: &Shared,
+    orig: &ReplayResult,
+    realloc: &ReplayResult,
+    m: &mut Metrics,
+) -> Result<String, String> {
     let config = SeqBenchConfig {
-        disk: ctx.disk.clone(),
+        disk: sh.disk.clone(),
         ..SeqBenchConfig::default()
     };
     let mut s = String::new();
@@ -188,8 +200,10 @@ pub fn fig5(ctx: &Ctx) -> Result<(), String> {
     );
     let _ = writeln!(s, "size\tffs\tffs_realloc");
     for size in paper_file_sizes() {
-        let po = run_point(&ctx.orig.fs, &config, size).map_err(|e| e.to_string())?;
-        let pr = run_point(&ctx.realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        let po = run_point(&orig.fs, &config, size).map_err(|e| e.to_string())?;
+        let pr = run_point(&realloc.fs, &config, size).map_err(|e| e.to_string())?;
+        m.add_device(&po.device);
+        m.add_device(&pr.device);
         let _ = writeln!(
             s,
             "{}\t{:.4}\t{:.4}",
@@ -198,33 +212,39 @@ pub fn fig5(ctx: &Ctx) -> Result<(), String> {
             pr.layout_score()
         );
     }
-    emit(&ctx.opts, "fig5", &s)
+    Ok(s)
 }
 
 /// Figure 6: layout score of the hot files vs file size, alongside the
 /// sequential-benchmark layout for comparison.
-pub fn fig6(ctx: &Ctx) -> Result<(), String> {
-    let hot_o = ctx.orig.hot_files(HOT_DAYS);
-    let hot_r = ctx.realloc.hot_files(HOT_DAYS);
-    let s = by_size_tsv(
+pub fn fig6(orig: &ReplayResult, realloc: &ReplayResult) -> Result<String, String> {
+    let hot_o = orig.hot_files(HOT_DAYS);
+    let hot_r = realloc.hot_files(HOT_DAYS);
+    Ok(by_size_tsv(
         "Figure 6: Layout Score of Hot Files (see fig5 for the sequential curves)",
         &[
-            ("ffs_hot", &ctx.orig.fs, Some(&hot_o)),
-            ("realloc_hot", &ctx.realloc.fs, Some(&hot_r)),
+            ("ffs_hot", &orig.fs, Some(&hot_o)),
+            ("realloc_hot", &realloc.fs, Some(&hot_r)),
         ],
-    );
-    emit(&ctx.opts, "fig6", &s)
+    ))
 }
 
 /// Table 2: performance of recently modified files.
-pub fn table2(ctx: &Ctx) -> Result<(), String> {
+pub fn table2(
+    sh: &Shared,
+    orig: &ReplayResult,
+    realloc: &ReplayResult,
+    m: &mut Metrics,
+) -> Result<String, String> {
     let mut s = String::new();
     let _ = writeln!(s, "# Table 2: Performance of Recently Modified Files");
     let _ = writeln!(s, "metric\tffs\tffs_realloc\trealloc_advantage");
-    let hot_o = ctx.orig.hot_files(HOT_DAYS);
-    let hot_r = ctx.realloc.hot_files(HOT_DAYS);
-    let ro = run_hot_files(&ctx.orig.fs, &hot_o, &ctx.disk);
-    let rr = run_hot_files(&ctx.realloc.fs, &hot_r, &ctx.disk);
+    let hot_o = orig.hot_files(HOT_DAYS);
+    let hot_r = realloc.hot_files(HOT_DAYS);
+    let ro = run_hot_files(&orig.fs, &hot_o, &sh.disk);
+    let rr = run_hot_files(&realloc.fs, &hot_r, &sh.disk);
+    m.add_device(&ro.device);
+    m.add_device(&rr.device);
     let _ = writeln!(
         s,
         "layout_score\t{:.3}\t{:.3}\t{:+.1}%",
@@ -253,19 +273,19 @@ pub fn table2(ctx: &Ctx) -> Result<(), String> {
         ro.bytes as f64 / MB as f64,
         rr.bytes as f64 / MB as f64
     );
-    emit(&ctx.opts, "table2", &s)
+    Ok(s)
 }
 
 /// Extension: free-space cluster analysis of the aged file systems (the
 /// Smith94 observation motivating the paper).
-pub fn freespace(ctx: &Ctx) -> Result<(), String> {
+pub fn freespace(orig: &ReplayResult, realloc: &ReplayResult) -> Result<String, String> {
     let mut s = String::new();
     let _ = writeln!(
         s,
         "# Free-space clusters on the aged file systems (extension)"
     );
     let _ = writeln!(s, "policy\tfree_blocks\tclusterable_fraction\tlongest_run");
-    for (name, fs) in [("ffs", &ctx.orig.fs), ("ffs_realloc", &ctx.realloc.fs)] {
+    for (name, fs) in [("ffs", &orig.fs), ("ffs_realloc", &realloc.fs)] {
         let st = free_space_stats(fs, 512);
         let _ = writeln!(
             s,
@@ -277,7 +297,11 @@ pub fn freespace(ctx: &Ctx) -> Result<(), String> {
         let head: Vec<String> = st.hist[..16].iter().map(|n| n.to_string()).collect();
         let _ = writeln!(s, "# {name} run-length hist 1..16: {}", head.join(" "));
     }
-    emit(&ctx.opts, "freespace", &s)
+    Ok(s)
+}
+
+fn workload_ops(w: &aging::Workload) -> u64 {
+    w.days.iter().map(|d| d.ops.len() as u64).sum()
 }
 
 /// Extension: the snapshot-derivation validation loop. Replays the main
@@ -287,15 +311,15 @@ pub fn freespace(ctx: &Ctx) -> Result<(), String> {
 /// layout series. The derived run under-fragments relative to the
 /// original — the same relationship Figure 1 shows between the paper's
 /// snapshot-derived workload and the real file system it came from.
-pub fn snapval(ctx: &Ctx) -> Result<(), String> {
+pub fn snapval(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
     use aging::{diff_to_workload, generate, replay, AgingConfig, ReplayOptions};
     use ffs::AllocPolicy;
-    let mut config = AgingConfig::paper(ctx.opts.seed);
-    config.days = ctx.opts.days.min(120);
+    let mut config = AgingConfig::paper(sh.seed);
+    config.days = sh.days.min(120);
     if config.days < config.ramp_days {
         config.ramp_days = (config.days / 3).max(1);
     }
-    let params = &ctx.params;
+    let params = &sh.params;
     let w = generate(&config, params.ncg, params.data_capacity_bytes());
     let original = replay(
         &w,
@@ -313,6 +337,7 @@ pub fn snapval(ctx: &Ctx) -> Result<(), String> {
         params.ncg,
         params.data_capacity_bytes(),
     );
+    m.ops = Some(workload_ops(&w) + workload_ops(&derived_w));
     let derived = replay(
         &derived_w,
         params,
@@ -329,30 +354,32 @@ pub fn snapval(ctx: &Ctx) -> Result<(), String> {
     for (a, b) in original.daily.iter().zip(&derived.daily) {
         let _ = writeln!(s, "{}	{:.4}	{:.4}", a.day, a.layout_score, b.layout_score);
     }
-    emit(&ctx.opts, "snapval", &s)
+    Ok(s)
 }
 
 /// Extension (Section 6 future work): aging under different usage
 /// profiles — news spool, database, personal computing — compared with
 /// the paper's home-directory workload, under both policies.
-pub fn profiles(ctx: &Ctx) -> Result<(), String> {
+pub fn profiles(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
     use aging::{generate, profiles, replay, ReplayOptions};
     use ffs::AllocPolicy;
-    let days = ctx.opts.days.min(120);
+    let days = sh.days.min(120);
+    let mut ops = 0u64;
     let mut s = String::new();
     let _ = writeln!(
         s,
         "# Aging by usage profile ({days} days): final aggregate layout score"
     );
     let _ = writeln!(s, "profile	ffs	ffs_realloc	gap");
-    for p in profiles::all(ctx.opts.seed) {
+    for p in profiles::all(sh.seed) {
         let mut config = p.config.clone();
         config.days = days;
         config.ramp_days = (days / 3).max(1);
-        let w = generate(&config, ctx.params.ncg, ctx.params.data_capacity_bytes());
+        let w = generate(&config, sh.params.ncg, sh.params.data_capacity_bytes());
         let mut scores = Vec::new();
         for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
-            let r = replay(&w, &ctx.params, policy, ReplayOptions::default())
+            ops += workload_ops(&w);
+            let r = replay(&w, &sh.params, policy, ReplayOptions::default())
                 .map_err(|e| e.to_string())?;
             scores.push(r.daily.last().map_or(1.0, |d| d.layout_score));
         }
@@ -365,12 +392,13 @@ pub fn profiles(ctx: &Ctx) -> Result<(), String> {
             scores[1] - scores[0]
         );
     }
-    emit(&ctx.opts, "profiles", &s)
+    m.ops = Some(ops);
+    Ok(s)
 }
 
 /// Extension: sensitivity of the day-300 layout gap to the realloc
 /// cluster size (maxcontig ablation).
-pub fn sweep(ctx: &Ctx) -> Result<(), String> {
+pub fn sweep(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
     use aging::{generate, replay, AgingConfig, ReplayOptions};
     use ffs::AllocPolicy;
     let mut s = String::new();
@@ -379,15 +407,17 @@ pub fn sweep(ctx: &Ctx) -> Result<(), String> {
         "# Ablation: final aggregate layout score vs maxcontig (realloc)"
     );
     let _ = writeln!(s, "maxcontig\tlayout_score");
-    let mut config = AgingConfig::paper(ctx.opts.seed);
-    config.days = ctx.opts.days.min(120);
+    let mut config = AgingConfig::paper(sh.seed);
+    config.days = sh.days.min(120);
     if config.days < config.ramp_days {
         config.ramp_days = (config.days / 3).max(1);
     }
+    let mut ops = 0u64;
     for maxcontig in [1u32, 2, 4, 7, 14, 28] {
-        let mut params = ctx.params.clone();
+        let mut params = sh.params.clone();
         params.maxcontig = maxcontig;
         let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        ops += workload_ops(&w);
         let r = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
             .map_err(|e| e.to_string())?;
         let _ = writeln!(
@@ -396,5 +426,6 @@ pub fn sweep(ctx: &Ctx) -> Result<(), String> {
             r.daily.last().map_or(1.0, |d| d.layout_score)
         );
     }
-    emit(&ctx.opts, "sweep", &s)
+    m.ops = Some(ops);
+    Ok(s)
 }

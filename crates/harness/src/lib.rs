@@ -1,0 +1,8 @@
+//! Experiment harness library: options, the exhibit functions, and the
+//! driver that runs them through the `exp` engine. The `harness` binary
+//! is a thin CLI over [`driver::run`]; integration tests call the same
+//! entry points directly.
+
+pub mod ctx;
+pub mod driver;
+pub mod experiments;

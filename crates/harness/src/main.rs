@@ -3,26 +3,32 @@
 //! Usage:
 //!
 //! ```text
-//! harness <experiment> [--days N] [--seed S] [--out DIR]
+//! harness <experiment>|all|report [--days N] [--seed S] [--out DIR]
+//!         [--jobs N] [--cache-dir DIR] [--no-cache]
 //! ```
 //!
 //! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
-//! `fig4`, `fig5`, `fig6`, `table2`, `freespace`, `sweep`, or `all`.
-//! Each experiment prints a tab-separated series (the rows/lines of the
-//! corresponding paper exhibit) to stdout and, when `--out` is given,
-//! into `DIR/<experiment>.tsv`.
-
-mod ctx;
-mod experiments;
+//! `fig4`, `fig5`, `fig6`, `table2`, `freespace`, `snapval`,
+//! `profiles`, or `sweep`. Experiments run as jobs on the `exp`
+//! engine's worker pool; aged file systems are cached under
+//! `<out>/cache` (override with `--cache-dir`, disable with
+//! `--no-cache`). Each exhibit prints its tab-separated block to stdout
+//! and writes it to `<out>/<experiment>.tsv`; every run also writes
+//! structured per-job records to `<out>/runs.jsonl`, which
+//! `harness report` summarizes.
+//!
+//! `all` runs every exhibit (`sweep` excluded), reporting per-experiment
+//! pass/fail on stderr and exiting non-zero iff any failed.
 
 use std::process::ExitCode;
 
-use crate::ctx::{Ctx, Options};
+use harness::ctx::Options;
+use harness::driver;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all> \
-         [--days N] [--seed S] [--out DIR]"
+        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|report> \
+         [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -46,13 +52,26 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage());
             }
             "--out" => {
-                opts.out_dir = Some(args.next().unwrap_or_else(|| usage()));
+                opts.out_dir = args.next().unwrap_or_else(|| usage());
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--no-cache" => {
+                opts.no_cache = true;
             }
             _ => usage(),
         }
     }
     match run(&cmd, &opts) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("harness: {e}");
             ExitCode::FAILURE
@@ -60,38 +79,32 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(cmd: &str, opts: &Options) -> Result<(), String> {
-    if cmd == "table1" {
-        // Table 1 needs no aging run.
-        return experiments::table1(opts);
+fn run(cmd: &str, opts: &Options) -> Result<bool, String> {
+    if cmd == "report" {
+        let path = std::path::Path::new(&opts.out_dir).join("runs.jsonl");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e} (run an experiment first)", path.display()))?;
+        print!("{}", exp::summarize(&text)?);
+        return Ok(true);
     }
-    let ctx = Ctx::build(opts)?;
-    match cmd {
-        "fig1" => experiments::fig1(&ctx),
-        "fig2" => experiments::fig2(&ctx),
-        "fig3" => experiments::fig3(&ctx),
-        "fig4" => experiments::fig4(&ctx),
-        "fig5" => experiments::fig5(&ctx),
-        "fig6" => experiments::fig6(&ctx),
-        "table2" => experiments::table2(&ctx),
-        "freespace" => experiments::freespace(&ctx),
-        "snapval" => experiments::snapval(&ctx),
-        "profiles" => experiments::profiles(&ctx),
-        "sweep" => experiments::sweep(&ctx),
-        "all" => {
-            experiments::table1(&ctx.opts)?;
-            experiments::fig1(&ctx)?;
-            experiments::fig2(&ctx)?;
-            experiments::fig3(&ctx)?;
-            experiments::fig4(&ctx)?;
-            experiments::fig5(&ctx)?;
-            experiments::fig6(&ctx)?;
-            experiments::table2(&ctx)?;
-            experiments::freespace(&ctx)?;
-            experiments::snapval(&ctx)?;
-            experiments::profiles(&ctx)?;
-            Ok(())
+    let requested: Vec<&'static str> = if cmd == "all" {
+        driver::EXHIBITS.to_vec()
+    } else {
+        match driver::EXHIBITS
+            .iter()
+            .chain(&["sweep"])
+            .find(|n| **n == cmd)
+        {
+            Some(n) => vec![n],
+            None => return Err(format!("unknown experiment '{cmd}'")),
         }
-        _ => Err(format!("unknown experiment '{cmd}'")),
+    };
+    let summary = driver::run(opts, &requested)?;
+    for r in &summary.results {
+        match &r.outcome {
+            Ok(()) => eprintln!("harness: {:<10} ok", r.name),
+            Err(e) => eprintln!("harness: {:<10} FAILED: {e}", r.name),
+        }
     }
+    Ok(summary.all_ok())
 }

@@ -1,0 +1,104 @@
+//! The engine's core guarantees, end to end through the driver:
+//! worker count cannot change a byte of any exhibit, and a warm
+//! artifact cache reproduces the cold run exactly while skipping the
+//! agings.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use harness::ctx::Options;
+use harness::driver::{self, EXHIBITS};
+
+fn opts(out: &Path, jobs: usize) -> Options {
+    Options {
+        days: 2,
+        seed: 42,
+        out_dir: out.to_str().unwrap().to_string(),
+        jobs,
+        cache_dir: None,
+        no_cache: false,
+    }
+}
+
+fn run_all(out: &Path, jobs: usize) -> BTreeMap<String, Vec<u8>> {
+    let summary = driver::run(&opts(out, jobs), EXHIBITS).expect("driver runs");
+    assert!(summary.all_ok(), "an experiment failed");
+    EXHIBITS
+        .iter()
+        .map(|name| {
+            let bytes = fs::read(out.join(format!("{name}.tsv"))).expect("tsv written");
+            assert!(!bytes.is_empty(), "{name}.tsv is empty");
+            (name.to_string(), bytes)
+        })
+        .collect()
+}
+
+fn cache_lines(out: &Path) -> Vec<(String, String)> {
+    let text = fs::read_to_string(out.join("runs.jsonl")).expect("runs.jsonl written");
+    text.lines()
+        .filter_map(|line| {
+            let job = exp::RunRecord::field_str(line, "job")?;
+            let cache = exp::RunRecord::field_str(line, "cache")?;
+            Some((job, cache))
+        })
+        .collect()
+}
+
+#[test]
+fn worker_count_does_not_change_any_exhibit() {
+    let base = std::env::temp_dir().join(format!("harness-det-{}", std::process::id()));
+    let (serial, parallel) = (base.join("serial"), base.join("parallel"));
+    let a = run_all(&serial, 1);
+    let b = run_all(&parallel, 4);
+    for name in EXHIBITS {
+        assert_eq!(
+            a[*name], b[*name],
+            "{name}.tsv differs between --jobs 1 and --jobs 4"
+        );
+    }
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
+fn warm_cache_skips_agings_and_reproduces_exhibits() {
+    let out = std::env::temp_dir().join(format!("harness-warm-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+
+    let cold = run_all(&out, 2);
+    let cold_cache = cache_lines(&out);
+    assert_eq!(cold_cache.len(), 3, "three aging jobs record cache status");
+    assert!(
+        cold_cache.iter().all(|(_, c)| c == "miss"),
+        "cold run must miss: {cold_cache:?}"
+    );
+
+    let warm = run_all(&out, 2);
+    let warm_cache = cache_lines(&out);
+    for job in ["age:ffs", "age:realloc", "age:realref"] {
+        let status = warm_cache
+            .iter()
+            .find(|(j, _)| j == job)
+            .map(|(_, c)| c.as_str());
+        assert_eq!(status, Some("hit"), "{job} should hit the warm cache");
+    }
+    assert_eq!(cold, warm, "warm-cache exhibits must be byte-identical");
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn no_cache_disables_the_store() {
+    let out = std::env::temp_dir().join(format!("harness-nocache-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    let mut o = opts(&out, 2);
+    o.no_cache = true;
+    let summary = driver::run(&o, &["fig2"]).expect("driver runs");
+    assert!(summary.all_ok());
+    assert!(!out.join("cache").exists(), "--no-cache must not write");
+    let cache = cache_lines(&out);
+    assert!(
+        cache.iter().all(|(_, c)| c == "disabled"),
+        "agings report cache disabled: {cache:?}"
+    );
+    let _ = fs::remove_dir_all(&out);
+}

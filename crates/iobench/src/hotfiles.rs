@@ -9,7 +9,7 @@
 //! place — preserving their layout, so write throughput excludes
 //! allocation and create overhead. This regenerates Table 2 and Figure 6.
 
-use disk::{Device, IoKind};
+use disk::{Device, DeviceStats, IoKind};
 use ffs::fs::LayoutAgg;
 use ffs::Filesystem;
 use ffs_types::units::mb_per_sec;
@@ -30,6 +30,8 @@ pub struct HotFilesResult {
     pub read_mb_s: f64,
     /// In-place overwrite throughput over the whole set, MB/s.
     pub write_mb_s: f64,
+    /// Simulated-device counters over both phases, for run records.
+    pub device: DeviceStats,
 }
 
 impl HotFilesResult {
@@ -88,6 +90,7 @@ pub fn run_hot_files(fs: &Filesystem, hot: &[Ino], disk: &DiskParams) -> HotFile
         layout,
         read_mb_s: mb_per_sec(bytes, read_us),
         write_mb_s: mb_per_sec(bytes, write_us),
+        device: dev.stats().clone(),
     }
 }
 
@@ -117,6 +120,7 @@ mod tests {
         assert!(r.read_mb_s > 0.0);
         assert!(r.write_mb_s > 0.0);
         assert!((0.0..=1.0).contains(&r.layout_score()));
+        assert!(r.device.reads > 0 && r.device.writes > 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! point: the allocator must find space in fragmented free maps, and the
 //! resulting layout drives throughput (Figures 4 and 5).
 
-use disk::{Device, IoKind};
+use disk::{Device, DeviceStats, IoKind};
 use ffs::fs::LayoutAgg;
 use ffs::Filesystem;
 use ffs_types::units::mb_per_sec;
@@ -51,6 +51,8 @@ pub struct SeqPoint {
     pub read_mb_s: f64,
     /// Aggregate layout of the files the benchmark created (Figure 5).
     pub layout: LayoutAgg,
+    /// Simulated-device counters over both phases, for run records.
+    pub device: DeviceStats,
 }
 
 impl SeqPoint {
@@ -154,6 +156,7 @@ pub fn run_point_with_offset(
         write_mb_s: mb_per_sec(total, write_us),
         read_mb_s: mb_per_sec(total, read_us),
         layout,
+        device: dev.stats().clone(),
     })
 }
 
@@ -189,6 +192,8 @@ mod tests {
         assert_eq!(p.nfiles, 64);
         assert!(p.write_mb_s > 0.1);
         assert!(p.read_mb_s > 0.1);
+        assert!(p.device.reads > 0 && p.device.writes > 0);
+        assert!(p.device.sectors_read >= p.nfiles as u64);
     }
 
     #[test]
