@@ -249,6 +249,8 @@ fn run_days(
         if resume_after.is_some_and(|d| day_log.day <= d) {
             continue;
         }
+        let _day_span = obs::span!("age_day");
+        let ops_span = obs::span!("replay_ops");
         for op in &day_log.ops {
             match *op {
                 Op::Create {
@@ -299,22 +301,30 @@ fn run_days(
                 });
             }
         }
-        daily.push(DayStats {
-            day: day_log.day,
-            layout_score: fs.aggregate_layout().score(),
-            utilization: fs.utilization(),
-            nfiles: fs.nfiles(),
-            bytes_written: fs.bytes_written(),
-        });
+        drop(ops_span);
+        obs::counter!("aging.ops_replayed", day_log.ops.len() as u64);
+        obs::counter!("aging.days_replayed", 1);
+        {
+            let _s = obs::span!("day_stats");
+            daily.push(DayStats {
+                day: day_log.day,
+                layout_score: fs.aggregate_layout().score(),
+                utilization: fs.utilization(),
+                nfiles: fs.nfiles(),
+                bytes_written: fs.bytes_written(),
+            });
+        }
         if options.verify_every_days > 0 && (day_log.day + 1) % options.verify_every_days == 0 {
             assert_consistent(&fs);
         }
         if options.snapshot_every_days > 0 && (day_log.day + 1) % options.snapshot_every_days == 0 {
+            let _s = obs::span!("snapshot");
             snapshots.push(crate::snapshot::take_snapshot(&fs, day_log.day));
         }
         if options.checkpoint_every_days > 0
             && (day_log.day + 1) % options.checkpoint_every_days == 0
         {
+            let _s = obs::span!("checkpoint");
             checkpoints.push(take_checkpoint(&fs, &live, day_log.day, skipped));
         }
     }

@@ -60,19 +60,20 @@ pub struct DeviceStats {
 impl DeviceStats {
     /// Adds every counter of `other` into `self`, so the totals of
     /// several independent device runs can be reported as one.
+    /// Counts saturate at `u64::MAX` rather than wrapping.
     pub fn merge(&mut self, other: &DeviceStats) {
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.sectors_read += other.sectors_read;
-        self.sectors_written += other.sectors_written;
-        self.buffer_hits += other.buffer_hits;
-        self.seeks += other.seeks;
+        self.reads = self.reads.saturating_add(other.reads);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.sectors_read = self.sectors_read.saturating_add(other.sectors_read);
+        self.sectors_written = self.sectors_written.saturating_add(other.sectors_written);
+        self.buffer_hits = self.buffer_hits.saturating_add(other.buffer_hits);
+        self.seeks = self.seeks.saturating_add(other.seeks);
         self.seek_time_us += other.seek_time_us;
         self.rot_wait_us += other.rot_wait_us;
         self.stream_time_us += other.stream_time_us;
-        self.transient_errors += other.transient_errors;
-        self.retries += other.retries;
-        self.remaps += other.remaps;
+        self.transient_errors = self.transient_errors.saturating_add(other.transient_errors);
+        self.retries = self.retries.saturating_add(other.retries);
+        self.remaps = self.remaps.saturating_add(other.remaps);
         self.retry_time_us += other.retry_time_us;
     }
 }
@@ -272,7 +273,7 @@ impl Device {
                     self.charge_retries(inj.max_retries());
                     let write = matches!(kind, IoKind::Write);
                     let spare = inj.grow_remap(bad).ok_or(FsError::Io { lba: bad, write })?;
-                    self.stats.remaps += 1;
+                    self.stats.remaps = self.stats.remaps.saturating_add(1);
                     self.attempt_with_retries(inj, kind, spare, 1)?;
                     lba = bad + 1;
                     n -= off + 1;
@@ -292,7 +293,7 @@ impl Device {
     ) -> Result<(), FsError> {
         let mut failures = 0;
         while inj.roll_transient() {
-            self.stats.transient_errors += 1;
+            self.stats.transient_errors = self.stats.transient_errors.saturating_add(1);
             failures += 1;
             if failures > inj.max_retries() {
                 let write = matches!(kind, IoKind::Write);
@@ -310,7 +311,7 @@ impl Device {
     /// Charges `n` retry revolutions to the clock and the retry counters.
     fn charge_retries(&mut self, n: u32) {
         let rev = self.geom.params().rev_time_us();
-        self.stats.retries += n as u64;
+        self.stats.retries = self.stats.retries.saturating_add(n as u64);
         self.stats.retry_time_us += n as f64 * rev;
         self.now += n as f64 * rev;
     }
@@ -344,9 +345,10 @@ impl Device {
         } else {
             self.read_from_media(lba, sectors);
         }
-        self.stats.reads += 1;
-        self.stats.sectors_read += sectors as u64;
+        self.stats.reads = self.stats.reads.saturating_add(1);
+        self.stats.sectors_read = self.stats.sectors_read.saturating_add(sectors as u64);
         let latency = self.now - start;
+        obs::hist!("disk.read_us", obs::bounds::TIME_US, latency);
         if let Some(t) = &mut self.trace {
             t.push(TraceEvent {
                 issued_at: start,
@@ -401,7 +403,7 @@ impl Device {
             .buf_start
             .max(ra.consumed.saturating_sub(self.buffer_sectors));
         let frontier = ra.frontier;
-        self.stats.buffer_hits += 1;
+        self.stats.buffer_hits = self.stats.buffer_hits.saturating_add(1);
         self.now = done.max(self.now);
         self.cur_cyl = self
             .geom
@@ -411,8 +413,13 @@ impl Device {
 
     fn read_from_media(&mut self, lba: u64, sectors: u32) {
         let (total, sk, rot, stream) = self.mechanical_cost(lba, sectors);
+        obs::hist!(
+            "disk.seek_cyls",
+            obs::bounds::POW2,
+            (self.geom.lba_to_chs(lba).cyl as i64 - self.cur_cyl as i64).unsigned_abs()
+        );
         if sk > 0.0 {
-            self.stats.seeks += 1;
+            self.stats.seeks = self.stats.seeks.saturating_add(1);
         }
         let t = self.now + total;
         self.stats.seek_time_us += sk;
@@ -451,8 +458,13 @@ impl Device {
         self.ra = None;
         let target = self.geom.lba_to_chs(lba);
         let sk = self.seek.seek_us(self.cur_cyl, target.cyl);
+        obs::hist!(
+            "disk.seek_cyls",
+            obs::bounds::POW2,
+            (target.cyl as i64 - self.cur_cyl as i64).unsigned_abs()
+        );
         if sk > 0.0 {
-            self.stats.seeks += 1;
+            self.stats.seeks = self.stats.seeks.saturating_add(1);
         }
         let mut t = self.now + sk;
         let rot = self.rot_wait(t, lba);
@@ -462,11 +474,12 @@ impl Device {
         self.stats.seek_time_us += sk;
         self.stats.rot_wait_us += rot;
         self.stats.stream_time_us += stream;
-        self.stats.writes += 1;
-        self.stats.sectors_written += sectors as u64;
+        self.stats.writes = self.stats.writes.saturating_add(1);
+        self.stats.sectors_written = self.stats.sectors_written.saturating_add(sectors as u64);
         self.now = t;
         self.cur_cyl = self.geom.lba_to_chs(lba + sectors as u64 - 1).cyl;
         let latency = self.now - start;
+        obs::hist!("disk.write_us", obs::bounds::TIME_US, latency);
         if let Some(tr) = &mut self.trace {
             tr.push(TraceEvent {
                 issued_at: start,

@@ -291,7 +291,10 @@ fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
                 metrics: &mut metrics,
             };
             let t0 = Instant::now();
-            let result = run(&mut ctx);
+            let result = {
+                let _job_span = obs::span::enter(&format!("job:{id}"));
+                run(&mut ctx)
+            };
             let wall_s = t0.elapsed().as_secs_f64();
             let (outcome, status, error) = match result {
                 Ok(v) => (JobOutcome::Ok(Arc::new(v)), "ok", None),

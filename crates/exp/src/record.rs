@@ -103,6 +103,13 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Renders `s` as a JSON string literal, quotes and escapes included.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::new();
+    push_json_str(&mut out, s);
+    out
+}
+
 fn device_json(d: &DeviceStats) -> String {
     format!(
         "{{\"reads\":{},\"writes\":{},\"sectors_read\":{},\"sectors_written\":{},\

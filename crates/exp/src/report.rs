@@ -68,6 +68,56 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders the run records in `jsonl` as a machine-readable benchmark
+/// summary (schema `bench-aging-v1`): wall time per job plus replay
+/// throughput (`ops_per_sec`) for the jobs that report operation counts
+/// — the content of the repo-root `BENCH_aging.json`.
+pub fn bench_json(jsonl: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut entries = Vec::new();
+    for (n, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let job = RunRecord::field_str(line, "job")
+            .ok_or_else(|| format!("runs.jsonl line {}: no job field", n + 1))?;
+        let status = RunRecord::field_str(line, "status").unwrap_or_else(|| "?".into());
+        let wall_s = RunRecord::field_num(line, "wall_s").unwrap_or(0.0);
+        let ops = RunRecord::field_num(line, "ops").unwrap_or(0.0);
+        entries.push((job, status, wall_s, ops));
+    }
+    if entries.is_empty() {
+        return Err("no run records".into());
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let total: f64 = entries.iter().map(|e| e.2).sum();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"bench-aging-v1\",\"total_wall_s\":{total:.6},\"jobs\":["
+    );
+    for (i, (job, status, wall_s, ops)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ops_per_sec = if *ops > 0.0 && *wall_s > 0.0 {
+            ops / wall_s
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "{{\"job\":{},\"status\":{},\"wall_s\":{wall_s:.6},\"ops\":{},\"ops_per_sec\":{ops_per_sec:.3}}}",
+            crate::record::json_escape(job),
+            crate::record::json_escape(status),
+            *ops as u64
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,31 @@ pub struct AllocStats {
     pub realloc_already_contig: u64,
 }
 
+impl AllocStats {
+    /// Adds every counter of `other` into `self`, saturating at
+    /// `u64::MAX`, so the totals of several independent file systems
+    /// can be reported as one (the allocator analogue of
+    /// `DeviceStats::merge`).
+    pub fn merge(&mut self, other: &AllocStats) {
+        self.block_allocs = self.block_allocs.saturating_add(other.block_allocs);
+        self.pref_hits = self.pref_hits.saturating_add(other.pref_hits);
+        self.frag_allocs = self.frag_allocs.saturating_add(other.frag_allocs);
+        self.frag_splits = self.frag_splits.saturating_add(other.frag_splits);
+        self.cg_spills = self.cg_spills.saturating_add(other.cg_spills);
+        self.realloc_windows = self.realloc_windows.saturating_add(other.realloc_windows);
+        self.realloc_moves = self.realloc_moves.saturating_add(other.realloc_moves);
+        self.realloc_blocks_moved = self
+            .realloc_blocks_moved
+            .saturating_add(other.realloc_blocks_moved);
+        self.realloc_failures = self.realloc_failures.saturating_add(other.realloc_failures);
+        self.frag_extends = self.frag_extends.saturating_add(other.frag_extends);
+        self.frag_moves = self.frag_moves.saturating_add(other.frag_moves);
+        self.realloc_already_contig = self
+            .realloc_already_contig
+            .saturating_add(other.realloc_already_contig);
+    }
+}
+
 /// The logical-block windows over which the realloc pass operates for a
 /// file of `nfull` full blocks: runs of up to `maxcontig` blocks that
 /// restart at each indirect-block boundary (windows never span the
@@ -151,7 +176,8 @@ impl Filesystem {
         while i < ncg {
             let g = CgIdx((start.0 + i) % ncg);
             if let Some(t) = f(self, g) {
-                self.alloc_stats.cg_spills += 1;
+                self.alloc_stats.cg_spills = self.alloc_stats.cg_spills.saturating_add(1);
+                obs::counter!("ffs.cg_spills", 1);
                 return Some(t);
             }
             i *= 2;
@@ -159,7 +185,8 @@ impl Filesystem {
         for i in 0..ncg {
             let g = CgIdx((start.0 + 2 + i) % ncg);
             if let Some(t) = f(self, g) {
-                self.alloc_stats.cg_spills += 1;
+                self.alloc_stats.cg_spills = self.alloc_stats.cg_spills.saturating_add(1);
+                obs::counter!("ffs.cg_spills", 1);
                 return Some(t);
             }
         }
@@ -181,7 +208,8 @@ impl Filesystem {
                     let (b, _) = cg.daddr_to_block(p);
                     if b < cg.nblocks() && cg.is_block_free(b) {
                         cg.alloc_block(b);
-                        fs.alloc_stats.pref_hits += 1;
+                        fs.alloc_stats.pref_hits = fs.alloc_stats.pref_hits.saturating_add(1);
+                        obs::counter!("ffs.pref_hits", 1);
                         return Some(cg.block_daddr(b));
                     }
                     // Next free block after the preferred position.
@@ -202,7 +230,8 @@ impl Filesystem {
         let addr = got.ok_or(FsError::NoSpace {
             wanted_bytes: self.params.bsize as u64,
         })?;
-        self.alloc_stats.block_allocs += 1;
+        self.alloc_stats.block_allocs = self.alloc_stats.block_allocs.saturating_add(1);
+        obs::counter!("ffs.block_allocs", 1);
         Ok(addr)
     }
 
@@ -232,7 +261,7 @@ impl Filesystem {
             };
             if let Some(run) = cg.find_frag_run(from, len) {
                 if cg.is_block_free(run.block) {
-                    fs.alloc_stats.frag_splits += 1;
+                    fs.alloc_stats.frag_splits = fs.alloc_stats.frag_splits.saturating_add(1);
                 }
                 cg.alloc_frags(run.block, run.frag, len);
                 return Some(Daddr(cg.block_daddr(run.block).0 + run.frag));
@@ -242,7 +271,8 @@ impl Filesystem {
         let addr = got.ok_or(FsError::NoSpace {
             wanted_bytes: (len * self.params.fsize) as u64,
         })?;
-        self.alloc_stats.frag_allocs += 1;
+        self.alloc_stats.frag_allocs = self.alloc_stats.frag_allocs.saturating_add(1);
+        obs::counter!("ffs.frag_allocs", 1);
         Ok(addr)
     }
 
@@ -263,7 +293,8 @@ impl Filesystem {
         if len < 2 {
             return false;
         }
-        self.alloc_stats.realloc_windows += 1;
+        self.alloc_stats.realloc_windows = self.alloc_stats.realloc_windows.saturating_add(1);
+        obs::hist!("ffs.realloc_window_blocks", obs::bounds::LINEAR_16, len);
         let fpb = self.params.frags_per_block();
         let addrs: Vec<Daddr> = {
             let f = self.files.get(&ino).expect("realloc on live file");
@@ -271,7 +302,9 @@ impl Filesystem {
         };
         // Already contiguous: nothing to gather.
         if addrs.windows(2).all(|w| w[1].0 == w[0].0 + fpb) {
-            self.alloc_stats.realloc_already_contig += 1;
+            self.alloc_stats.realloc_already_contig =
+                self.alloc_stats.realloc_already_contig.saturating_add(1);
+            obs::counter!("ffs.realloc_already_contig", 1);
             return false;
         }
         // All blocks must sit in one group, as in the real code.
@@ -310,7 +343,8 @@ impl Filesystem {
             }
         };
         let Some(run) = run else {
-            self.alloc_stats.realloc_failures += 1;
+            self.alloc_stats.realloc_failures = self.alloc_stats.realloc_failures.saturating_add(1);
+            obs::counter!("ffs.realloc_failures", 1);
             // No run of the full window length exists. Unless disabled,
             // gather the window into two smaller clusters instead: far
             // fewer discontiguities than leaving the one-at-a-time
@@ -342,8 +376,12 @@ impl Filesystem {
         }
         let f = self.files.get_mut(&ino).expect("realloc on live file");
         f.blocks[s as usize..e as usize].copy_from_slice(&new_addrs);
-        self.alloc_stats.realloc_moves += 1;
-        self.alloc_stats.realloc_blocks_moved += len as u64;
+        self.alloc_stats.realloc_moves = self.alloc_stats.realloc_moves.saturating_add(1);
+        self.alloc_stats.realloc_blocks_moved = self
+            .alloc_stats
+            .realloc_blocks_moved
+            .saturating_add(len as u64);
+        obs::counter!("ffs.realloc_moves", 1);
         true
     }
 }

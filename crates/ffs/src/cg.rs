@@ -212,11 +212,13 @@ impl CylGroup {
         let s = start as usize;
         for (i, &b) in self.map[s..].iter().enumerate() {
             if b == 0 {
+                obs::hist!("ffs.cg_search_blocks", obs::bounds::POW2, i + 1);
                 return Some((s + i) as u32);
             }
         }
         for (i, &b) in self.map[..s].iter().enumerate() {
             if b == 0 {
+                obs::hist!("ffs.cg_search_blocks", obs::bounds::POW2, (n - s) + i + 1);
                 return Some(i as u32);
             }
         }

@@ -53,6 +53,7 @@ pub fn free_space_stats(fs: &Filesystem, hist_max: usize) -> FreeSpaceStats {
             if free {
                 run += 1;
             } else if run > 0 {
+                obs::hist!("ffs.free_extent_blocks", obs::bounds::POW2, run);
                 hist[(run as usize - 1).min(hist_max - 1)] += 1;
                 free_blocks += run as u64;
                 if run >= maxcontig {

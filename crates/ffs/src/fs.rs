@@ -595,6 +595,7 @@ impl Filesystem {
             let done = lbn + 1;
             let flush = done % self.write_chunk_blocks == 0 || done == nfull;
             if realloc_on && flush {
+                let _sp = obs::span!("realloc_pass");
                 while next_window < windows.len() && windows[next_window].1 <= done {
                     let w = windows[next_window];
                     let wpref = self.window_pref(ino, w.0, &region_pref);

@@ -145,6 +145,7 @@ impl Filesystem {
 
         // Realloc pass over the windows the append dirtied.
         if self.policy == AllocPolicy::Realloc && new_size >= 2 * self.params.bsize as u64 {
+            let _sp = obs::span!("realloc_pass");
             let windows = realloc_windows(nfull_new, self.params.maxcontig, self.params.nindir());
             let dirty_from = old_nfull.saturating_sub(1);
             for w in windows {
@@ -272,7 +273,7 @@ impl Filesystem {
         // the extended run still fits in the block.
         if off + target <= fpb && self.cgs[g.0 as usize].is_run_free(b, off + tlen, target - tlen) {
             self.cgs[g.0 as usize].alloc_frags(b, off + tlen, target - tlen);
-            self.alloc_stats.frag_extends += 1;
+            self.alloc_stats.frag_extends = self.alloc_stats.frag_extends.saturating_add(1);
             return Ok(taddr);
         }
         // Move: allocate the bigger run first, then release the old one
@@ -283,7 +284,7 @@ impl Filesystem {
             self.alloc_frag_run(dcg, target, Some(taddr))?
         };
         self.free_frag_range(taddr, tlen);
-        self.alloc_stats.frag_moves += 1;
+        self.alloc_stats.frag_moves = self.alloc_stats.frag_moves.saturating_add(1);
         Ok(new_addr)
     }
 

@@ -18,7 +18,14 @@
 //!       [--crash-after-ops N] [--crash-seed S]
 //!       [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
 //!       [--fault-transient RATE] [--fault-latent N] [--fault-seed S]
+//!       [--metrics PATH] [-q|--quiet]
 //! ```
+//!
+//! `--metrics PATH` enables the observability layer for the run and
+//! writes the captured counters, histograms, and span profile to `PATH`
+//! as `metrics.json`; the per-day table is byte-identical either way.
+//! `-q`/`--quiet` silences the informational `#` chatter on stderr
+//! (errors still print) without changing stdout.
 
 use std::process::ExitCode;
 
@@ -45,6 +52,8 @@ struct Args {
     fault_transient: f64,
     fault_latent: u32,
     fault_seed: Option<u64>,
+    metrics: Option<String>,
+    quiet: bool,
 }
 
 fn usage() -> ! {
@@ -53,7 +62,8 @@ fn usage() -> ! {
          [--profile home|news|database|personal] [--snapshots DIR] \
          [--verify-every N] [--crash-after-ops N] [--crash-seed S] \
          [--checkpoint FILE] [--checkpoint-every N] [--resume FILE] \
-         [--fault-transient RATE] [--fault-latent N] [--fault-seed S]"
+         [--fault-transient RATE] [--fault-latent N] [--fault-seed S] \
+         [--metrics PATH] [-q|--quiet]"
     );
     std::process::exit(2);
 }
@@ -74,6 +84,8 @@ fn parse_args() -> Args {
         fault_transient: 0.0,
         fault_latent: 0,
         fault_seed: None,
+        metrics: None,
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -109,6 +121,8 @@ fn parse_args() -> Args {
             "--fault-transient" => args.fault_transient = parsed!("--fault-transient"),
             "--fault-latent" => args.fault_latent = parsed!("--fault-latent"),
             "--fault-seed" => args.fault_seed = Some(parsed!("--fault-seed")),
+            "--metrics" => args.metrics = Some(next("--metrics")),
+            "-q" | "--quiet" => args.quiet = true,
             _ => usage(),
         }
     }
@@ -118,7 +132,7 @@ fn parse_args() -> Args {
 /// Reads every live file through a fault-injecting device — the media
 /// sweep a scrubber (or a nervous operator) runs after a crash. Returns
 /// false when a file is unreadable even after retries and remapping.
-fn fault_sweep(result: &ReplayResult, params: &FsParams, plan: &FaultPlan) -> bool {
+fn fault_sweep(result: &ReplayResult, params: &FsParams, plan: &FaultPlan, quiet: bool) -> bool {
     let disk = DiskParams::seagate_32430n();
     let map = FsDiskMap::new(params, disk.sector_size, 0);
     let mut dev = Device::new(disk);
@@ -136,21 +150,27 @@ fn fault_sweep(result: &ReplayResult, params: &FsParams, plan: &FaultPlan) -> bo
     }
     let stats = dev.stats();
     let inj = dev.fault_injector().expect("plan installed");
-    eprintln!(
-        "# sweep: {files} files read, {failed} unreadable; \
-         {} transient errors, {} retries, {} remapped sectors \
-         ({} spares left), {:.1} ms lost to retries",
-        stats.transient_errors,
-        stats.retries,
-        stats.remaps,
-        inj.spares_remaining(),
-        stats.retry_time_us / 1000.0
-    );
+    if !quiet {
+        eprintln!(
+            "# sweep: {files} files read, {failed} unreadable; \
+             {} transient errors, {} retries, {} remapped sectors \
+             ({} spares left), {:.1} ms lost to retries",
+            stats.transient_errors,
+            stats.retries,
+            stats.remaps,
+            inj.spares_remaining(),
+            stats.retry_time_us / 1000.0
+        );
+    }
     failed == 0
 }
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.metrics.is_some() {
+        obs::reset();
+        obs::set_enabled(true);
+    }
     let params = FsParams::paper_502mb();
     let profile = profiles::all(args.seed)
         .into_iter()
@@ -166,12 +186,14 @@ fn main() -> ExitCode {
     }
     let workload = generate(&config, params.ncg, params.data_capacity_bytes());
     let stats = workload_stats(&workload);
-    eprintln!(
-        "# workload: {} ops, {:.1} GB written, {} live files at end",
-        stats.total_ops,
-        stats.bytes_written as f64 / (1u64 << 30) as f64,
-        stats.live_at_end
-    );
+    if !args.quiet {
+        eprintln!(
+            "# workload: {} ops, {:.1} GB written, {} live files at end",
+            stats.total_ops,
+            stats.bytes_written as f64 / (1u64 << 30) as f64,
+            stats.live_at_end
+        );
+    }
     let mut options = ReplayOptions {
         verify_every_days: args.verify_every,
         snapshot_every_days: if args.snapshots.is_some() { 1 } else { 0 },
@@ -198,7 +220,9 @@ fn main() -> ExitCode {
             };
             match Checkpoint::from_text(&text) {
                 Ok(ck) => {
-                    eprintln!("# resuming after day {} from {path}", ck.day);
+                    if !args.quiet {
+                        eprintln!("# resuming after day {} from {path}", ck.day);
+                    }
                     resume(&workload, &params, args.policy, options, &ck)
                 }
                 Err(e) => {
@@ -238,7 +262,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        eprintln!("# wrote {} snapshots to {dir}/", result.snapshots.len());
+        if !args.quiet {
+            eprintln!("# wrote {} snapshots to {dir}/", result.snapshots.len());
+        }
     }
     if let Some(path) = &args.checkpoint {
         match result.checkpoints.last() {
@@ -247,12 +273,20 @@ fn main() -> ExitCode {
                     eprintln!("agefs: writing {path}: {e}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("# checkpoint after day {} written to {path}", ck.day);
+                if !args.quiet {
+                    eprintln!("# checkpoint after day {} written to {path}", ck.day);
+                }
             }
-            None => eprintln!("# no checkpoint reached (run shorter than interval)"),
+            None => {
+                if !args.quiet {
+                    eprintln!("# no checkpoint reached (run shorter than interval)");
+                }
+            }
         }
     }
-    if let Some(c) = &result.crash {
+    // Informational only: the repair either converged or the fsck
+    // below fails the run.
+    if let (Some(c), false) = (&result.crash, args.quiet) {
         eprintln!(
             "# crash: power cut at op {} (day {}), {} metadata perturbations; \
              fsck found {} violations ({} structural), freed {} orphaned frags, \
@@ -268,7 +302,9 @@ fn main() -> ExitCode {
     }
     let violations = check(&result.fs);
     if violations.is_empty() {
-        eprintln!("# fsck: clean");
+        if !args.quiet {
+            eprintln!("# fsck: clean");
+        }
     } else {
         eprintln!("# fsck: {} violations remain", violations.len());
         for v in &violations {
@@ -279,15 +315,28 @@ fn main() -> ExitCode {
     let plan = FaultPlan::new(args.fault_seed.unwrap_or(args.seed))
         .transient_rate(args.fault_transient)
         .latent_sectors(args.fault_latent);
-    if !plan.is_noop() && !fault_sweep(&result, &params, &plan) {
+    if !plan.is_noop() && !fault_sweep(&result, &params, &plan, args.quiet) {
         eprintln!("# sweep: unreadable files remain");
         return ExitCode::FAILURE;
     }
-    eprintln!(
-        "# final: layout {:.4} under {} ({} skipped creates)",
-        result.fs.aggregate_layout().score(),
-        args.policy.label(),
-        result.skipped_creates
-    );
+    if !args.quiet {
+        eprintln!(
+            "# final: layout {:.4} under {} ({} skipped creates)",
+            result.fs.aggregate_layout().score(),
+            args.policy.label(),
+            result.skipped_creates
+        );
+    }
+    if let Some(path) = &args.metrics {
+        obs::set_enabled(false);
+        let snap = obs::take_snapshot();
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("agefs: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            eprintln!("# metrics written to {path}");
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -27,6 +27,12 @@ pub struct Options {
     pub cache_dir: Option<String>,
     /// Disables the artifact cache entirely.
     pub no_cache: bool,
+    /// Enables observability and writes the captured metrics, span
+    /// profile, and histograms to this path as `metrics.json`.
+    pub metrics: Option<String>,
+    /// Silences per-experiment progress chatter on stderr. Exhibit
+    /// output (stdout and TSV files) is unchanged.
+    pub quiet: bool,
 }
 
 impl Default for Options {
@@ -38,6 +44,8 @@ impl Default for Options {
             jobs: 0,
             cache_dir: None,
             no_cache: false,
+            metrics: None,
+            quiet: false,
         }
     }
 }
@@ -112,6 +120,8 @@ mod tests {
         assert_eq!(o.out_dir, "results");
         assert_eq!(o.cache_path(), PathBuf::from("results/cache"));
         assert!(o.worker_count() >= 1);
+        assert!(o.metrics.is_none());
+        assert!(!o.quiet);
     }
 
     #[test]

@@ -165,6 +165,13 @@ fn fail(jsonl: &[RunRecord], id: &str) -> String {
 /// engine, writes run records to `<out>/runs.jsonl` and each exhibit to
 /// stdout and `<out>/<name>.tsv`, and returns per-experiment outcomes.
 pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String> {
+    // Observability wraps the whole run: metrics and spans recorded by
+    // the engine, replays, and simulated devices only *observe* — the
+    // exhibit bytes are identical with the flag on or off.
+    if opts.metrics.is_some() {
+        obs::reset();
+        obs::set_enabled(true);
+    }
     let sh = Shared::from_options(opts);
     let mut jobs: Vec<JobSpec<JobOut>> = Vec::new();
     let mut aging_needed: Vec<&str> = Vec::new();
@@ -218,6 +225,11 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
             None => Err(fail(&run.records, name)),
         };
         results.push(ExperimentResult { name, outcome });
+    }
+    if let Some(path) = &opts.metrics {
+        obs::set_enabled(false);
+        let snap = obs::take_snapshot();
+        fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
     }
     Ok(Summary { results })
 }

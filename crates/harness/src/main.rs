@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! harness <experiment>|all|report [--days N] [--seed S] [--out DIR]
-//!         [--jobs N] [--cache-dir DIR] [--no-cache]
+//!         [--jobs N] [--cache-dir DIR] [--no-cache] [--metrics PATH]
+//!         [-q|--quiet] [--profile]
 //! ```
 //!
 //! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
@@ -17,6 +18,18 @@
 //! structured per-job records to `<out>/runs.jsonl`, which
 //! `harness report` summarizes.
 //!
+//! `--metrics PATH` turns on the observability layer for the run and
+//! writes the captured counters, histograms (seek distances, realloc
+//! window sizes, free-extent lengths, ...), and span profile to `PATH`
+//! as `metrics.json`. The exhibits' bytes are identical with or without
+//! it. `-q`/`--quiet` silences the per-experiment progress lines on
+//! stderr without changing any output file.
+//!
+//! `report` summarizes `<out>/runs.jsonl` and writes a machine-readable
+//! `BENCH_aging.json` (wall time per job, replay ops/sec) to the
+//! current directory; `report --profile` additionally renders the span
+//! profile from `<out>/metrics.json` (or the `--metrics` path).
+//!
 //! `all` runs every exhibit (`sweep` excluded), reporting per-experiment
 //! pass/fail on stderr and exiting non-zero iff any failed.
 
@@ -28,7 +41,8 @@ use harness::driver;
 fn usage() -> ! {
     eprintln!(
         "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|report> \
-         [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache]"
+         [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
+         [--metrics PATH] [-q|--quiet] [--profile]"
     );
     std::process::exit(2);
 }
@@ -37,6 +51,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
     let mut opts = Options::default();
+    let mut profile = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--days" => {
@@ -66,10 +81,19 @@ fn main() -> ExitCode {
             "--no-cache" => {
                 opts.no_cache = true;
             }
+            "--metrics" => {
+                opts.metrics = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "-q" | "--quiet" => {
+                opts.quiet = true;
+            }
+            "--profile" => {
+                profile = true;
+            }
             _ => usage(),
         }
     }
-    match run(&cmd, &opts) {
+    match run(&cmd, &opts, profile) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -79,12 +103,38 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(cmd: &str, opts: &Options) -> Result<bool, String> {
+fn report(opts: &Options, profile: bool) -> Result<(), String> {
+    let path = std::path::Path::new(&opts.out_dir).join("runs.jsonl");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("read {}: {e} (run an experiment first)", path.display()))?;
+    print!("{}", exp::summarize(&text)?);
+    let bench = exp::bench_json(&text)?;
+    std::fs::write("BENCH_aging.json", &bench)
+        .map_err(|e| format!("write BENCH_aging.json: {e}"))?;
+    if !opts.quiet {
+        eprintln!("harness: wrote BENCH_aging.json");
+    }
+    if profile {
+        let mpath = match &opts.metrics {
+            Some(p) => std::path::PathBuf::from(p),
+            None => std::path::Path::new(&opts.out_dir).join("metrics.json"),
+        };
+        let mtext = std::fs::read_to_string(&mpath).map_err(|e| {
+            format!(
+                "read {}: {e} (run an experiment with --metrics first)",
+                mpath.display()
+            )
+        })?;
+        let snap = obs::snapshot::Snapshot::from_json(&mtext)
+            .map_err(|e| format!("{}: {e}", mpath.display()))?;
+        print!("{}", snap.render());
+    }
+    Ok(())
+}
+
+fn run(cmd: &str, opts: &Options, profile: bool) -> Result<bool, String> {
     if cmd == "report" {
-        let path = std::path::Path::new(&opts.out_dir).join("runs.jsonl");
-        let text = std::fs::read_to_string(&path)
-            .map_err(|e| format!("read {}: {e} (run an experiment first)", path.display()))?;
-        print!("{}", exp::summarize(&text)?);
+        report(opts, profile)?;
         return Ok(true);
     }
     let requested: Vec<&'static str> = if cmd == "all" {
@@ -102,7 +152,11 @@ fn run(cmd: &str, opts: &Options) -> Result<bool, String> {
     let summary = driver::run(opts, &requested)?;
     for r in &summary.results {
         match &r.outcome {
-            Ok(()) => eprintln!("harness: {:<10} ok", r.name),
+            Ok(()) => {
+                if !opts.quiet {
+                    eprintln!("harness: {:<10} ok", r.name);
+                }
+            }
             Err(e) => eprintln!("harness: {:<10} FAILED: {e}", r.name),
         }
     }

@@ -16,8 +16,7 @@ fn opts(out: &Path, jobs: usize) -> Options {
         seed: 42,
         out_dir: out.to_str().unwrap().to_string(),
         jobs,
-        cache_dir: None,
-        no_cache: false,
+        ..Options::default()
     }
 }
 

@@ -1,0 +1,234 @@
+//! Hierarchical timing spans aggregated into a per-run profile tree.
+//!
+//! `obs::span!("name")` returns a guard; the time between guard
+//! creation and drop is charged to the tree node addressed by the
+//! current thread's span nesting. Each thread keeps its own nesting
+//! stack (spans on different worker threads do not interleave), but all
+//! threads aggregate into one shared tree, so repeated spans — 300
+//! `age_day` spans, one per simulated day — fold into one node with
+//! `calls = 300`.
+//!
+//! The tree is locked only on span enter and exit, and only while
+//! recording is enabled; a disabled span is an inert guard.
+
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One aggregated node of the profile tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Span name (one path segment).
+    pub name: String,
+    /// Index of the parent node (the root is its own parent).
+    pub parent: usize,
+    /// Indices of child nodes, in creation order.
+    pub children: Vec<usize>,
+    /// Completed calls.
+    pub calls: u64,
+    /// Total wall time across completed calls, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The shared profile tree. Node 0 is the synthetic root.
+#[derive(Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Creates a tree holding only the root.
+    pub fn new() -> Tree {
+        Tree {
+            nodes: vec![Node {
+                name: String::new(),
+                parent: 0,
+                children: Vec::new(),
+                calls: 0,
+                wall_ns: 0,
+            }],
+        }
+    }
+
+    /// Finds or creates the child of `parent` named `name`.
+    pub fn child(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&c) = self.nodes[parent]
+            .children
+            .iter()
+            .find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            calls: 0,
+            wall_ns: 0,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Charges one completed call of `wall_ns` to node `idx`.
+    pub fn record(&mut self, idx: usize, wall_ns: u64) {
+        let n = &mut self.nodes[idx];
+        n.calls = n.calls.saturating_add(1);
+        n.wall_ns = n.wall_ns.saturating_add(wall_ns);
+    }
+
+    /// The nodes, root first.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Flattens the tree into `(path, depth, calls, wall_ns)` rows in
+    /// depth-first order with children visited in name order — a
+    /// deterministic rendering order regardless of which thread created
+    /// which node first.
+    pub fn flatten(&self) -> Vec<(String, usize, u64, u64)> {
+        let mut out = Vec::new();
+        self.flatten_into(0, "", 0, &mut out);
+        out
+    }
+
+    fn flatten_into(
+        &self,
+        idx: usize,
+        prefix: &str,
+        depth: usize,
+        out: &mut Vec<(String, usize, u64, u64)>,
+    ) {
+        let mut kids = self.nodes[idx].children.clone();
+        kids.sort_by(|&a, &b| self.nodes[a].name.cmp(&self.nodes[b].name));
+        for c in kids {
+            let n = &self.nodes[c];
+            let path = if prefix.is_empty() {
+                n.name.clone()
+            } else {
+                format!("{prefix}/{}", n.name)
+            };
+            out.push((path.clone(), depth, n.calls, n.wall_ns));
+            self.flatten_into(c, &path, depth + 1, out);
+        }
+    }
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Tree::new()
+    }
+}
+
+static TREE: Mutex<Option<Tree>> = Mutex::new(None);
+
+thread_local! {
+    /// This thread's open-span nesting (indices into the shared tree).
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the shared tree, creating it on first use.
+pub(crate) fn with_tree<R>(f: impl FnOnce(&mut Tree) -> R) -> R {
+    let mut guard = TREE.lock().expect("obs span tree lock");
+    f(guard.get_or_insert_with(Tree::new))
+}
+
+/// Clears the shared tree back to an empty root.
+pub(crate) fn reset_tree() {
+    let mut guard = TREE.lock().expect("obs span tree lock");
+    *guard = Some(Tree::new());
+}
+
+/// A deterministic flattened copy of the current tree:
+/// `(path, depth, calls, wall_ns)` rows.
+pub fn flattened() -> Vec<(String, usize, u64, u64)> {
+    with_tree(|t| t.flatten())
+}
+
+/// Opens a span named `name` under the calling thread's innermost open
+/// span. Returns an inert guard (and records nothing, ever) when
+/// recording is disabled *at entry* — a span that straddles a
+/// `set_enabled` flip is either fully recorded or fully absent.
+pub fn enter(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { open: None };
+    }
+    let idx = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied().unwrap_or(0);
+        let idx = with_tree(|t| t.child(parent, name));
+        stack.push(idx);
+        idx
+    });
+    SpanGuard {
+        open: Some((idx, Instant::now())),
+    }
+}
+
+/// Guard returned by [`enter`] / `obs::span!`; closing (dropping) it
+/// charges the elapsed wall time to its tree node.
+#[must_use = "a span measures the scope of its guard; binding it to _ drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    open: Option<(usize, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((idx, t0)) = self.open.take() {
+            let ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            with_tree(|t| t.record(idx, ns));
+            STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                debug_assert_eq!(stack.last(), Some(&idx), "span guards must nest");
+                stack.pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_aggregates_repeated_and_nested_spans() {
+        let mut t = Tree::new();
+        let day = t.child(0, "age_day");
+        let realloc = t.child(day, "realloc_pass");
+        // Repeated lookups reuse nodes.
+        assert_eq!(t.child(0, "age_day"), day);
+        assert_eq!(t.child(day, "realloc_pass"), realloc);
+        t.record(day, 100);
+        t.record(day, 50);
+        t.record(realloc, 30);
+        let flat = t.flatten();
+        assert_eq!(flat.len(), 2);
+        assert_eq!(flat[0], ("age_day".to_string(), 0, 2, 150));
+        assert_eq!(flat[1], ("age_day/realloc_pass".to_string(), 1, 1, 30));
+    }
+
+    #[test]
+    fn flatten_orders_children_by_name() {
+        let mut t = Tree::new();
+        t.child(0, "zeta");
+        t.child(0, "alpha");
+        let flat = t.flatten();
+        assert_eq!(flat[0].0, "alpha");
+        assert_eq!(flat[1].0, "zeta");
+    }
+
+    #[test]
+    fn same_name_under_different_parents_is_two_nodes() {
+        let mut t = Tree::new();
+        let a = t.child(0, "a");
+        let b = t.child(0, "b");
+        let under_a = t.child(a, "shared");
+        let under_b = t.child(b, "shared");
+        assert_ne!(under_a, under_b);
+        let flat = t.flatten();
+        let paths: Vec<&str> = flat.iter().map(|(p, ..)| p.as_str()).collect();
+        assert_eq!(paths, ["a", "a/shared", "b", "b/shared"]);
+    }
+}
