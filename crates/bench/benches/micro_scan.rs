@@ -1,0 +1,125 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Microbenchmarks of the cylinder-group free-space scans: the word-level
+//! searches against their byte-at-a-time references from [`ffs::naive`],
+//! on a realistically fragmented paper-geometry group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::{naive, CylGroup};
+use ffs_types::{CgIdx, FsParams};
+use std::hint::black_box;
+
+/// A paper-geometry group (2920 blocks) fragmented by a deterministic
+/// alloc/free churn to roughly 60 % utilization with a mix of short and
+/// medium free runs — the state the realloc pass scans all day.
+fn fragmented_group() -> CylGroup {
+    let params = FsParams::paper_502mb();
+    let mut cg = CylGroup::new(&params, CgIdx(1));
+    let (m, n) = (cg.meta_blocks(), cg.nblocks());
+    let mut x = 0x9E3779B97F4A7C15u64;
+    let mut step = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as u32
+    };
+    for _ in 0..3 * n {
+        let b = m + step() % (n - m);
+        if cg.is_block_free(b) {
+            if step() % 10 < 8 {
+                cg.alloc_block(b);
+            }
+        } else if step() % 10 < 3 {
+            cg.free_block(b);
+        }
+    }
+    cg
+}
+
+fn sweep_blocks(cg: &CylGroup) -> u64 {
+    let mut acc = 0u64;
+    for from in (0..cg.nblocks()).step_by(37) {
+        if let Some(b) = cg.find_free_block(from) {
+            acc = acc.wrapping_add(b as u64);
+        }
+    }
+    acc
+}
+
+fn sweep_blocks_naive(cg: &CylGroup) -> u64 {
+    let mut acc = 0u64;
+    for from in (0..cg.nblocks()).step_by(37) {
+        if let Some(b) = naive::find_free_block(cg, from) {
+            acc = acc.wrapping_add(b as u64);
+        }
+    }
+    acc
+}
+
+fn sweep_clusters(cg: &CylGroup) -> u64 {
+    let mut acc = 0u64;
+    for from in (0..cg.nblocks()).step_by(97) {
+        for len in 1..=7 {
+            if let Some(b) = cg.find_free_cluster_near(from, len, 512) {
+                acc = acc.wrapping_add(b as u64);
+            }
+        }
+    }
+    acc
+}
+
+fn sweep_clusters_naive(cg: &CylGroup) -> u64 {
+    let mut acc = 0u64;
+    for from in (0..cg.nblocks()).step_by(97) {
+        for len in 1..=7 {
+            if let Some(b) = naive::find_free_cluster_near(cg, from, len, 512) {
+                acc = acc.wrapping_add(b as u64);
+            }
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let cg = fragmented_group();
+    // Identical answers are the oracle's job; asserting here too keeps
+    // the bench honest if it outlives a behavior change.
+    assert_eq!(sweep_blocks(&cg), sweep_blocks_naive(&cg));
+    assert_eq!(sweep_clusters(&cg), sweep_clusters_naive(&cg));
+    let mut g = c.benchmark_group("micro_scan");
+    g.bench_function("find_free_block_word", |b| {
+        b.iter(|| sweep_blocks(black_box(&cg)))
+    });
+    g.bench_function("find_free_block_naive", |b| {
+        b.iter(|| sweep_blocks_naive(black_box(&cg)))
+    });
+    g.bench_function("cluster_near_word", |b| {
+        b.iter(|| sweep_clusters(black_box(&cg)))
+    });
+    g.bench_function("cluster_near_naive", |b| {
+        b.iter(|| sweep_clusters_naive(black_box(&cg)))
+    });
+    g.bench_function("bestfit_word", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for len in 1..=7 {
+                if let Some(s) = cg.find_free_cluster_bestfit(black_box(len)) {
+                    acc = acc.wrapping_add(s as u64);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("bestfit_naive", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for len in 1..=7 {
+                if let Some(s) = naive::find_free_cluster_bestfit(&cg, black_box(len)) {
+                    acc = acc.wrapping_add(s as u64);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -32,5 +32,5 @@ pub mod store;
 pub use engine::{run_jobs, EngineRun, JobCtx, JobOutcome, JobSpec};
 pub use key::{aged_key, fnv1a, AgedKey, FORMAT_VERSION};
 pub use record::{CacheStatus, Metrics, RunRecord};
-pub use report::{bench_json, summarize};
+pub use report::{bench_json, compare_baseline, summarize};
 pub use store::{age_cached, AgedRun, ArtifactStore};

@@ -118,6 +118,81 @@ pub fn bench_json(jsonl: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses a `bench-aging-v1` JSON (the output of [`bench_json`]) into
+/// `(job, ops_per_sec)` pairs for the jobs that report throughput.
+fn bench_throughputs(json: &str) -> Result<Vec<(String, f64)>, String> {
+    if !json.contains("\"schema\":\"bench-aging-v1\"") {
+        return Err("not a bench-aging-v1 document".into());
+    }
+    let arr = json
+        .split_once("\"jobs\":[")
+        .ok_or("no jobs array")?
+        .1;
+    let mut out = Vec::new();
+    for obj in arr.split("},{") {
+        let Some(job) = RunRecord::field_str(obj, "job") else {
+            continue;
+        };
+        let ops_per_sec = RunRecord::field_num(obj, "ops_per_sec").unwrap_or(0.0);
+        if ops_per_sec > 0.0 {
+            out.push((job, ops_per_sec));
+        }
+    }
+    Ok(out)
+}
+
+/// Compares a freshly generated `bench-aging-v1` JSON against a committed
+/// baseline: every `age:*` job present in both must not have lost more
+/// than `max_regression_pct` percent of its `ops_per_sec`. Returns a
+/// per-job comparison table on success and a description of the worst
+/// offender on failure — the CI bench-smoke gate.
+pub fn compare_baseline(
+    current: &str,
+    baseline: &str,
+    max_regression_pct: f64,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let cur = bench_throughputs(current)?;
+    let base = bench_throughputs(baseline)?;
+    let mut out = String::new();
+    let mut compared = 0;
+    let mut worst: Option<(String, f64)> = None;
+    let _ = writeln!(
+        out,
+        "{:<12}  {:>12}  {:>12}  {:>8}",
+        "job", "base ops/s", "now ops/s", "delta"
+    );
+    for (job, base_ops) in &base {
+        if !job.starts_with("age:") {
+            continue;
+        }
+        let Some((_, cur_ops)) = cur.iter().find(|(j, _)| j == job) else {
+            return Err(format!("job {job} is in the baseline but not the new run"));
+        };
+        let delta_pct = 100.0 * (cur_ops - base_ops) / base_ops;
+        let _ = writeln!(
+            out,
+            "{job:<12}  {base_ops:>12.0}  {cur_ops:>12.0}  {delta_pct:>+7.1}%"
+        );
+        compared += 1;
+        if worst.as_ref().is_none_or(|(_, w)| delta_pct < *w) {
+            worst = Some((job.clone(), delta_pct));
+        }
+    }
+    if compared == 0 {
+        return Err("baseline has no age:* jobs with throughput".into());
+    }
+    if let Some((job, delta)) = worst {
+        if delta < -max_regression_pct {
+            return Err(format!(
+                "{job} regressed {:.1}% (limit {max_regression_pct}%):\n{out}",
+                -delta
+            ));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +234,38 @@ mod tests {
     fn empty_input_is_an_error() {
         assert!(summarize("").is_err());
         assert!(summarize("\n\n").is_err());
+    }
+
+    fn bench_doc(ffs: f64, realloc: f64) -> String {
+        format!(
+            "{{\"schema\":\"bench-aging-v1\",\"total_wall_s\":1.0,\"jobs\":[\
+             {{\"job\":\"age:ffs\",\"status\":\"ok\",\"wall_s\":0.2,\"ops\":100,\"ops_per_sec\":{ffs:.3}}},\
+             {{\"job\":\"age:realloc\",\"status\":\"ok\",\"wall_s\":0.3,\"ops\":100,\"ops_per_sec\":{realloc:.3}}},\
+             {{\"job\":\"fig1\",\"status\":\"ok\",\"wall_s\":0.1,\"ops\":0,\"ops_per_sec\":0.000}}]}}"
+        )
+    }
+
+    #[test]
+    fn baseline_comparison_passes_within_limit_and_fails_beyond() {
+        let base = bench_doc(1000.0, 2000.0);
+        // 10 % down on one job: inside a 20 % limit, outside a 5 % one.
+        let cur = bench_doc(900.0, 2100.0);
+        let table = compare_baseline(&cur, &base, 20.0).expect("within limit");
+        assert!(table.contains("age:ffs"), "{table}");
+        assert!(table.contains("-10.0%"), "{table}");
+        let err = compare_baseline(&cur, &base, 5.0).unwrap_err();
+        assert!(err.contains("age:ffs regressed 10.0%"), "{err}");
+        // Improvements never fail, whatever the limit.
+        assert!(compare_baseline(&bench_doc(5000.0, 9000.0), &base, 0.0).is_ok());
+    }
+
+    #[test]
+    fn baseline_comparison_rejects_missing_jobs_and_bad_docs() {
+        let base = bench_doc(1000.0, 2000.0);
+        let missing = "{\"schema\":\"bench-aging-v1\",\"total_wall_s\":0.1,\"jobs\":[\
+             {\"job\":\"age:ffs\",\"status\":\"ok\",\"wall_s\":0.2,\"ops\":100,\"ops_per_sec\":999.0}]}";
+        assert!(compare_baseline(missing, &base, 20.0).is_err());
+        assert!(compare_baseline("{}", &base, 20.0).is_err());
+        assert!(compare_baseline(&base, "not json", 20.0).is_err());
     }
 }

@@ -325,7 +325,7 @@ impl Filesystem {
         let run = match pref {
             Some(p) if self.params.dtog(p) == g => {
                 let b = cg.daddr_to_block(p).0;
-                if b + len <= cg.nblocks() && (b..b + len).all(|x| cg.is_block_free(x)) {
+                if cg.is_cluster_free(b, len) {
                     Some(b)
                 } else if self.cluster_first_fit {
                     cg.find_free_cluster(b, len)

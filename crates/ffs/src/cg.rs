@@ -3,9 +3,28 @@
 //! Each group keeps a fragment-granularity allocation map. The map is laid
 //! out one byte per block with one bit per fragment (the paper's geometry
 //! has exactly 8 fragments per block), so "is this block fully free" is a
-//! zero-byte test and cluster search is a scan for runs of zero bytes —
-//! the moral equivalent of the `cg_blksfree` map plus the cluster summary
-//! of 4.4BSD.
+//! zero-byte test — the moral equivalent of the `cg_blksfree` map of
+//! 4.4BSD.
+//!
+//! Block-granularity search does not walk that byte map. Two derived
+//! structures, maintained incrementally on every allocation and free,
+//! carry it at word speed:
+//!
+//! * `free_words` — one bit per block (set = fully free), packed into
+//!   `u64` words, so the scans behind [`CylGroup::find_free_block`] and
+//!   the cluster searches advance 64 blocks per trailing-zeros step
+//!   instead of one byte at a time;
+//! * `csum` — the cluster summary table (`fs_clustersum` in FFS):
+//!   `csum[k-1]` counts the maximal free runs of length `k`, with every
+//!   run of at least `maxcontig` blocks pooled in the last bucket. A
+//!   cluster request longer than any existing run is rejected in O(1)
+//!   without touching the bitmap at all.
+//!
+//! The retired byte-at-a-time scans survive verbatim in [`crate::naive`];
+//! a differential oracle (`tests/scan_oracle.rs`) holds the two
+//! implementations bit-for-bit equal over randomized bitmaps, and
+//! [`crate::check`] verifies both derived structures against the
+//! fragment map.
 
 use ffs_types::{CgIdx, Daddr, FsParams};
 
@@ -23,6 +42,14 @@ pub struct CylGroup {
     /// One byte per block; bit `i` set means fragment `i` of the block is
     /// allocated.
     map: Vec<u8>,
+    /// One bit per block, set when the block is fully free, packed 64
+    /// blocks to the word. Derived from `map`; bits at and above
+    /// `nblocks` are always clear so runs never extend past the group.
+    free_words: Vec<u64>,
+    /// Cluster summary: `csum[k-1]` counts maximal free runs of capped
+    /// length `k`, where lengths are capped at `csum.len()`
+    /// (`maxcontig`). Derived from `map`, maintained incrementally.
+    csum: Vec<u32>,
     /// Fragments per block (always 8 for the paper geometry, kept for
     /// generality).
     fpb: u32,
@@ -63,12 +90,24 @@ impl CylGroup {
         let fpb = params.frags_per_block();
         let ninodes = params.inodes_per_cg();
         let data_blocks = nblocks - meta_blocks;
+        let cap = params.maxcontig.max(1) as usize;
+        let mut free_words = vec![0u64; nblocks.div_ceil(64) as usize];
+        for b in meta_blocks..nblocks {
+            free_words[(b / 64) as usize] |= 1 << (b % 64);
+        }
+        let mut csum = vec![0u32; cap];
+        if data_blocks > 0 {
+            // One maximal free run covering the whole data area.
+            csum[(data_blocks as usize).min(cap) - 1] = 1;
+        }
         CylGroup {
             idx,
             base: params.cg_base(idx),
             nblocks,
             meta_blocks,
             map,
+            free_words,
+            csum,
             fpb,
             free_frags: data_blocks * fpb,
             free_blocks: data_blocks,
@@ -154,6 +193,7 @@ impl CylGroup {
     pub fn alloc_block(&mut self, block: u32) {
         debug_assert!(self.is_block_free(block), "double alloc of {block}");
         self.map[block as usize] = 0xFF;
+        self.mark_block_used(block);
         self.free_blocks -= 1;
         self.free_frags -= self.fpb;
         self.rotor = block;
@@ -164,6 +204,7 @@ impl CylGroup {
         debug_assert_eq!(self.map[block as usize], 0xFF, "freeing non-full block");
         debug_assert!(block >= self.meta_blocks);
         self.map[block as usize] = 0;
+        self.mark_block_free(block);
         self.free_blocks += 1;
         self.free_frags += self.fpb;
     }
@@ -176,6 +217,7 @@ impl CylGroup {
         let was_free = self.is_block_free(block);
         self.map[block as usize] |= run_mask(frag, len);
         if was_free {
+            self.mark_block_used(block);
             self.free_blocks -= 1;
         }
         self.free_frags -= len;
@@ -194,8 +236,159 @@ impl CylGroup {
         self.map[block as usize] &= !mask;
         self.free_frags += len;
         if self.map[block as usize] == 0 {
+            self.mark_block_free(block);
             self.free_blocks += 1;
         }
+    }
+
+    // --- Derived state: free-block bitmap and cluster summary -----------
+    //
+    // `mark_block_free`/`mark_block_used` are the only writers of
+    // `free_words` and `csum` on the allocation path; they are called
+    // exactly when a block transitions between "fully free" and "has at
+    // least one allocated fragment". The summary update is the
+    // `ffs_clusteracct` argument: capped lengths compose, i.e.
+    // `min(L + 1 + R, cap) == min(min(L, cap) + 1 + min(R, cap), cap)`,
+    // so scanning at most `cap` neighbor bits on each side is enough to
+    // keep every bucket exact.
+
+    /// Whether the free-bitmap bit for `block` is set.
+    pub(crate) fn free_bit(&self, block: u32) -> bool {
+        self.free_words[(block / 64) as usize] & (1 << (block % 64)) != 0
+    }
+
+    /// Capped length of the free run immediately below `block`.
+    fn free_len_before(&self, block: u32, cap: u32) -> u32 {
+        let mut n = 0;
+        let mut i = block;
+        while i > 0 && n < cap {
+            i -= 1;
+            if !self.free_bit(i) {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Capped length of the free run immediately above `block`.
+    fn free_len_after(&self, block: u32, cap: u32) -> u32 {
+        let mut n = 0;
+        let mut i = block + 1;
+        while i < self.nblocks && n < cap {
+            if !self.free_bit(i) {
+                break;
+            }
+            n += 1;
+            i += 1;
+        }
+        n
+    }
+
+    /// Records the transition of `block` from allocated to fully free: the
+    /// runs to its left and right merge with it into one.
+    fn mark_block_free(&mut self, block: u32) {
+        debug_assert!(!self.free_bit(block));
+        let cap = self.csum.len() as u32;
+        let left = self.free_len_before(block, cap);
+        let right = self.free_len_after(block, cap);
+        if left > 0 {
+            self.csum[(left - 1) as usize] -= 1;
+        }
+        if right > 0 {
+            self.csum[(right - 1) as usize] -= 1;
+        }
+        self.csum[((left + 1 + right).min(cap) - 1) as usize] += 1;
+        self.free_words[(block / 64) as usize] |= 1 << (block % 64);
+    }
+
+    /// Records the transition of `block` from fully free to allocated: the
+    /// run containing it splits into the parts left and right of it.
+    fn mark_block_used(&mut self, block: u32) {
+        debug_assert!(self.free_bit(block));
+        self.free_words[(block / 64) as usize] &= !(1 << (block % 64));
+        let cap = self.csum.len() as u32;
+        let left = self.free_len_before(block, cap);
+        let right = self.free_len_after(block, cap);
+        self.csum[((left + 1 + right).min(cap) - 1) as usize] -= 1;
+        if left > 0 {
+            self.csum[(left - 1) as usize] += 1;
+        }
+        if right > 0 {
+            self.csum[(right - 1) as usize] += 1;
+        }
+    }
+
+    /// The cluster summary table: entry `k` counts maximal free runs of
+    /// length `k + 1`, with the last entry pooling every run at least
+    /// `maxcontig` long (`fs_clustersum`).
+    pub fn cluster_summary(&self) -> &[u32] {
+        &self.csum
+    }
+
+    /// O(1) pre-check from the summary table: whether a free run of at
+    /// least `len` blocks can exist. Exact for `len <= maxcontig`; for
+    /// longer requests it is a sound necessary condition (the pooled last
+    /// bucket cannot distinguish lengths), so `true` may still scan to a
+    /// miss but `false` never lies.
+    fn summary_may_fit(&self, len: u32) -> bool {
+        let cap = self.csum.len() as u32;
+        if len <= cap {
+            self.csum[(len.max(1) - 1) as usize..]
+                .iter()
+                .any(|&c| c > 0)
+        } else {
+            self.csum[(cap - 1) as usize] > 0
+        }
+    }
+
+    /// Whether `len` consecutive blocks starting at `block` are all fully
+    /// free. `block + len` must not exceed the group size.
+    pub fn is_cluster_free(&self, block: u32, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        if block >= self.nblocks || self.nblocks - block < len {
+            return false;
+        }
+        ones_run_len(&self.free_words, block, block + len) >= len
+    }
+
+    /// Iterates the maximal free runs of the group as `(start, len)`
+    /// pairs, in address order.
+    pub fn free_runs(&self) -> FreeRuns<'_> {
+        FreeRuns {
+            words: &self.free_words,
+            pos: 0,
+            hi: self.nblocks,
+        }
+    }
+
+    /// Recomputes `free_words` and `csum` from the fragment map, for
+    /// fsck-style rebuild after the raw map has been rewritten.
+    pub(crate) fn rebuild_derived(&mut self) {
+        for w in self.free_words.iter_mut() {
+            *w = 0;
+        }
+        for b in 0..self.nblocks {
+            if self.map[b as usize] == 0 {
+                self.free_words[(b / 64) as usize] |= 1 << (b % 64);
+            }
+        }
+        let cap = self.csum.len();
+        self.csum = crate::naive::recount_cluster_summary(self, cap);
+    }
+
+    /// Raw mutable access to the cluster summary, for fault injection;
+    /// same caveats as [`CylGroup::raw_map_mut`].
+    pub(crate) fn raw_csum_mut(&mut self) -> &mut [u32] {
+        &mut self.csum
+    }
+
+    /// Raw mutable access to the free-block bitmap, for fault injection;
+    /// same caveats as [`CylGroup::raw_map_mut`].
+    pub(crate) fn raw_free_words_mut(&mut self) -> &mut [u64] {
+        &mut self.free_words
     }
 
     /// Finds the first fully free block at or after `from` (block index),
@@ -203,31 +396,31 @@ impl CylGroup {
     /// it does not care how large the surrounding free region is — the
     /// defect of the original allocator the paper highlights.
     pub fn find_free_block(&self, from: u32) -> Option<u32> {
+        if self.nblocks == 0 {
+            return None;
+        }
         let start = if from >= self.nblocks {
             self.meta_blocks
         } else {
             from
         };
-        let n = self.nblocks as usize;
-        let s = start as usize;
-        for (i, &b) in self.map[s..].iter().enumerate() {
-            if b == 0 {
-                obs::hist!("ffs.cg_search_blocks", obs::bounds::POW2, i + 1);
-                return Some((s + i) as u32);
-            }
+        if let Some(b) = next_set_bit(&self.free_words, start, self.nblocks) {
+            obs::hist!("ffs.cg_search_blocks", obs::bounds::POW2, b - start + 1);
+            return Some(b);
         }
-        for (i, &b) in self.map[..s].iter().enumerate() {
-            if b == 0 {
-                obs::hist!("ffs.cg_search_blocks", obs::bounds::POW2, (n - s) + i + 1);
-                return Some(i as u32);
-            }
+        if let Some(b) = next_set_bit(&self.free_words, 0, start) {
+            obs::hist!(
+                "ffs.cg_search_blocks",
+                obs::bounds::POW2,
+                (self.nblocks - start) + b + 1
+            );
+            return Some(b);
         }
         debug_assert_eq!(
             self.free_blocks, 0,
             "free count says {} but none found",
             self.free_blocks
         );
-        let _ = n;
         None
     }
 
@@ -237,6 +430,13 @@ impl CylGroup {
     /// first fitting run.
     pub fn find_free_cluster(&self, from: u32, len: u32) -> Option<u32> {
         debug_assert!(len >= 1);
+        if len == 0 || self.nblocks == 0 {
+            return None;
+        }
+        if !self.summary_may_fit(len) {
+            obs::counter!("ffs.cg_summary_reject", 1);
+            return None;
+        }
         let start = if from >= self.nblocks {
             self.meta_blocks
         } else {
@@ -253,26 +453,28 @@ impl CylGroup {
     /// system.
     pub fn find_free_cluster_bestfit(&self, len: u32) -> Option<u32> {
         debug_assert!(len >= 1);
+        if len == 0 || self.nblocks == 0 {
+            return None;
+        }
+        if !self.summary_may_fit(len) {
+            obs::counter!("ffs.cg_summary_reject", 1);
+            return None;
+        }
         let mut best: Option<(u32, u32)> = None; // (run_len, start)
-        let mut run = 0u32;
-        for b in 0..=self.nblocks {
-            let free = b < self.nblocks && self.map[b as usize] == 0;
-            if free {
-                run += 1;
-            } else {
-                if run >= len {
-                    let start = b - run;
-                    match best {
-                        Some((blen, _)) if blen <= run => {}
-                        _ => best = Some((run, start)),
-                    }
-                    if run == len {
-                        // Exact fit cannot be beaten.
-                        return Some(start);
-                    }
+        let mut pos = 0u32;
+        while let Some(s) = next_set_bit(&self.free_words, pos, self.nblocks) {
+            let run = ones_run_len(&self.free_words, s, self.nblocks);
+            if run >= len {
+                if run == len {
+                    // Exact fit cannot be beaten.
+                    return Some(s);
                 }
-                run = 0;
+                match best {
+                    Some((blen, _)) if blen <= run => {}
+                    _ => best = Some((run, s)),
+                }
             }
+            pos = s + run + 1;
         }
         best.map(|(_, start)| start)
     }
@@ -284,37 +486,39 @@ impl CylGroup {
     /// consuming nearby remainders instead of carving large runs.
     pub fn find_free_cluster_near(&self, from: u32, len: u32, window: u32) -> Option<u32> {
         debug_assert!(len >= 1);
+        if len == 0 || self.nblocks == 0 {
+            return None;
+        }
+        if !self.summary_may_fit(len) {
+            obs::counter!("ffs.cg_summary_reject", 1);
+            return None;
+        }
         let start = if from >= self.nblocks {
             self.meta_blocks
         } else {
             from
         };
-        let lim = (start + window).min(self.nblocks);
+        let lim = start.saturating_add(window).min(self.nblocks);
         let mut best: Option<(u32, u32)> = None; // (run_len, start)
-        let mut run = 0u32;
-        for b in start..=self.nblocks {
-            let free = b < self.nblocks && self.map[b as usize] == 0;
-            if free {
-                run += 1;
-            } else {
-                if run >= len {
-                    let rstart = b - run;
-                    if rstart < lim {
-                        match best {
-                            Some((blen, _)) if blen <= run => {}
-                            _ => best = Some((run, rstart)),
-                        }
-                        if run == len {
-                            return Some(rstart);
-                        }
-                    } else {
-                        // Beyond the window: first fit wins unless the
-                        // window already offered something.
-                        return Some(best.map_or(rstart, |(_, s)| s));
+        let mut pos = start;
+        while let Some(s) = next_set_bit(&self.free_words, pos, self.nblocks) {
+            let run = ones_run_len(&self.free_words, s, self.nblocks);
+            if run >= len {
+                if s < lim {
+                    match best {
+                        Some((blen, _)) if blen <= run => {}
+                        _ => best = Some((run, s)),
                     }
+                    if run == len {
+                        return Some(s);
+                    }
+                } else {
+                    // Beyond the window: first fit wins unless the
+                    // window already offered something.
+                    return Some(best.map_or(s, |(_, b)| b));
                 }
-                run = 0;
             }
+            pos = s + run + 1;
         }
         if let Some((_, s)) = best {
             return Some(s);
@@ -324,18 +528,18 @@ impl CylGroup {
         self.scan_cluster(0, start + len.min(self.nblocks) - 1, len)
     }
 
+    /// First-fit run of at least `len` free blocks within `[lo, hi)`,
+    /// clipped at both ends (a run extending past `hi` counts only up to
+    /// it). Returns the run's first block.
     fn scan_cluster(&self, lo: u32, hi: u32, len: u32) -> Option<u32> {
         let hi = hi.min(self.nblocks);
-        let mut run = 0u32;
-        for b in lo..hi {
-            if self.map[b as usize] == 0 {
-                run += 1;
-                if run >= len {
-                    return Some(b + 1 - len);
-                }
-            } else {
-                run = 0;
+        let mut pos = lo;
+        while let Some(s) = next_set_bit(&self.free_words, pos, hi) {
+            let run = ones_run_len(&self.free_words, s, hi);
+            if run >= len {
+                return Some(s);
             }
+            pos = s + run + 1;
         }
         None
     }
@@ -396,17 +600,8 @@ impl CylGroup {
     /// and by property tests.
     pub fn cluster_histogram(&self, max_len: usize) -> Vec<u32> {
         let mut hist = vec![0u32; max_len];
-        let mut run = 0usize;
-        for b in 0..self.nblocks as usize {
-            if self.map[b] == 0 {
-                run += 1;
-            } else if run > 0 {
-                hist[(run - 1).min(max_len - 1)] += 1;
-                run = 0;
-            }
-        }
-        if run > 0 {
-            hist[(run - 1).min(max_len - 1)] += 1;
+        for (_, run) in self.free_runs() {
+            hist[(run as usize - 1).min(max_len - 1)] += 1;
         }
         hist
     }
@@ -499,6 +694,70 @@ impl CylGroup {
         self.rotor = rotor;
         self.irotor = irotor;
     }
+}
+
+/// Iterator over a group's maximal free runs; see [`CylGroup::free_runs`].
+#[derive(Clone, Debug)]
+pub struct FreeRuns<'a> {
+    words: &'a [u64],
+    pos: u32,
+    hi: u32,
+}
+
+impl Iterator for FreeRuns<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        let s = next_set_bit(self.words, self.pos, self.hi)?;
+        let run = ones_run_len(self.words, s, self.hi);
+        // The bit at `s + run` is known clear (or past `hi`), so the next
+        // run cannot start before `s + run + 1`.
+        self.pos = s + run + 1;
+        Some((s, run))
+    }
+}
+
+/// Index of the first set bit in `words` within `[lo, hi)`, advancing a
+/// whole word per iteration.
+fn next_set_bit(words: &[u64], lo: u32, hi: u32) -> Option<u32> {
+    if lo >= hi {
+        return None;
+    }
+    let (mut wi, bit) = ((lo / 64) as usize, lo % 64);
+    let last = ((hi - 1) / 64) as usize;
+    let mut w = words[wi] & (u64::MAX << bit);
+    loop {
+        if w != 0 {
+            let b = wi as u32 * 64 + w.trailing_zeros();
+            return (b < hi).then_some(b);
+        }
+        wi += 1;
+        if wi > last {
+            return None;
+        }
+        w = words[wi];
+    }
+}
+
+/// Length of the run of set bits starting at `start`, clipped to `hi`.
+/// `start` must be below `hi` and its bit set for a non-zero answer.
+fn ones_run_len(words: &[u64], start: u32, hi: u32) -> u32 {
+    let mut b = start;
+    while b < hi {
+        let (wi, bit) = ((b / 64) as usize, b % 64);
+        // Inverting before the shift makes the first *clear* bit findable
+        // by trailing_zeros without the shifted-in zeros looking like used
+        // blocks; an empty remainder (inv == 0) means the run spans the
+        // rest of the word.
+        let inv = !words[wi] >> bit;
+        if inv == 0 {
+            b += 64 - bit;
+        } else {
+            b += inv.trailing_zeros();
+            break;
+        }
+    }
+    b.min(hi) - start
 }
 
 /// Bit mask covering fragments `frag .. frag + len` of a block byte.

@@ -93,6 +93,26 @@ pub enum Violation {
         /// The value recomputed from the map.
         map: u32,
     },
+    /// A group's free-block bitmap bit disagrees with its fragment map.
+    FreeBitmapDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// Block index within the group.
+        block: u32,
+        /// The bitmap bit as stored.
+        bit: bool,
+        /// Whether the fragment map says the block is fully free.
+        map_free: bool,
+    },
+    /// A group's cluster summary disagrees with a recount from its map.
+    ClusterSummaryDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// The summary as maintained incrementally.
+        stored: Vec<u32>,
+        /// The summary recounted from the fragment map.
+        recounted: Vec<u32>,
+    },
     /// The file system's used-data byte counter disagrees with the files.
     UsedDataDrift {
         /// The counter as stored, in bytes.
@@ -160,6 +180,23 @@ impl std::fmt::Display for Violation {
             Violation::FreeBlocksDrift { cg, counter, map } => {
                 write!(f, "cg {cg}: free_blocks counter {counter} vs map {map}")
             }
+            Violation::FreeBitmapDrift {
+                cg,
+                block,
+                bit,
+                map_free,
+            } => write!(
+                f,
+                "cg {cg} block {block}: free bitmap bit {bit} vs map free {map_free}"
+            ),
+            Violation::ClusterSummaryDrift {
+                cg,
+                stored,
+                recounted,
+            } => write!(
+                f,
+                "cg {cg}: cluster summary {stored:?} vs recount {recounted:?}"
+            ),
             Violation::UsedDataDrift {
                 counter,
                 recomputed,
@@ -282,6 +319,28 @@ pub fn check(fs: &Filesystem) -> Vec<Violation> {
                 cg: g,
                 counter: cg.free_blocks(),
                 map: free_blocks,
+            });
+        }
+        // Derived search state against the group's own fragment map: the
+        // free-block bitmap must shadow "map byte is zero" bit for bit,
+        // and the cluster summary must equal a from-scratch recount.
+        for b in 0..cg.nblocks() {
+            let map_free = cg.map_byte(b) == 0;
+            if cg.free_bit(b) != map_free {
+                errs.push(Violation::FreeBitmapDrift {
+                    cg: g,
+                    block: b,
+                    bit: cg.free_bit(b),
+                    map_free,
+                });
+            }
+        }
+        let recounted = crate::naive::recount_cluster_summary(cg, cg.cluster_summary().len());
+        if cg.cluster_summary() != recounted.as_slice() {
+            errs.push(Violation::ClusterSummaryDrift {
+                cg: g,
+                stored: cg.cluster_summary().to_vec(),
+                recounted,
             });
         }
     }

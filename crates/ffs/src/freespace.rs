@@ -47,21 +47,14 @@ pub fn free_space_stats(fs: &Filesystem, hist_max: usize) -> FreeSpaceStats {
     let mut longest = 0u32;
     for g in 0..fs.ncg() {
         let cg = fs.cg(CgIdx(g));
-        let mut run = 0u32;
-        for b in 0..=cg.nblocks() {
-            let free = b < cg.nblocks() && cg.is_block_free(b);
-            if free {
-                run += 1;
-            } else if run > 0 {
-                obs::hist!("ffs.free_extent_blocks", obs::bounds::POW2, run);
-                hist[(run as usize - 1).min(hist_max - 1)] += 1;
-                free_blocks += run as u64;
-                if run >= maxcontig {
-                    clusterable += run as u64;
-                }
-                longest = longest.max(run);
-                run = 0;
+        for (_, run) in cg.free_runs() {
+            obs::hist!("ffs.free_extent_blocks", obs::bounds::POW2, run);
+            hist[(run as usize - 1).min(hist_max - 1)] += 1;
+            free_blocks += run as u64;
+            if run >= maxcontig {
+                clusterable += run as u64;
             }
+            longest = longest.max(run);
         }
     }
     FreeSpaceStats {

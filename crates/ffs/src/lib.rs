@@ -40,6 +40,7 @@ pub mod fs;
 pub mod grow;
 pub mod inode;
 pub mod layout;
+pub mod naive;
 pub mod repair;
 
 pub use alloc::{realloc_windows, AllocPolicy, AllocStats};

@@ -1,0 +1,163 @@
+//! Reference byte-at-a-time free-space scans.
+//!
+//! These are the original `CylGroup` search loops, kept verbatim (modulo
+//! taking the group by reference) after the word-level rewrite in
+//! [`crate::cg`]. They exist for one purpose: to be slow and obviously
+//! correct. The differential oracle in `tests/scan_oracle.rs` drives both
+//! implementations over randomized bitmaps and asserts identical results,
+//! and [`recount_cluster_summary`] is the from-scratch ground truth the
+//! incremental summary table is checked and rebuilt against.
+//!
+//! Guard clauses (`len == 0`, empty groups, saturating window arithmetic)
+//! mirror the word-level versions exactly so the oracle covers the edge
+//! cases too.
+
+use crate::cg::CylGroup;
+
+/// Reference [`CylGroup::find_free_block`]: first free block at or after
+/// `from`, wrapping once, byte scan.
+pub fn find_free_block(cg: &CylGroup, from: u32) -> Option<u32> {
+    if cg.nblocks() == 0 {
+        return None;
+    }
+    let start = if from >= cg.nblocks() {
+        cg.meta_blocks()
+    } else {
+        from
+    };
+    (start..cg.nblocks())
+        .chain(0..start)
+        .find(|&b| cg.map_byte(b) == 0)
+}
+
+/// Reference [`CylGroup::find_free_cluster`]: first-fit run of `len` free
+/// blocks at or after `from`, wrapping once.
+pub fn find_free_cluster(cg: &CylGroup, from: u32, len: u32) -> Option<u32> {
+    if len == 0 || cg.nblocks() == 0 {
+        return None;
+    }
+    let start = if from >= cg.nblocks() {
+        cg.meta_blocks()
+    } else {
+        from
+    };
+    scan_cluster(cg, start, cg.nblocks(), len)
+        .or_else(|| scan_cluster(cg, 0, start + len.min(cg.nblocks()) - 1, len))
+}
+
+/// Reference [`CylGroup::find_free_cluster_bestfit`]: smallest run of at
+/// least `len` free blocks, ties toward lower addresses, exact fit wins
+/// immediately.
+pub fn find_free_cluster_bestfit(cg: &CylGroup, len: u32) -> Option<u32> {
+    if len == 0 || cg.nblocks() == 0 {
+        return None;
+    }
+    let mut best: Option<(u32, u32)> = None; // (run_len, start)
+    let mut run = 0u32;
+    for b in 0..=cg.nblocks() {
+        let free = b < cg.nblocks() && cg.map_byte(b) == 0;
+        if free {
+            run += 1;
+        } else {
+            if run >= len {
+                let start = b - run;
+                match best {
+                    Some((blen, _)) if blen <= run => {}
+                    _ => best = Some((run, start)),
+                }
+                if run == len {
+                    // Exact fit cannot be beaten.
+                    return Some(start);
+                }
+            }
+            run = 0;
+        }
+    }
+    best.map(|(_, start)| start)
+}
+
+/// Reference [`CylGroup::find_free_cluster_near`]: best fit among runs
+/// starting within `window` blocks of `from`, first fit beyond it,
+/// wrapping once.
+pub fn find_free_cluster_near(cg: &CylGroup, from: u32, len: u32, window: u32) -> Option<u32> {
+    if len == 0 || cg.nblocks() == 0 {
+        return None;
+    }
+    let start = if from >= cg.nblocks() {
+        cg.meta_blocks()
+    } else {
+        from
+    };
+    let lim = start.saturating_add(window).min(cg.nblocks());
+    let mut best: Option<(u32, u32)> = None; // (run_len, start)
+    let mut run = 0u32;
+    for b in start..=cg.nblocks() {
+        let free = b < cg.nblocks() && cg.map_byte(b) == 0;
+        if free {
+            run += 1;
+        } else {
+            if run >= len {
+                let rstart = b - run;
+                if rstart < lim {
+                    match best {
+                        Some((blen, _)) if blen <= run => {}
+                        _ => best = Some((run, rstart)),
+                    }
+                    if run == len {
+                        return Some(rstart);
+                    }
+                } else {
+                    // Beyond the window: first fit wins unless the window
+                    // already offered something.
+                    return Some(best.map_or(rstart, |(_, s)| s));
+                }
+            }
+            run = 0;
+        }
+    }
+    if let Some((_, s)) = best {
+        return Some(s);
+    }
+    // Wrap: first fit in the prefix (runs crossing `start` included via
+    // the overlap margin).
+    scan_cluster(cg, 0, start + len.min(cg.nblocks()) - 1, len)
+}
+
+/// Reference inner scan: first-fit run of `len` free blocks in `[lo, hi)`,
+/// clipped at both ends, byte-at-a-time.
+pub fn scan_cluster(cg: &CylGroup, lo: u32, hi: u32, len: u32) -> Option<u32> {
+    let hi = hi.min(cg.nblocks());
+    let mut run = 0u32;
+    for b in lo..hi {
+        if cg.map_byte(b) == 0 {
+            run += 1;
+            if run >= len {
+                return Some(b + 1 - len);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+/// From-scratch cluster summary recount off the fragment map: bucket `k`
+/// counts maximal free runs of capped length `k + 1`, runs of `cap` blocks
+/// or more pooled in the last bucket. The incremental table in `CylGroup`
+/// must equal this after every operation.
+pub fn recount_cluster_summary(cg: &CylGroup, cap: usize) -> Vec<u32> {
+    let mut csum = vec![0u32; cap];
+    let mut run = 0usize;
+    for b in 0..cg.nblocks() {
+        if cg.map_byte(b) == 0 {
+            run += 1;
+        } else if run > 0 {
+            csum[(run - 1).min(cap - 1)] += 1;
+            run = 0;
+        }
+    }
+    if run > 0 {
+        csum[(run - 1).min(cap - 1)] += 1;
+    }
+    csum
+}

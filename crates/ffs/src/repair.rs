@@ -202,6 +202,7 @@ pub(crate) fn rebuild_allocation_state(fs: &mut Filesystem) {
             }
         }
         cg.set_free_counts(free_frags, free_blocks);
+        cg.rebuild_derived();
         let used_inodes: u32 = cg.raw_imap_mut().iter().map(|w| w.count_ones()).sum();
         let ninodes = cg.ninodes();
         cg.set_free_inodes(ninodes - used_inodes);
@@ -233,9 +234,28 @@ pub fn inject_metadata_damage(fs: &mut Filesystem, seed: u64, hits: u32) -> u32 
     let ncg = fs.params.ncg;
     let mut applied = 0u32;
     for _ in 0..hits {
-        let kind = rng.gen_range(0u32..6);
+        let kind = rng.gen_range(0u32..8);
         let g = rng.gen_range(0..ncg) as usize;
         match kind {
+            6 => {
+                // Scramble a cluster-summary bucket (torn fs_clustersum
+                // update).
+                let cg = &mut fs.cgs[g];
+                let csum = cg.raw_csum_mut();
+                let i = rng.gen_range(0..csum.len() as u32) as usize;
+                csum[i] = csum[i].wrapping_add(rng.gen_range(1..5));
+                applied += 1;
+            }
+            7 => {
+                // Flip a free-bitmap bit (torn cg_blksfree shadow update).
+                let cg = &mut fs.cgs[g];
+                let nb = cg.nblocks();
+                if nb > 0 {
+                    let b = rng.gen_range(0..nb);
+                    cg.raw_free_words_mut()[(b / 64) as usize] ^= 1 << (b % 64);
+                    applied += 1;
+                }
+            }
             0 => {
                 // Orphan a fragment: mark a free fragment allocated.
                 let cg = &mut fs.cgs[g];
@@ -385,6 +405,66 @@ mod tests {
         assert!(fs.file(keep).is_some());
         assert!(fs.file(lose).is_none());
         assert_consistent(&fs);
+    }
+
+    #[test]
+    fn scrambled_cluster_summary_is_detected_and_rebuilt() {
+        let mut fs = aged_fs();
+        let pristine = fs.clone();
+        let csum = fs.cgs[1].raw_csum_mut();
+        csum[2] = csum[2].wrapping_add(3);
+        let errs = check(&fs);
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::ClusterSummaryDrift { cg: 1, .. })),
+            "summary drift not reported: {errs:?}"
+        );
+        assert!(errs.iter().all(|v| !v.is_structural()));
+        let report = repair(&mut fs);
+        assert!(report.rebuilt);
+        assert!(report.files_removed.is_empty());
+        assert_consistent(&fs);
+        assert_eq!(fs.cgs[1], pristine.cgs[1], "rebuild was not lossless");
+    }
+
+    #[test]
+    fn flipped_free_bitmap_bit_is_detected_and_rebuilt() {
+        let mut fs = aged_fs();
+        let pristine = fs.clone();
+        // Word 1, bit 5: block 69, well inside the data area.
+        fs.cgs[0].raw_free_words_mut()[1] ^= 1 << 5;
+        let errs = check(&fs);
+        assert!(
+            errs.iter().any(|v| matches!(
+                v,
+                Violation::FreeBitmapDrift {
+                    cg: 0,
+                    block: 69,
+                    ..
+                }
+            )),
+            "bitmap drift not reported: {errs:?}"
+        );
+        repair(&mut fs);
+        assert_consistent(&fs);
+        assert_eq!(fs.cgs[0], pristine.cgs[0], "rebuild was not lossless");
+    }
+
+    #[test]
+    fn derived_state_damage_kinds_converge_under_repair() {
+        // Damage kinds 6 (summary scramble) and 7 (bitmap bit flip) are
+        // drawn alongside the others; many seeded rounds must always
+        // repair back to the pristine allocation state.
+        for seed in 0..8 {
+            let mut fs = aged_fs();
+            let pristine = fs.clone();
+            let applied = inject_metadata_damage(&mut fs, seed, 40);
+            assert!(applied > 0);
+            let report = repair(&mut fs);
+            assert!(report.files_removed.is_empty());
+            assert_consistent(&fs);
+            assert_eq!(fs.cgs, pristine.cgs, "seed {seed} was not lossless");
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //! `BENCH_aging.json` (wall time per job, replay ops/sec) to the
 //! current directory; `report --profile` additionally renders the span
 //! profile from `<out>/metrics.json` (or the `--metrics` path).
+//! `report --baseline PATH` compares the fresh `BENCH_aging.json`
+//! against a committed one and fails when any `age:*` job's ops/sec
+//! regresses more than `--max-regression PCT` (default 20) — the CI
+//! bench-smoke gate.
 //!
 //! `all` runs every exhibit (`sweep` excluded), reporting per-experiment
 //! pass/fail on stderr and exiting non-zero iff any failed.
@@ -42,7 +46,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|report> \
          [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
-         [--metrics PATH] [-q|--quiet] [--profile]"
+         [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT]"
     );
     std::process::exit(2);
 }
@@ -52,6 +56,8 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else { usage() };
     let mut opts = Options::default();
     let mut profile = false;
+    let mut baseline: Option<String> = None;
+    let mut max_regression = 20.0f64;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--days" => {
@@ -90,10 +96,19 @@ fn main() -> ExitCode {
             "--profile" => {
                 profile = true;
             }
+            "--baseline" => {
+                baseline = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
-    match run(&cmd, &opts, profile) {
+    match run(&cmd, &opts, profile, baseline.as_deref(), max_regression) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -103,7 +118,12 @@ fn main() -> ExitCode {
     }
 }
 
-fn report(opts: &Options, profile: bool) -> Result<(), String> {
+fn report(
+    opts: &Options,
+    profile: bool,
+    baseline: Option<&str>,
+    max_regression: f64,
+) -> Result<(), String> {
     let path = std::path::Path::new(&opts.out_dir).join("runs.jsonl");
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("read {}: {e} (run an experiment first)", path.display()))?;
@@ -113,6 +133,14 @@ fn report(opts: &Options, profile: bool) -> Result<(), String> {
         .map_err(|e| format!("write BENCH_aging.json: {e}"))?;
     if !opts.quiet {
         eprintln!("harness: wrote BENCH_aging.json");
+    }
+    if let Some(bpath) = baseline {
+        let base = std::fs::read_to_string(bpath).map_err(|e| format!("read {bpath}: {e}"))?;
+        let table = exp::compare_baseline(&bench, &base, max_regression)?;
+        print!("{table}");
+        if !opts.quiet {
+            eprintln!("harness: throughput within {max_regression}% of {bpath}");
+        }
     }
     if profile {
         let mpath = match &opts.metrics {
@@ -132,9 +160,15 @@ fn report(opts: &Options, profile: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn run(cmd: &str, opts: &Options, profile: bool) -> Result<bool, String> {
+fn run(
+    cmd: &str,
+    opts: &Options,
+    profile: bool,
+    baseline: Option<&str>,
+    max_regression: f64,
+) -> Result<bool, String> {
     if cmd == "report" {
-        report(opts, profile)?;
+        report(opts, profile, baseline, max_regression)?;
         return Ok(true);
     }
     let requested: Vec<&'static str> = if cmd == "all" {

@@ -86,6 +86,32 @@ fn warm_cache_skips_agings_and_reproduces_exhibits() {
 }
 
 #[test]
+fn exhibits_match_committed_goldens_at_days_30() {
+    // The committed fixtures under tests/golden/days30 were produced by
+    // `harness all --days 30` (seed 1996) before the word-level
+    // free-space search landed; the rewrite must keep every exhibit
+    // byte-identical. Regenerating them is only legitimate for a change
+    // that intends to alter simulation behavior.
+    let out = std::env::temp_dir().join(format!("harness-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    let mut o = opts(&out, 0);
+    o.days = 30;
+    o.seed = 1996;
+    let summary = driver::run(&o, EXHIBITS).expect("driver runs");
+    assert!(summary.all_ok(), "an experiment failed");
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/days30");
+    for name in EXHIBITS {
+        let got = fs::read(out.join(format!("{name}.tsv"))).expect("tsv written");
+        let want = fs::read(golden_dir.join(format!("{name}.tsv"))).expect("golden fixture");
+        assert_eq!(
+            got, want,
+            "{name}.tsv diverged from the committed days-30 golden"
+        );
+    }
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
 fn no_cache_disables_the_store() {
     let out = std::env::temp_dir().join(format!("harness-nocache-{}", std::process::id()));
     let _ = fs::remove_dir_all(&out);
