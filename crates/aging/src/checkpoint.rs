@@ -11,12 +11,11 @@
 //! inconsistent map: a tampered or truncated file surfaces as
 //! [`FsError::Corrupt`] at restore time, never as a bad replay.
 
-use std::collections::HashMap;
-
 use ffs_types::{CgIdx, Daddr, DirId, FsError, FsParams, FsResult, Ino};
 
 use ffs::{AllocPolicy, DirMeta, FileMeta, Filesystem};
 
+use crate::livemap::LiveMap;
 use crate::workload::FileId;
 
 /// Everything a replay needs to continue from the end of a day.
@@ -45,12 +44,13 @@ pub struct Checkpoint {
 /// Captures a checkpoint at the end of `day`.
 pub fn take_checkpoint(
     fs: &Filesystem,
-    live: &HashMap<FileId, Ino>,
+    live: &LiveMap,
     day: u32,
     skipped_creates: u64,
 ) -> Checkpoint {
-    let mut live: Vec<(FileId, Ino)> = live.iter().map(|(&f, &i)| (f, i)).collect();
-    live.sort();
+    // LiveMap iterates in ascending file-id order, so the checkpoint's
+    // canonical ordering comes for free.
+    let live: Vec<(FileId, Ino)> = live.iter().collect();
     Checkpoint {
         day,
         bytes_written: fs.bytes_written(),
@@ -190,7 +190,7 @@ impl Checkpoint {
                         ino,
                         dir,
                         size,
-                        blocks,
+                        blocks: blocks.into(),
                         tail,
                         indirects,
                         mtime_day,
@@ -222,7 +222,7 @@ impl Checkpoint {
         &self,
         params: FsParams,
         policy: AllocPolicy,
-    ) -> FsResult<(Filesystem, HashMap<FileId, Ino>)> {
+    ) -> FsResult<(Filesystem, LiveMap)> {
         let mut fs = Filesystem::restore(
             params,
             policy,
@@ -233,8 +233,20 @@ impl Checkpoint {
         if !self.rotors.is_empty() {
             fs.set_rotors(&self.rotors)?;
         }
-        let mut live = HashMap::with_capacity(self.live.len());
+        // A live file id indexes the dense map directly, so cap it:
+        // a tampered checkpoint must surface as `Corrupt`, not as a
+        // multi-gigabyte allocation. Real ids are issued sequentially
+        // per create — even a years-long paper-scale run stays orders
+        // of magnitude below this.
+        const MAX_LIVE_FILE_ID: u64 = 1 << 28;
+        let mut live = LiveMap::new();
         for &(fid, ino) in &self.live {
+            if fid.0 >= MAX_LIVE_FILE_ID {
+                return Err(FsError::Corrupt(format!(
+                    "live map file id {} implausibly large",
+                    fid.0
+                )));
+            }
             if fs.file(ino).is_none() {
                 return Err(FsError::Corrupt(format!(
                     "live map references missing inode {}",

@@ -26,6 +26,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod livemap;
 pub mod profiles;
 pub mod replay;
 pub mod sizes;
@@ -35,6 +36,7 @@ pub mod workload;
 
 pub use checkpoint::{take_checkpoint, Checkpoint};
 pub use config::{AgingConfig, SizeDist};
+pub use livemap::LiveMap;
 pub use profiles::Profile;
 pub use replay::{replay, resume, CrashReport, DayStats, ReplayOptions, ReplayResult};
 pub use snapshot::{diff_to_workload, take_snapshot, Snapshot, SnapshotEntry};

@@ -19,14 +19,13 @@
 //!   a [`Checkpoint`] at end of day, from which [`resume`] continues the
 //!   same workload in a later process.
 
-use std::collections::HashMap;
-
 use ffs_types::{DirId, FsError, FsParams, FsResult, Ino};
 
 use ffs::{assert_consistent, inject_metadata_damage, repair, AllocPolicy, Filesystem, RepairReport};
 
 use crate::checkpoint::{take_checkpoint, Checkpoint};
-use crate::workload::{FileId, Op, Workload};
+use crate::livemap::LiveMap;
+use crate::workload::{Op, Workload};
 
 /// End-of-day measurements.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,7 +100,7 @@ pub struct ReplayResult {
     /// The aged file system.
     pub fs: Filesystem,
     /// Mapping from workload file ids to the inodes of still-live files.
-    pub live: HashMap<FileId, Ino>,
+    pub live: LiveMap,
     /// Creates skipped because the file system was out of space (should
     /// be zero for a well-calibrated workload).
     pub skipped_creates: u64,
@@ -175,7 +174,7 @@ pub fn replay(
     fs.set_cluster_first_fit(options.cluster_first_fit);
     fs.set_realloc_no_split(options.realloc_no_split);
     let dirs = fs.mkdir_per_cg()?;
-    run_days(workload, fs, &dirs, HashMap::new(), None, 0, options)
+    run_days(workload, fs, &dirs, LiveMap::new(), None, 0, options)
 }
 
 /// Continues `workload` from a [`Checkpoint`] taken by an earlier replay.
@@ -235,7 +234,7 @@ fn run_days(
     workload: &Workload,
     mut fs: Filesystem,
     dirs: &[DirId],
-    mut live: HashMap<FileId, Ino>,
+    mut live: LiveMap,
     resume_after: Option<u32>,
     mut skipped: u64,
     options: ReplayOptions,
@@ -280,7 +279,7 @@ fn run_days(
                     // The file may have been cohort-deleted later the
                     // same day than the rewrite was scheduled, or its
                     // create may have been skipped; tolerate both.
-                    if let Some(&ino) = live.get(&file) {
+                    if let Some(ino) = live.get(&file) {
                         fs.rewrite(ino, day_log.day)?;
                     }
                 }

@@ -30,7 +30,7 @@ use rand::SeedableRng;
 use ffs_types::{CgIdx, Daddr, FsParams, Ino};
 
 use ffs::fs::LayoutAgg;
-use ffs::Filesystem;
+use ffs::{BlockList, Filesystem};
 
 use crate::config::AgingConfig;
 use crate::workload::{DayLog, FileId, Lifetime, Op, Workload};
@@ -47,7 +47,9 @@ pub struct SnapshotEntry {
     /// Cylinder group the file's inode belongs to.
     pub cg: CgIdx,
     /// Physical addresses of the file's full blocks, in logical order.
-    pub blocks: Vec<Daddr>,
+    /// Shares the live file's spilled block list copy-on-write, so taking
+    /// a snapshot never copies a long file's addresses.
+    pub blocks: BlockList,
     /// Tail fragment run, if any.
     pub tail: Option<(Daddr, u32)>,
 }
@@ -175,7 +177,7 @@ impl Snapshot {
             let cg = CgIdx(field("cg")?.parse().map_err(|e| format!("bad cg: {e}"))?);
             let blocks_s = field("blocks")?;
             let blocks = if blocks_s == "-" {
-                Vec::new()
+                BlockList::new()
             } else {
                 blocks_s
                     .split(':')

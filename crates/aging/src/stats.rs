@@ -64,9 +64,16 @@ pub fn workload_stats(w: &Workload) -> WorkloadStats {
                 }
                 Op::Rewrite { file } => {
                     s.rewrites += 1;
-                    // Rewrites of files deleted later the same day still
-                    // count their bytes if the file is live here.
-                    s.bytes_written += sizes.get(&file).copied().unwrap_or(0);
+                    // Workload invariant: a rewrite always targets a file
+                    // that is live at this point in the op stream. The
+                    // generator picks rewrite victims from the ledger
+                    // *after* the day's deletes are scheduled, and a
+                    // same-day rewrite is timestamped strictly after its
+                    // create — so a missing entry is a generator bug, not
+                    // a case to paper over with zero bytes.
+                    s.bytes_written += *sizes
+                        .get(&file)
+                        .expect("rewrite of a file not live at that point in the workload");
                 }
             }
         }
@@ -80,7 +87,53 @@ pub fn workload_stats(w: &Workload) -> WorkloadStats {
 mod tests {
     use super::*;
     use crate::config::AgingConfig;
-    use crate::workload::generate;
+    use crate::workload::{generate, DayLog, FileId};
+    use ffs_types::CgIdx;
+
+    fn hand_built(ops: Vec<Op>) -> Workload {
+        Workload {
+            config: AgingConfig::small_test(1, 0),
+            ncg: 4,
+            capacity_bytes: 14 << 20,
+            days: vec![DayLog { day: 0, ops }],
+        }
+    }
+
+    #[test]
+    fn rewrite_after_create_counts_its_bytes() {
+        let f = FileId(0);
+        let w = hand_built(vec![
+            Op::Create {
+                file: f,
+                cg: CgIdx(0),
+                size: 4096,
+                kind: Lifetime::Short,
+            },
+            Op::Rewrite { file: f },
+            Op::Delete { file: f },
+        ]);
+        let s = workload_stats(&w);
+        assert_eq!(s.rewrites, 1);
+        assert_eq!(s.bytes_written, 2 * 4096, "rewrite bytes must be counted");
+        assert_eq!(s.live_at_end, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rewrite of a file not live")]
+    fn rewrite_of_dead_file_is_a_generator_bug() {
+        let f = FileId(0);
+        let w = hand_built(vec![
+            Op::Create {
+                file: f,
+                cg: CgIdx(0),
+                size: 4096,
+                kind: Lifetime::Short,
+            },
+            Op::Delete { file: f },
+            Op::Rewrite { file: f },
+        ]);
+        workload_stats(&w);
+    }
 
     #[test]
     fn stats_balance() {

@@ -105,11 +105,93 @@ struct LiveFile {
     cg: CgIdx,
 }
 
-/// Internal op with a within-day timestamp, merged and sorted at the end
-/// of each day.
+/// Internal op with a within-day timestamp and a day-global push
+/// sequence number; per-class streams are merged on `(t, seq)`.
 struct TimedOp {
     t: f64,
+    seq: u32,
     op: Op,
+}
+
+/// Op-stream class: each generation phase pushes into its own stream.
+const CLASS_MODIFY: usize = 0;
+const CLASS_CREATE: usize = 1;
+const CLASS_BURST: usize = 2;
+const CLASS_DELETE: usize = 3;
+const CLASS_SHORT: usize = 4;
+const CLASS_REWRITE: usize = 5;
+const NCLASSES: usize = 6;
+
+/// Per-class operation streams for one simulated day.
+///
+/// The old generator pushed every op into one vector and stable-sorted
+/// it by timestamp at day end. A stable sort by `t` orders ties by push
+/// position — so tagging each push with a day-global `seq`, sorting each
+/// class stream by `(t, seq)`, and k-way merging on the same key
+/// reproduces that order exactly while sorting several short, mostly
+/// ordered runs instead of one large mixed one.
+struct DayStreams {
+    seq: u32,
+    classes: [Vec<TimedOp>; NCLASSES],
+}
+
+impl DayStreams {
+    fn new() -> Self {
+        DayStreams {
+            seq: 0,
+            classes: Default::default(),
+        }
+    }
+
+    fn push(&mut self, class: usize, t: f64, op: Op) {
+        self.classes[class].push(TimedOp {
+            t,
+            seq: self.seq,
+            op,
+        });
+        self.seq += 1;
+    }
+
+    /// Creates pushed so far, counted per cylinder group.
+    fn create_counts(&self, ncg: u32) -> Vec<u32> {
+        let mut counts = vec![0u32; ncg as usize];
+        for class in &self.classes {
+            for op in class {
+                if let Op::Create { cg, .. } = op.op {
+                    counts[cg.0 as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Merges the class streams into one time-ordered op list,
+    /// equivalent to a stable sort by `t` over all pushes in push order.
+    fn merge(mut self) -> Vec<Op> {
+        let key = |x: &TimedOp, y: &TimedOp| x.t.total_cmp(&y.t).then(x.seq.cmp(&y.seq));
+        for class in &mut self.classes {
+            // `seq` is unique across the day, so `(t, seq)` is a total
+            // order and an unstable sort cannot reorder anything.
+            class.sort_unstable_by(key);
+        }
+        let total = self.classes.iter().map(Vec::len).sum();
+        let mut heads = [0usize; NCLASSES];
+        let mut out = Vec::with_capacity(total);
+        for _ in 0..total {
+            let mut best = usize::MAX;
+            for c in 0..NCLASSES {
+                let Some(x) = self.classes[c].get(heads[c]) else {
+                    continue;
+                };
+                if best == usize::MAX || key(x, &self.classes[best][heads[best]]).is_lt() {
+                    best = c;
+                }
+            }
+            out.push(self.classes[best][heads[best]].op);
+            heads[best] += 1;
+        }
+        out
+    }
 }
 
 /// Generates the aging workload for a file system with `ncg` cylinder
@@ -134,7 +216,7 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
     let mut live_bytes = 0u64;
     let mut days = Vec::with_capacity(config.days as usize);
     for day in 0..config.days {
-        let mut ops: Vec<TimedOp> = Vec::new();
+        let mut ops = DayStreams::new();
         // Create time of every file created today, so a same-day delete
         // can never be scheduled before the create it depends on.
         let mut created_today: std::collections::HashMap<FileId, f64> =
@@ -166,21 +248,19 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
             let new_size = ((old.size as f64 * scale) as u64)
                 .clamp(config.long_sizes.min, config.long_sizes.max);
             let dt = delete_t(&created_today, old.id, rng.gen::<f64>());
-            ops.push(TimedOp {
-                t: dt,
-                op: Op::Delete { file: old.id },
-            });
+            ops.push(CLASS_MODIFY, dt, Op::Delete { file: old.id });
             let id = fresh(&mut next_id);
             created_today.insert(id, dt + 1e-6);
-            ops.push(TimedOp {
-                t: dt + 1e-6,
-                op: Op::Create {
+            ops.push(
+                CLASS_MODIFY,
+                dt + 1e-6,
+                Op::Create {
                     file: id,
                     cg: old.cg,
                     size: new_size,
                     kind: Lifetime::Long,
                 },
-            });
+            );
             live_bytes = live_bytes - old.size + new_size;
             live[idx] = LiveFile {
                 id,
@@ -208,15 +288,16 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
             let id = fresh(&mut next_id);
             let t = (peaks[cg.0 as usize] + 0.06 * std_normal(&mut rng)).rem_euclid(1.0);
             created_today.insert(id, t);
-            ops.push(TimedOp {
+            ops.push(
+                CLASS_CREATE,
                 t,
-                op: Op::Create {
+                Op::Create {
                     file: id,
                     cg,
                     size,
                     kind: Lifetime::Long,
                 },
-            });
+            );
             live.push(LiveFile {
                 id,
                 size,
@@ -241,6 +322,7 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
                         goal - freed,
                         &created_today,
                         &mut ops,
+                        CLASS_BURST,
                     );
                     if got == 0 {
                         break;
@@ -259,15 +341,16 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
                     let size = sample_size(&mut rng, &config.long_sizes);
                     let id = fresh(&mut next_id);
                     created_today.insert(id, t0 + 0.2 * (i as f64 / batch as f64));
-                    ops.push(TimedOp {
-                        t: t0 + 0.2 * (i as f64 / batch as f64),
-                        op: Op::Create {
+                    ops.push(
+                        CLASS_BURST,
+                        t0 + 0.2 * (i as f64 / batch as f64),
+                        Op::Create {
                             file: id,
                             cg,
                             size,
                             kind: Lifetime::Long,
                         },
-                    });
+                    );
                     live.push(LiveFile {
                         id,
                         size,
@@ -292,10 +375,7 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
                 let idx = pick_victim(&mut rng, &live, day, config.delete_age_bias);
                 let f = live.swap_remove(idx);
                 let t = delete_t(&created_today, f.id, rng.gen());
-                ops.push(TimedOp {
-                    t,
-                    op: Op::Delete { file: f.id },
-                });
+                ops.push(CLASS_DELETE, t, Op::Delete { file: f.id });
                 f.size
             } else {
                 delete_cohort(
@@ -306,6 +386,7 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
                     goal,
                     &created_today,
                     &mut ops,
+                    CLASS_DELETE,
                 )
             };
             live_bytes -= freed;
@@ -316,26 +397,24 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
         // --- Short-lived pairs, placed in the day's most active groups
         // and time-shifted to overlap its activity.
         let n_short = sample_count(&mut rng, config.short_pairs_per_day);
-        let hot = hottest_groups(&ops, ncg, 4);
+        let hot = hottest_groups(&ops.create_counts(ncg), 4);
         for _ in 0..n_short {
             let cg = hot[weighted_index(&mut rng, &[0.5, 0.3, 0.15, 0.05])];
             let size = sample_size(&mut rng, &config.short_sizes);
             let id = fresh(&mut next_id);
             let t = rng.gen::<f64>() * 0.97;
             let dt = 0.002 + 0.03 * rng.gen::<f64>();
-            ops.push(TimedOp {
+            ops.push(
+                CLASS_SHORT,
                 t,
-                op: Op::Create {
+                Op::Create {
                     file: id,
                     cg,
                     size,
                     kind: Lifetime::Short,
                 },
-            });
-            ops.push(TimedOp {
-                t: t + dt,
-                op: Op::Delete { file: id },
-            });
+            );
+            ops.push(CLASS_SHORT, t + dt, Op::Delete { file: id });
         }
         // --- In-place rewrites of existing files: write volume and
         // mtime freshness without reallocation.
@@ -354,17 +433,13 @@ pub fn generate(config: &AgingConfig, ncg: u32, capacity_bytes: u64) -> Workload
                 Some(&ct) => ct + 1e-6,
                 None => rng.gen(),
             };
-            ops.push(TimedOp {
-                t,
-                op: Op::Rewrite { file: f.id },
-            });
+            ops.push(CLASS_REWRITE, t, Op::Rewrite { file: f.id });
         }
-        // Sort into time order. Ties cannot reorder a file's delete
+        // Merge into time order. Ties cannot reorder a file's delete
         // before its create because each pair is strictly ordered.
-        ops.sort_by(|a, b| a.t.total_cmp(&b.t));
         days.push(DayLog {
             day,
-            ops: ops.into_iter().map(|t| t.op).collect(),
+            ops: ops.merge(),
         });
     }
     Workload {
@@ -465,7 +540,8 @@ fn delete_cohort(
     age_bias: f64,
     goal_bytes: u64,
     created_today: &std::collections::HashMap<FileId, f64>,
-    ops: &mut Vec<TimedOp>,
+    ops: &mut DayStreams,
+    class: usize,
 ) -> u64 {
     if live.is_empty() {
         return 0;
@@ -502,24 +578,15 @@ fn delete_cohort(
             Some(&ct) => ct.max(base_t) + 1e-6,
             None => (base_t + 0.01 * rng.gen::<f64>()).min(1.5),
         };
-        ops.push(TimedOp {
-            t,
-            op: Op::Delete { file: f.id },
-        });
+        ops.push(class, t, Op::Delete { file: f.id });
     }
     freed
 }
 
-/// The `k` groups with the most operations in `ops` (ties broken toward
+/// The `k` groups with the most creates in `counts` (ties broken toward
 /// lower indices), padded with round-robin groups when fewer are active.
-fn hottest_groups(ops: &[TimedOp], ncg: u32, k: usize) -> Vec<CgIdx> {
-    let mut counts = vec![0u32; ncg as usize];
-    for op in ops {
-        if let Op::Create { cg, .. } = op.op {
-            counts[cg.0 as usize] += 1;
-        }
-    }
-    let mut order: Vec<usize> = (0..ncg as usize).collect();
+fn hottest_groups(counts: &[u32], k: usize) -> Vec<CgIdx> {
+    let mut order: Vec<usize> = (0..counts.len()).collect();
     order.sort_by_key(|&g| std::cmp::Reverse(counts[g]));
     (0..k)
         .map(|i| CgIdx(order[i % order.len()] as u32))
@@ -534,6 +601,27 @@ mod tests {
     fn small() -> Workload {
         let c = AgingConfig::small_test(20, 11);
         generate(&c, 4, 14 << 20)
+    }
+
+    #[test]
+    fn merge_matches_stable_sort_reference() {
+        // The replay order contract: merging the per-class streams on
+        // `(t, seq)` must equal a stable sort by `t` over all pushes in
+        // push order — the scheme the generator used before streams.
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        let mut streams = DayStreams::new();
+        let mut reference: Vec<(f64, Op)> = Vec::new();
+        for i in 0..800u64 {
+            let class = rng.gen_range(0..NCLASSES);
+            // Coarse timestamps force plenty of ties across classes.
+            let t = rng.gen_range(0..50) as f64 / 25.0;
+            let op = Op::Rewrite { file: FileId(i) };
+            streams.push(class, t, op);
+            reference.push((t, op));
+        }
+        reference.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let expect: Vec<Op> = reference.into_iter().map(|(_, op)| op).collect();
+        assert_eq!(streams.merge(), expect);
     }
 
     #[test]

@@ -1,0 +1,160 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Microbenchmarks of the replay hot path's file-table memory layout:
+//! the slab + inline block-list layout against the map + `Vec` layout it
+//! replaced (kept as [`ffs::naive::RefTable`]), driven by one shared
+//! create/delete/rewrite/snapshot micro-op trace shaped like the aging
+//! replay — heavy inode reuse, mostly-small files, periodic whole-table
+//! snapshots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::naive::RefTable;
+use ffs::{BlockList, Slab};
+use ffs_types::{Daddr, Ino};
+use std::hint::black_box;
+
+/// Steady-state live-file count (the small paper geometry runs in the
+/// low thousands).
+const LIVE_TARGET: usize = 4000;
+const OPS: usize = 20_000;
+
+enum MicroOp {
+    Create { ino: Ino, nblocks: u32 },
+    Delete { ino: Ino },
+    Rewrite { ino: Ino },
+    Snapshot,
+}
+
+/// A deterministic op trace with the replay's key dynamics: deleted
+/// inode numbers are reused for later creates, ~80 % of files fit the
+/// inline block list, and a snapshot sweeps the whole table every two
+/// thousand ops.
+fn trace() -> Vec<MicroOp> {
+    let mut x = 0x243F6A8885A308D3u64;
+    let mut step = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (x >> 33) as u32
+    };
+    let mut live: Vec<Ino> = Vec::new();
+    let mut free: Vec<Ino> = Vec::new();
+    let mut next = 0u32;
+    let mut ops = Vec::with_capacity(OPS + OPS / 2000);
+    for i in 0..OPS {
+        if i % 2000 == 1999 {
+            ops.push(MicroOp::Snapshot);
+        }
+        let r = step() % 100;
+        if live.len() < 64 || (r < 55 && live.len() < LIVE_TARGET) {
+            let ino = free.pop().unwrap_or_else(|| {
+                let v = Ino(next);
+                next += 1;
+                v
+            });
+            let nblocks = if step() % 10 < 8 {
+                1 + step() % 8
+            } else {
+                9 + step() % 56
+            };
+            ops.push(MicroOp::Create { ino, nblocks });
+            live.push(ino);
+        } else if r < 80 {
+            let ino = live.swap_remove(step() as usize % live.len());
+            free.push(ino);
+            ops.push(MicroOp::Delete { ino });
+        } else {
+            let ino = live[step() as usize % live.len()];
+            ops.push(MicroOp::Rewrite { ino });
+        }
+    }
+    ops
+}
+
+fn replay_slab(ops: &[MicroOp]) -> u64 {
+    let mut table: Slab<Ino, BlockList> = Slab::new();
+    let mut snaps: Vec<Vec<BlockList>> = Vec::new();
+    let mut acc = 0u64;
+    let mut daddr = 0u32;
+    for op in ops {
+        match *op {
+            MicroOp::Create { ino, nblocks } => {
+                let mut blocks = BlockList::new();
+                for _ in 0..nblocks {
+                    blocks.push(Daddr(daddr));
+                    daddr = daddr.wrapping_add(1);
+                }
+                table.insert(ino, blocks);
+            }
+            MicroOp::Delete { ino } => {
+                let gone = table.remove(&ino);
+                acc = acc.wrapping_add(gone.map_or(0, |b| b.len() as u64));
+            }
+            MicroOp::Rewrite { ino } => {
+                if let Some(blocks) = table.get(&ino) {
+                    for &d in blocks {
+                        acc = acc.wrapping_add(d.0 as u64);
+                    }
+                }
+            }
+            MicroOp::Snapshot => {
+                // The zero-copy case: cloning a BlockList bumps a
+                // refcount (or copies 8 inline words) instead of
+                // duplicating the allocation.
+                snaps.push(table.values().cloned().collect());
+                if snaps.len() > 4 {
+                    snaps.remove(0);
+                }
+            }
+        }
+    }
+    acc.wrapping_add(snaps.iter().map(|s| s.len() as u64).sum::<u64>())
+}
+
+fn replay_map(ops: &[MicroOp]) -> u64 {
+    let mut table: RefTable<Ino, Vec<Daddr>> = RefTable::new();
+    let mut snaps: Vec<Vec<Vec<Daddr>>> = Vec::new();
+    let mut acc = 0u64;
+    let mut daddr = 0u32;
+    for op in ops {
+        match *op {
+            MicroOp::Create { ino, nblocks } => {
+                let mut blocks = Vec::new();
+                for _ in 0..nblocks {
+                    blocks.push(Daddr(daddr));
+                    daddr = daddr.wrapping_add(1);
+                }
+                table.insert(ino, blocks);
+            }
+            MicroOp::Delete { ino } => {
+                let gone = table.remove(&ino);
+                acc = acc.wrapping_add(gone.map_or(0, |b| b.len() as u64));
+            }
+            MicroOp::Rewrite { ino } => {
+                if let Some(blocks) = table.get(&ino) {
+                    for &d in blocks {
+                        acc = acc.wrapping_add(d.0 as u64);
+                    }
+                }
+            }
+            MicroOp::Snapshot => {
+                snaps.push(table.values().cloned().collect());
+                if snaps.len() > 4 {
+                    snaps.remove(0);
+                }
+            }
+        }
+    }
+    acc.wrapping_add(snaps.iter().map(|s| s.len() as u64).sum::<u64>())
+}
+
+fn bench(c: &mut Criterion) {
+    let ops = trace();
+    // Same trace, same answers — the differential oracle owns semantics,
+    // this assert keeps the bench honest if it outlives a change.
+    assert_eq!(replay_slab(&ops), replay_map(&ops));
+    let mut g = c.benchmark_group("micro_replay");
+    g.bench_function("slab_blocklist", |b| b.iter(|| replay_slab(black_box(&ops))));
+    g.bench_function("map_vec", |b| b.iter(|| replay_map(black_box(&ops))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

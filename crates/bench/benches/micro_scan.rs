@@ -118,6 +118,27 @@ fn bench(c: &mut Criterion) {
             acc
         })
     });
+    // The neighbor-run scans behind every cluster-summary update (two
+    // calls per block alloc/free), word-at-a-time vs per-bit.
+    let sweep_runs = |before: &dyn Fn(&CylGroup, u32, u32) -> u32,
+                      after: &dyn Fn(&CylGroup, u32, u32) -> u32| {
+        let mut acc = 0u64;
+        for b in (0..cg.nblocks()).step_by(7) {
+            acc = acc.wrapping_add(before(&cg, b, 256) as u64);
+            acc = acc.wrapping_add(after(&cg, b, 256) as u64);
+        }
+        acc
+    };
+    assert_eq!(
+        sweep_runs(&CylGroup::free_len_before, &CylGroup::free_len_after),
+        sweep_runs(&naive::free_len_before, &naive::free_len_after)
+    );
+    g.bench_function("free_len_word", |b| {
+        b.iter(|| sweep_runs(black_box(&CylGroup::free_len_before), &CylGroup::free_len_after))
+    });
+    g.bench_function("free_len_naive", |b| {
+        b.iter(|| sweep_runs(black_box(&naive::free_len_before), &naive::free_len_after))
+    });
     g.finish();
 }
 

@@ -142,10 +142,10 @@ fn bench_throughputs(json: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Compares a freshly generated `bench-aging-v1` JSON against a committed
-/// baseline: every `age:*` job present in both must not have lost more
-/// than `max_regression_pct` percent of its `ops_per_sec`. Returns a
-/// per-job comparison table on success and a description of the worst
-/// offender on failure — the CI bench-smoke gate.
+/// baseline: every job that reports throughput in the baseline must not
+/// have lost more than `max_regression_pct` percent of its `ops_per_sec`.
+/// Returns a per-job comparison table on success and a description of the
+/// worst offender on failure — the CI bench-smoke gate.
 pub fn compare_baseline(
     current: &str,
     baseline: &str,
@@ -163,9 +163,6 @@ pub fn compare_baseline(
         "job", "base ops/s", "now ops/s", "delta"
     );
     for (job, base_ops) in &base {
-        if !job.starts_with("age:") {
-            continue;
-        }
         let Some((_, cur_ops)) = cur.iter().find(|(j, _)| j == job) else {
             return Err(format!("job {job} is in the baseline but not the new run"));
         };
@@ -180,7 +177,7 @@ pub fn compare_baseline(
         }
     }
     if compared == 0 {
-        return Err("baseline has no age:* jobs with throughput".into());
+        return Err("baseline has no jobs with throughput".into());
     }
     if let Some((job, delta)) = worst {
         if delta < -max_regression_pct {
@@ -257,6 +254,24 @@ mod tests {
         assert!(err.contains("age:ffs regressed 10.0%"), "{err}");
         // Improvements never fail, whatever the limit.
         assert!(compare_baseline(&bench_doc(5000.0, 9000.0), &base, 0.0).is_ok());
+    }
+
+    #[test]
+    fn baseline_comparison_gates_every_throughput_job() {
+        // Not just the age:* replays — any job reporting ops/sec (the
+        // profile sweeps, snapshot validation, ...) is held to the gate.
+        let doc = |profiles: f64| {
+            format!(
+                "{{\"schema\":\"bench-aging-v1\",\"total_wall_s\":1.0,\"jobs\":[\
+                 {{\"job\":\"age:ffs\",\"status\":\"ok\",\"wall_s\":0.2,\"ops\":100,\"ops_per_sec\":1000.000}},\
+                 {{\"job\":\"profiles\",\"status\":\"ok\",\"wall_s\":0.3,\"ops\":100,\"ops_per_sec\":{profiles:.3}}}]}}"
+            )
+        };
+        let base = doc(4000.0);
+        let table = compare_baseline(&doc(4100.0), &base, 20.0).expect("within limit");
+        assert!(table.contains("profiles"), "{table}");
+        let err = compare_baseline(&doc(2000.0), &base, 20.0).unwrap_err();
+        assert!(err.contains("profiles regressed 50.0%"), "{err}");
     }
 
     #[test]

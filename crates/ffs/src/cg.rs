@@ -258,31 +258,50 @@ impl CylGroup {
     }
 
     /// Capped length of the free run immediately below `block`.
-    fn free_len_before(&self, block: u32, cap: u32) -> u32 {
+    ///
+    /// Word-at-a-time: shift the word so the bit below `block` lands at
+    /// the top, then `leading_zeros` of the complement counts the
+    /// consecutive set bits downward in one instruction. The shift
+    /// zero-fills from below, so the count self-limits at the word edge
+    /// and the loop crosses into the next word only on a full-word run.
+    /// (Reference per-bit scan: [`crate::naive::free_len_before`].)
+    pub fn free_len_before(&self, block: u32, cap: u32) -> u32 {
         let mut n = 0;
         let mut i = block;
         while i > 0 && n < cap {
-            i -= 1;
-            if !self.free_bit(i) {
+            let bit = (i - 1) % 64;
+            let w = self.free_words[((i - 1) / 64) as usize];
+            let run = (!(w << (63 - bit))).leading_zeros();
+            n += run;
+            i -= run;
+            if run < bit + 1 {
                 break;
             }
-            n += 1;
         }
-        n
+        n.min(cap)
     }
 
     /// Capped length of the free run immediately above `block`.
-    fn free_len_after(&self, block: u32, cap: u32) -> u32 {
+    ///
+    /// Word-at-a-time mirror of [`CylGroup::free_len_before`]:
+    /// `trailing_zeros` of the complement of the shifted word counts the
+    /// consecutive set bits upward. Bits at and beyond `nblocks` are
+    /// never set, so the scan stops at the group edge on its own.
+    /// (Reference per-bit scan: [`crate::naive::free_len_after`].)
+    pub fn free_len_after(&self, block: u32, cap: u32) -> u32 {
         let mut n = 0;
         let mut i = block + 1;
         while i < self.nblocks && n < cap {
-            if !self.free_bit(i) {
+            let bit = i % 64;
+            let w = self.free_words[(i / 64) as usize];
+            let run = (!(w >> bit)).trailing_zeros().min(64 - bit);
+            n += run;
+            i += run;
+            if run < 64 - bit {
                 break;
             }
-            n += 1;
-            i += 1;
         }
-        n
+        n.min(cap)
     }
 
     /// Records the transition of `block` from allocated to fully free: the

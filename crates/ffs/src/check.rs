@@ -127,6 +127,15 @@ pub enum Violation {
         /// The aggregate recomputed from the files.
         recomputed: LayoutAgg,
     },
+    /// A slab table's derived index (occupancy bitmap, length counter, or
+    /// free-list wiring) disagrees with its slot tags. The tags are
+    /// ground truth, so this is rebuildable without loss.
+    SlabIndexDrift {
+        /// Which table drifted: `"files"` or `"dirs"`.
+        table: &'static str,
+        /// The first inconsistency the index walk found.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -211,6 +220,9 @@ impl std::fmt::Display for Violation {
                 f,
                 "layout aggregate drift: incremental {incremental:?} vs recomputed {recomputed:?}"
             ),
+            Violation::SlabIndexDrift { table, detail } => {
+                write!(f, "{table} slab index drift: {detail}")
+            }
         }
     }
 }
@@ -358,6 +370,20 @@ pub fn check(fs: &Filesystem) -> Vec<Violation> {
         errs.push(Violation::LayoutAggDrift {
             incremental: inc,
             recomputed: full,
+        });
+    }
+    // The metadata tables' own derived indices (occupancy bitmaps,
+    // length counters, free-list wiring) against their slot tags.
+    if let Some(detail) = fs.files.index_violation() {
+        errs.push(Violation::SlabIndexDrift {
+            table: "files",
+            detail,
+        });
+    }
+    if let Some(detail) = fs.dirs.index_violation() {
+        errs.push(Violation::SlabIndexDrift {
+            table: "dirs",
+            detail,
         });
     }
     errs

@@ -22,6 +22,7 @@ use ffs_types::{CgIdx, Daddr, DirId, FsError, FsParams, FsResult, Ino};
 use crate::alloc::{realloc_windows, AllocPolicy, AllocStats};
 use crate::cg::CylGroup;
 use crate::inode::FileMeta;
+use crate::table::{BlockList, Slab};
 
 /// A directory: a cylinder-group anchor for the files created in it.
 #[derive(Clone, Debug, PartialEq)]
@@ -66,8 +67,8 @@ pub struct Filesystem {
     pub(crate) params: FsParams,
     pub(crate) policy: AllocPolicy,
     pub(crate) cgs: Vec<CylGroup>,
-    pub(crate) files: BTreeMap<Ino, FileMeta>,
-    pub(crate) dirs: BTreeMap<DirId, DirMeta>,
+    pub(crate) files: Slab<Ino, FileMeta>,
+    pub(crate) dirs: Slab<DirId, DirMeta>,
     pub(crate) next_dir: u32,
     pub(crate) agg: LayoutAgg,
     /// Fragments holding file data (blocks + tails).
@@ -105,8 +106,8 @@ impl Filesystem {
             params,
             policy,
             cgs,
-            files: BTreeMap::new(),
-            dirs: BTreeMap::new(),
+            files: Slab::new(),
+            dirs: Slab::new(),
             next_dir: 0,
             agg: LayoutAgg::default(),
             used_data_frags: 0,
@@ -248,7 +249,7 @@ impl Filesystem {
                 ino,
                 dir,
                 size,
-                blocks: Vec::new(),
+                blocks: BlockList::new(),
                 tail: None,
                 indirects: Vec::new(),
                 mtime_day: day,
@@ -370,7 +371,14 @@ impl Filesystem {
             d.0.is_multiple_of(fpb) && d.0.checked_add(fpb).is_some_and(|e| e <= frag_limit)
         };
         for d in &dirs {
-            if d.cg.0 >= params.ncg || d.ino_slot >= params.inodes_per_cg() || !block_ok(d.block)
+            // Directory ids are assigned sequentially from zero and never
+            // reclaimed, so a legitimate checkpoint's ids are exactly
+            // 0..dirs.len(). Rejecting anything larger also stops a
+            // tampered checkpoint from forcing a huge slab allocation.
+            if d.id.0 as usize >= dirs.len()
+                || d.cg.0 >= params.ncg
+                || d.ino_slot >= params.inodes_per_cg()
+                || !block_ok(d.block)
             {
                 return Err(FsError::Corrupt(format!(
                     "directory {:?} has claims outside the volume",
@@ -451,7 +459,7 @@ impl Filesystem {
     /// validate that a deserialized aged image really is the one that
     /// was saved. The digest is independent of *how* the state was
     /// reached (clone, checkpoint restore, replay) because it reads only
-    /// canonical state in canonical (BTreeMap / group) order.
+    /// canonical state in canonical (ascending slab key / group) order.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |v: u64| {

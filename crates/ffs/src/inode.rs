@@ -2,6 +2,8 @@
 
 use ffs_types::{Daddr, DirId, FsParams, Ino};
 
+use crate::table::BlockList;
+
 /// A file's allocation state. The block list is kept flat (rather than as
 /// direct/indirect pointer trees) because the simulator only needs the
 /// physical address of each logical block; the indirect *blocks* are still
@@ -16,7 +18,8 @@ pub struct FileMeta {
     /// File size in bytes.
     pub size: u64,
     /// Physical address of each full data block, in logical order.
-    pub blocks: Vec<Daddr>,
+    /// Inline up to [`BlockList::INLINE`] blocks, copy-on-write beyond.
+    pub blocks: BlockList,
     /// Tail fragment run `(address, length_in_frags)` when the last
     /// partial block is fragment-allocated.
     pub tail: Option<(Daddr, u32)>,

@@ -42,6 +42,7 @@ pub mod inode;
 pub mod layout;
 pub mod naive;
 pub mod repair;
+pub mod table;
 
 pub use alloc::{realloc_windows, AllocPolicy, AllocStats};
 pub use cg::CylGroup;
@@ -51,3 +52,4 @@ pub use fs::{DirMeta, Filesystem, LayoutAgg};
 pub use inode::FileMeta;
 pub use layout::{layout_by_size, recompute_aggregate, size_bins_paper, SizeBinScore};
 pub use repair::{inject_metadata_damage, repair, RepairReport};
+pub use table::{BlockList, Slab, SlabKey};

@@ -12,7 +12,11 @@
 //! mirror the word-level versions exactly so the oracle covers the edge
 //! cases too.
 
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+
 use crate::cg::CylGroup;
+use crate::table::SlabKey;
 
 /// Reference [`CylGroup::find_free_block`]: first free block at or after
 /// `from`, wrapping once, byte scan.
@@ -139,6 +143,112 @@ pub fn scan_cluster(cg: &CylGroup, lo: u32, hi: u32, len: u32) -> Option<u32> {
         }
     }
     None
+}
+
+/// Reference [`CylGroup::free_len_before`]: capped length of the free
+/// run immediately below `block`, one bit at a time.
+pub fn free_len_before(cg: &CylGroup, block: u32, cap: u32) -> u32 {
+    let mut n = 0;
+    let mut i = block;
+    while i > 0 && n < cap {
+        i -= 1;
+        if !cg.free_bit(i) {
+            break;
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Reference [`CylGroup::free_len_after`]: capped length of the free run
+/// immediately above `block`, one bit at a time.
+pub fn free_len_after(cg: &CylGroup, block: u32, cap: u32) -> u32 {
+    let mut n = 0;
+    let mut i = block + 1;
+    while i < cg.nblocks() && n < cap {
+        if !cg.free_bit(i) {
+            break;
+        }
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+/// Reference keyed file table: a `BTreeMap` keyed by slab index behind
+/// the same externally-assigned-key API as [`crate::table::Slab`].
+///
+/// This is the layout the slab replaced, kept as the slow, obviously
+/// correct model. The differential oracle in `tests/table_oracle.rs`
+/// drives both through identical randomized op sequences and asserts
+/// identical canonical state, and the `micro_replay` bench measures the
+/// hot-path gap between the two.
+#[derive(Clone, Debug, Default)]
+pub struct RefTable<K: SlabKey, V> {
+    map: BTreeMap<usize, V>,
+    _key: PhantomData<fn() -> K>,
+}
+
+impl<K: SlabKey, V> RefTable<K, V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RefTable {
+            map: BTreeMap::new(),
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True when `key` holds a live entry.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(&key.slab_index())
+    }
+
+    /// The value stored under `key`, if live.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(&key.slab_index())
+    }
+
+    /// Mutable access to the value stored under `key`, if live.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(&key.slab_index())
+    }
+
+    /// Stores `value` under the externally assigned `key`, returning the
+    /// previous value if the key was live.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.map.insert(key.slab_index(), value)
+    }
+
+    /// Removes and returns the value under `key`, if live.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(&key.slab_index())
+    }
+
+    /// Live keys in ascending order — the canonical iteration order
+    /// shared with the slab.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.map.keys().map(|&i| K::from_slab_index(i))
+    }
+
+    /// Live values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values()
+    }
+
+    /// Mutable live values in ascending key order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.map.values_mut()
+    }
 }
 
 /// From-scratch cluster summary recount off the fragment map: bucket `k`

@@ -66,6 +66,11 @@ pub fn repair(fs: &mut Filesystem) -> RepairReport {
         structural: before.iter().filter(|v| v.is_structural()).count(),
         ..RepairReport::default()
     };
+    // Sound the metadata tables first: pass 1 iterates them and may
+    // remove condemned files, both of which need intact slab indices. The
+    // rebuild is lossless, so doing it unconditionally is safe.
+    fs.files.rebuild_index();
+    fs.dirs.rebuild_index();
     // Files named in structural violations are beyond map rebuilds.
     let mut condemned: BTreeSet<Ino> = BTreeSet::new();
     for v in &before {
@@ -89,7 +94,7 @@ pub fn repair(fs: &mut Filesystem) -> RepairReport {
             claimed.insert(d.block.0 + i);
         }
     }
-    let inos: Vec<Ino> = fs.files.keys().copied().collect();
+    let inos: Vec<Ino> = fs.files.keys().collect();
     for ino in inos {
         if condemned.contains(&ino) {
             continue;
@@ -143,6 +148,12 @@ pub fn repair(fs: &mut Filesystem) -> RepairReport {
 /// restored file system and a repaired one are bit-identical when their
 /// inode tables agree.
 pub(crate) fn rebuild_allocation_state(fs: &mut Filesystem) {
+    // The metadata tables' own indices first: the occupancy bitmaps and
+    // free lists are derived from the slot tags exactly as the fragment
+    // maps are derived from the inodes, and everything below iterates
+    // the tables through those indices.
+    fs.files.rebuild_index();
+    fs.dirs.rebuild_index();
     let params = fs.params.clone();
     let fpb = params.frags_per_block();
     for cg in &mut fs.cgs {
@@ -222,9 +233,10 @@ pub(crate) fn rebuild_allocation_state(fs: &mut Filesystem) {
 
 /// Damage profile of a torn update: perturbs up to `hits` pieces of
 /// *derived* allocation state — orphaned fragments and inode slots in
-/// the bitmaps, drifted free counters, drifted aggregates, and cleared
-/// live-inode bits — without touching the inode table itself. Returns the
-/// number of perturbations applied.
+/// the bitmaps, drifted free counters, drifted aggregates, cleared
+/// live-inode bits, and scrambled slab-index free lists — without
+/// touching the inode table itself. Returns the number of perturbations
+/// applied.
 ///
 /// The damage is seeded and therefore reproducible; [`repair`] restores
 /// every category losslessly, which the recovery tests assert.
@@ -234,9 +246,18 @@ pub fn inject_metadata_damage(fs: &mut Filesystem, seed: u64, hits: u32) -> u32 
     let ncg = fs.params.ncg;
     let mut applied = 0u32;
     for _ in 0..hits {
-        let kind = rng.gen_range(0u32..8);
+        let kind = rng.gen_range(0u32..9);
         let g = rng.gen_range(0..ncg) as usize;
         match kind {
+            8 => {
+                // Scramble the file table's slab index (torn free-list
+                // update): random free-list links and head, or a flipped
+                // occupancy bit when no slot is vacant. Occupied slots —
+                // the ground truth — are never touched.
+                if fs.files.scramble_index(|bound| rng.gen_range(0..bound)) {
+                    applied += 1;
+                }
+            }
             6 => {
                 // Scramble a cluster-summary bucket (torn fs_clustersum
                 // update).
@@ -309,7 +330,7 @@ pub fn inject_metadata_damage(fs: &mut Filesystem, seed: u64, hits: u32) -> u32 
                     if n == 0 {
                         None
                     } else {
-                        fs.files.keys().nth(rng.gen_range(0..n)).copied()
+                        fs.files.keys().nth(rng.gen_range(0..n))
                     }
                 };
                 if let Some(ino) = victim {
@@ -393,7 +414,7 @@ mod tests {
     #[test]
     fn duplicate_claim_condemns_the_later_file() {
         let mut fs = aged_fs();
-        let inos: Vec<Ino> = fs.files.keys().copied().collect();
+        let inos: Vec<Ino> = fs.files.keys().collect();
         let (keep, lose) = (inos[0], *inos.last().unwrap());
         assert!(keep < lose);
         // The later file also claims the earlier file's first block.
@@ -451,10 +472,39 @@ mod tests {
     }
 
     #[test]
+    fn scrambled_slab_free_list_is_detected_and_repaired() {
+        let mut fs = aged_fs();
+        let pristine = fs.clone();
+        let mut x = 0xDECAF_u32;
+        let hit = fs.files.scramble_index(|bound| {
+            x = x.wrapping_mul(747796405).wrapping_add(2891336453);
+            (x >> 16) % bound.max(1)
+        });
+        assert!(hit, "aged fs should have free slots to scramble");
+        let errs = check(&fs);
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::SlabIndexDrift { table: "files", .. })),
+            "slab drift not reported: {errs:?}"
+        );
+        assert!(errs.iter().all(|v| !v.is_structural()));
+        let report = repair(&mut fs);
+        assert!(report.rebuilt);
+        assert!(report.files_removed.is_empty());
+        assert_consistent(&fs);
+        // Lossless: every file survives, and the table keeps working.
+        assert_eq!(fs.files, pristine.files);
+        assert_eq!(fs.digest(), pristine.digest());
+        let d = fs.dirs.keys().next().unwrap();
+        fs.create(d, 24 * KB, 500).unwrap();
+        assert_consistent(&fs);
+    }
+
+    #[test]
     fn derived_state_damage_kinds_converge_under_repair() {
-        // Damage kinds 6 (summary scramble) and 7 (bitmap bit flip) are
-        // drawn alongside the others; many seeded rounds must always
-        // repair back to the pristine allocation state.
+        // Damage kinds 6 (summary scramble), 7 (bitmap bit flip), and 8
+        // (slab free-list scramble) are drawn alongside the others; many
+        // seeded rounds must always repair back to the pristine state.
         for seed in 0..8 {
             let mut fs = aged_fs();
             let pristine = fs.clone();
@@ -464,6 +514,7 @@ mod tests {
             assert!(report.files_removed.is_empty());
             assert_consistent(&fs);
             assert_eq!(fs.cgs, pristine.cgs, "seed {seed} was not lossless");
+            assert_eq!(fs.files, pristine.files, "seed {seed} lost file state");
         }
     }
 

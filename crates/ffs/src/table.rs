@@ -1,0 +1,798 @@
+//! Dense, deterministic metadata tables for the replay hot path.
+//!
+//! Two structures live here, both replacing node-based collections whose
+//! pointer-chasing dominated the aging replay once the free-space scans
+//! went word-level:
+//!
+//! * [`Slab`] — a slot vector indexed directly by an externally assigned
+//!   key ([`Ino`] or [`DirId`]), with a doubly-linked free list threaded
+//!   through the vacant slots and a packed occupancy bitmap for
+//!   ascending-index iteration. Iteration order equals `BTreeMap` key
+//!   order, so digests, checkpoints, and golden outputs are
+//!   byte-identical to the map-based implementation it replaces.
+//! * [`BlockList`] — a file's block addresses in a `SmallVec`-style
+//!   inline-then-spill layout: up to [`BlockList::INLINE`] addresses live
+//!   inside the inode itself (short-lived files — the majority, per the
+//!   paper's trace analysis — never touch the heap), longer files spill
+//!   into a shared, copy-on-write `Arc<Vec<_>>` so cloning a block list
+//!   for a nightly snapshot is O(1).
+//!
+//! The slab's free list and occupancy bitmap are *derived* state in the
+//! fsck sense: the `Occupied`/`Free` slot tags are ground truth, and
+//! [`Slab::index_violation`] / [`Slab::rebuild_index`] give the checker
+//! and the repairer the same detect/rebuild treatment the cylinder-group
+//! bitmaps get. A scrambled free list is detected and rebuilt losslessly
+//! without touching any occupied slot.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use ffs_types::{Daddr, DirId, Ino};
+
+/// Sentinel for "no slot" in the free list.
+const NIL: u32 = u32::MAX;
+
+/// Keys that index a [`Slab`] directly: a dense, externally assigned
+/// integer identity.
+pub trait SlabKey: Copy + Eq + std::fmt::Debug {
+    /// The slot index this key addresses.
+    fn slab_index(self) -> usize;
+    /// The key addressing slot `i` (inverse of [`SlabKey::slab_index`]).
+    fn from_slab_index(i: usize) -> Self;
+}
+
+impl SlabKey for Ino {
+    fn slab_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_slab_index(i: usize) -> Self {
+        Ino(i as u32)
+    }
+}
+
+impl SlabKey for DirId {
+    fn slab_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_slab_index(i: usize) -> Self {
+        DirId(i as u32)
+    }
+}
+
+/// One slot of a [`Slab`]: either a live value or a link in the
+/// doubly-linked free list (`NIL`-terminated both ways).
+#[derive(Clone, Debug)]
+enum Slot<V> {
+    Occupied(V),
+    Free { prev: u32, next: u32 },
+}
+
+/// A slot vector keyed by an externally assigned dense id.
+///
+/// Unlike an arena, the slab never *chooses* keys: the file system
+/// assigns inode numbers from the per-group inode bitmaps and directory
+/// ids sequentially, and the slab stores values at exactly those
+/// indices. The free list therefore exists to keep vacancy bookkeeping
+/// O(1) — a keyed insert unlinks an arbitrary free slot, which is why
+/// the list is doubly linked — and to let capacity be reasoned about
+/// without scanning.
+///
+/// Equality ignores the free-list wiring and spare capacity: two slabs
+/// are equal when they hold equal values at equal keys.
+#[derive(Clone, Debug)]
+pub struct Slab<K, V> {
+    slots: Vec<Slot<V>>,
+    /// Occupancy bitmap: bit `i` set iff `slots[i]` is `Occupied`.
+    /// Iteration scans this, so walking the slab is O(live + words)
+    /// rather than O(capacity).
+    present: Vec<u64>,
+    /// Head of the free list (`NIL` when no slot is vacant).
+    free_head: u32,
+    len: usize,
+    _key: PhantomData<fn() -> K>,
+}
+
+impl<K: SlabKey, V> Default for Slab<K, V> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<K: SlabKey, V> Slab<K, V> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            present: Vec::new(),
+            free_head: NIL,
+            len: 0,
+            _key: PhantomData,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the value stored at `k`.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        match self.slots.get(k.slab_index()) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        match self.slots.get_mut(k.slab_index()) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when a value is stored at `k`.
+    pub fn contains_key(&self, k: &K) -> bool {
+        matches!(self.slots.get(k.slab_index()), Some(Slot::Occupied(_)))
+    }
+
+    /// Stores `v` at `k`, returning the previous value if the slot was
+    /// occupied (map semantics).
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let i = k.slab_index();
+        self.reserve_slot(i);
+        match std::mem::replace(&mut self.slots[i], Slot::Occupied(v)) {
+            Slot::Occupied(old) => Some(old),
+            Slot::Free { prev, next } => {
+                self.unlink(i as u32, prev, next);
+                self.present[i / 64] |= 1 << (i % 64);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value stored at `k`.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let i = k.slab_index();
+        if !self.contains_key(k) {
+            return None;
+        }
+        let freed = Slot::Free {
+            prev: NIL,
+            next: self.free_head,
+        };
+        let Slot::Occupied(v) = std::mem::replace(&mut self.slots[i], freed) else {
+            unreachable!("occupancy checked above");
+        };
+        if self.free_head != NIL {
+            self.relink_prev(self.free_head, i as u32);
+        }
+        self.free_head = i as u32;
+        self.present[i / 64] &= !(1 << (i % 64));
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Iterates live values in ascending key order.
+    pub fn values(&self) -> SlabValues<'_, V> {
+        SlabValues {
+            slots: &self.slots,
+            bits: BitIter::new(&self.present),
+        }
+    }
+
+    /// Iterates live values mutably in ascending key order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        let present = &self.present;
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter(move |(i, _)| present[i / 64] & (1 << (i % 64)) != 0)
+            .map(|(_, s)| match s {
+                Slot::Occupied(v) => v,
+                Slot::Free { .. } => unreachable!("present bit set on free slot"),
+            })
+    }
+
+    /// Iterates live keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        BitIter::new(&self.present).map(|i| K::from_slab_index(i))
+    }
+
+    // ------------------------------------------------------------------
+    // Derived-state maintenance (fsck integration).
+    // ------------------------------------------------------------------
+
+    /// Checks the occupancy bitmap, length, and free list against the
+    /// slot tags, returning a description of the first inconsistency.
+    /// The slot tags are ground truth; everything verified here is
+    /// derived and rebuildable by [`Slab::rebuild_index`].
+    pub fn index_violation(&self) -> Option<String> {
+        let words = self.slots.len().div_ceil(64);
+        if self.present.len() != words {
+            return Some(format!(
+                "occupancy bitmap has {} words for {} slots",
+                self.present.len(),
+                self.slots.len()
+            ));
+        }
+        let mut live = 0usize;
+        for (i, s) in self.slots.iter().enumerate() {
+            let bit = self.present[i / 64] & (1 << (i % 64)) != 0;
+            let occupied = matches!(s, Slot::Occupied(_));
+            if bit != occupied {
+                return Some(format!(
+                    "slot {i}: occupancy bit {bit} vs slot tag occupied={occupied}"
+                ));
+            }
+            live += usize::from(occupied);
+        }
+        if let Some(w) = self.present.get(words.saturating_sub(1)) {
+            let tail_bits = self.slots.len() % 64;
+            if tail_bits != 0 && w >> tail_bits != 0 {
+                return Some("occupancy bitmap has bits past the last slot".into());
+            }
+        }
+        if live != self.len {
+            return Some(format!("len {} vs {live} occupied slots", self.len));
+        }
+        // Walk the free list: it must visit every free slot exactly once
+        // with consistent back links and in-range indices.
+        let nfree = self.slots.len() - live;
+        let mut seen = 0usize;
+        let mut prev = NIL;
+        let mut cur = self.free_head;
+        while cur != NIL {
+            if cur as usize >= self.slots.len() {
+                return Some(format!("free list points at slot {cur} past capacity"));
+            }
+            let Slot::Free { prev: p, next } = self.slots[cur as usize] else {
+                return Some(format!("free list points at occupied slot {cur}"));
+            };
+            if p != prev {
+                return Some(format!("free slot {cur}: prev link {p} vs expected {prev}"));
+            }
+            seen += 1;
+            if seen > nfree {
+                return Some("free list cycles or visits a slot twice".into());
+            }
+            prev = cur;
+            cur = next;
+        }
+        if seen != nfree {
+            return Some(format!("free list covers {seen} of {nfree} free slots"));
+        }
+        None
+    }
+
+    /// Rebuilds the occupancy bitmap, length, and free list from the slot
+    /// tags, in ascending index order. Lossless: occupied slots are not
+    /// touched. The repairer's counterpart to [`Slab::index_violation`].
+    pub fn rebuild_index(&mut self) {
+        let words = self.slots.len().div_ceil(64);
+        self.present.clear();
+        self.present.resize(words, 0);
+        self.len = 0;
+        self.free_head = NIL;
+        let mut tail = NIL;
+        for i in 0..self.slots.len() {
+            match self.slots[i] {
+                Slot::Occupied(_) => {
+                    self.present[i / 64] |= 1 << (i % 64);
+                    self.len += 1;
+                }
+                Slot::Free { .. } => {
+                    self.slots[i] = Slot::Free {
+                        prev: tail,
+                        next: NIL,
+                    };
+                    if tail == NIL {
+                        self.free_head = i as u32;
+                    } else {
+                        self.relink_next(tail, i as u32);
+                    }
+                    tail = i as u32;
+                }
+            }
+        }
+    }
+
+    /// Scrambles the free-list links and occupancy bookkeeping with the
+    /// caller's random values — the damage model for a torn slab-index
+    /// update. Occupied slots are never touched, so
+    /// [`Slab::rebuild_index`] restores everything. Returns `true` if
+    /// anything was perturbed.
+    pub fn scramble_index(&mut self, mut next_random: impl FnMut(u32) -> u32) -> bool {
+        let cap = self.slots.len() as u32;
+        if cap == 0 {
+            return false;
+        }
+        let mut hit = false;
+        for i in 0..self.slots.len() {
+            if let Slot::Free { .. } = self.slots[i] {
+                self.slots[i] = Slot::Free {
+                    prev: next_random(cap + 1).checked_sub(1).map_or(NIL, |v| v),
+                    next: next_random(cap + 1).checked_sub(1).map_or(NIL, |v| v),
+                };
+                hit = true;
+            }
+        }
+        if hit {
+            self.free_head = next_random(cap + 1).checked_sub(1).map_or(NIL, |v| v);
+        } else {
+            // No free slot to scramble: clear a live slot's occupancy bit
+            // instead (the bit, not the slot — still derived-only damage).
+            let i = next_random(cap) as usize;
+            self.present[i / 64] &= !(1u64 << (i % 64));
+            hit = true;
+        }
+        hit
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// Grows the slot vector so index `i` exists, threading each new
+    /// vacant slot onto the front of the free list.
+    fn reserve_slot(&mut self, i: usize) {
+        while self.slots.len() <= i {
+            let n = self.slots.len() as u32;
+            self.slots.push(Slot::Free {
+                prev: NIL,
+                next: self.free_head,
+            });
+            if self.free_head != NIL {
+                self.relink_prev(self.free_head, n);
+            }
+            self.free_head = n;
+            if self.slots.len().div_ceil(64) > self.present.len() {
+                self.present.push(0);
+            }
+        }
+    }
+
+    /// Unlinks free slot `i` (with links `prev`/`next`) from the list.
+    fn unlink(&mut self, i: u32, prev: u32, next: u32) {
+        if prev == NIL {
+            debug_assert_eq!(self.free_head, i);
+            self.free_head = next;
+        } else {
+            self.relink_next(prev, next);
+        }
+        if next != NIL {
+            self.relink_prev(next, prev);
+        }
+    }
+
+    fn relink_prev(&mut self, slot: u32, prev: u32) {
+        match &mut self.slots[slot as usize] {
+            Slot::Free { prev: p, .. } => *p = prev,
+            Slot::Occupied(_) => unreachable!("free-list link to occupied slot"),
+        }
+    }
+
+    fn relink_next(&mut self, slot: u32, next: u32) {
+        match &mut self.slots[slot as usize] {
+            Slot::Free { next: n, .. } => *n = next,
+            Slot::Occupied(_) => unreachable!("free-list link to occupied slot"),
+        }
+    }
+}
+
+impl<K: SlabKey, V: PartialEq> PartialEq for Slab<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mine = BitIter::new(&self.present).zip(self.values());
+        let theirs = BitIter::new(&other.present).zip(other.values());
+        mine.eq(theirs)
+    }
+}
+
+impl<K: SlabKey, V> std::ops::Index<&K> for Slab<K, V> {
+    type Output = V;
+    fn index(&self, k: &K) -> &V {
+        self.get(k).expect("no entry found for key")
+    }
+}
+
+/// Iterator over the set bits of a packed `u64` bitmap, ascending.
+struct BitIter<'a> {
+    words: &'a [u64],
+    wi: usize,
+    cur: u64,
+}
+
+impl<'a> BitIter<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        BitIter {
+            words,
+            wi: 0,
+            cur: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        while self.cur == 0 {
+            self.wi += 1;
+            if self.wi >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        Some(self.wi * 64 + bit)
+    }
+}
+
+/// Iterator over a slab's live values in ascending key order.
+pub struct SlabValues<'a, V> {
+    slots: &'a [Slot<V>],
+    bits: BitIter<'a>,
+}
+
+impl<'a, V> Iterator for SlabValues<'a, V> {
+    type Item = &'a V;
+    fn next(&mut self) -> Option<&'a V> {
+        let i = self.bits.next()?;
+        match &self.slots[i] {
+            Slot::Occupied(v) => Some(v),
+            Slot::Free { .. } => unreachable!("present bit set on free slot"),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// BlockList
+// ----------------------------------------------------------------------
+
+/// A file's data-block addresses in logical order, inline up to
+/// [`BlockList::INLINE`] entries and copy-on-write shared beyond.
+///
+/// Dereferences to `&[Daddr]` (and `&mut [Daddr]`, which triggers the
+/// copy-on-write), so slice indexing, iteration, and `windows` work as
+/// they did on the `Vec` it replaces. `Clone` never copies a spilled
+/// vector — it bumps the `Arc` — which is what makes nightly snapshots
+/// zero-copy; the first mutation after a share pays the copy instead.
+#[derive(Clone)]
+pub struct BlockList {
+    len: u32,
+    inline: [Daddr; BlockList::INLINE],
+    spill: Option<Arc<Vec<Daddr>>>,
+}
+
+impl BlockList {
+    /// Addresses stored inline before spilling to the heap. Files up to
+    /// 64 KB at the paper's 8 KB block size stay inline — which covers
+    /// the short-lived majority of the aging workload.
+    pub const INLINE: usize = 8;
+
+    /// An empty block list.
+    pub fn new() -> Self {
+        BlockList {
+            len: 0,
+            inline: [Daddr(0); Self::INLINE],
+            spill: None,
+        }
+    }
+
+    /// The addresses as a slice.
+    pub fn as_slice(&self) -> &[Daddr] {
+        match &self.spill {
+            Some(v) => v,
+            None => &self.inline[..self.len as usize],
+        }
+    }
+
+    /// The addresses as a mutable slice (copies a shared spill first).
+    pub fn as_mut_slice(&mut self) -> &mut [Daddr] {
+        match &mut self.spill {
+            Some(v) => Arc::make_mut(v).as_mut_slice(),
+            None => &mut self.inline[..self.len as usize],
+        }
+    }
+
+    /// Appends an address.
+    pub fn push(&mut self, d: Daddr) {
+        match &mut self.spill {
+            Some(v) => {
+                Arc::make_mut(v).push(d);
+                self.len += 1;
+            }
+            None => {
+                if (self.len as usize) < Self::INLINE {
+                    self.inline[self.len as usize] = d;
+                    self.len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE * 2);
+                    v.extend_from_slice(&self.inline);
+                    v.push(d);
+                    self.len += 1;
+                    self.spill = Some(Arc::new(v));
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the last address.
+    pub fn pop(&mut self) -> Option<Daddr> {
+        if self.len == 0 {
+            return None;
+        }
+        let d = match &mut self.spill {
+            Some(v) => {
+                let d = Arc::make_mut(v).pop().expect("len tracked");
+                self.len -= 1;
+                if self.len as usize <= Self::INLINE {
+                    self.inline[..self.len as usize].copy_from_slice(v);
+                    self.spill = None;
+                }
+                d
+            }
+            None => {
+                self.len -= 1;
+                self.inline[self.len as usize]
+            }
+        };
+        Some(d)
+    }
+
+    /// Empties the list, dropping any spill.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill = None;
+    }
+
+    /// True when this list shares a spilled allocation with a clone —
+    /// the state a snapshot leaves behind (observability for tests).
+    pub fn is_shared(&self) -> bool {
+        self.spill.as_ref().is_some_and(|a| Arc::strong_count(a) > 1)
+    }
+}
+
+impl Default for BlockList {
+    fn default() -> Self {
+        BlockList::new()
+    }
+}
+
+impl std::ops::Deref for BlockList {
+    type Target = [Daddr];
+    fn deref(&self) -> &[Daddr] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for BlockList {
+    fn deref_mut(&mut self) -> &mut [Daddr] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for BlockList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BlockList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<Daddr>> for BlockList {
+    fn from(v: Vec<Daddr>) -> Self {
+        if v.len() <= Self::INLINE {
+            let mut b = BlockList::new();
+            for d in v {
+                b.push(d);
+            }
+            b
+        } else {
+            BlockList {
+                len: v.len() as u32,
+                inline: [Daddr(0); Self::INLINE],
+                spill: Some(Arc::new(v)),
+            }
+        }
+    }
+}
+
+impl FromIterator<Daddr> for BlockList {
+    fn from_iter<I: IntoIterator<Item = Daddr>>(iter: I) -> Self {
+        let mut b = BlockList::new();
+        for d in iter {
+            match &mut b.spill {
+                Some(v) => {
+                    Arc::make_mut(v).push(d);
+                    b.len += 1;
+                }
+                None => b.push(d),
+            }
+        }
+        b
+    }
+}
+
+impl<'a> IntoIterator for &'a BlockList {
+    type Item = &'a Daddr;
+    type IntoIter = std::slice::Iter<'a, Daddr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type FileSlab = Slab<Ino, u64>;
+
+    #[test]
+    fn slab_insert_get_remove_round_trip() {
+        let mut s = FileSlab::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(Ino(5), 50), None);
+        assert_eq!(s.insert(Ino(2), 20), None);
+        assert_eq!(s.insert(Ino(9), 90), None);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(&Ino(5)), Some(&50));
+        assert_eq!(s.get(&Ino(4)), None);
+        assert!(s.contains_key(&Ino(2)));
+        assert_eq!(s.insert(Ino(5), 55), Some(50));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.remove(&Ino(2)), Some(20));
+        assert_eq!(s.remove(&Ino(2)), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[&Ino(9)], 90);
+        assert_eq!(s.index_violation(), None);
+    }
+
+    #[test]
+    fn slab_iterates_in_ascending_key_order() {
+        let mut s = FileSlab::new();
+        for &i in &[200u32, 3, 64, 65, 0, 127] {
+            s.insert(Ino(i), i as u64);
+        }
+        s.remove(&Ino(64));
+        let keys: Vec<u32> = s.keys().map(|k| k.0).collect();
+        assert_eq!(keys, vec![0, 3, 65, 127, 200]);
+        let vals: Vec<u64> = s.values().copied().collect();
+        assert_eq!(vals, vec![0, 3, 65, 127, 200]);
+    }
+
+    #[test]
+    fn slab_equality_ignores_free_list_history() {
+        // Same live entries, different insert/remove history.
+        let mut a = FileSlab::new();
+        a.insert(Ino(1), 1);
+        a.insert(Ino(7), 7);
+        let mut b = FileSlab::new();
+        b.insert(Ino(7), 7);
+        b.insert(Ino(3), 3);
+        b.insert(Ino(1), 1);
+        b.remove(&Ino(3));
+        let mut b2 = b.clone();
+        b2.remove(&Ino(1));
+        b2.insert(Ino(1), 1);
+        assert_eq!(b, b2);
+        // a vs b: same entries → equal despite different capacity.
+        assert_eq!(a.keys().map(|k| k.0).collect::<Vec<_>>(), vec![1, 7]);
+        assert_eq!(b.keys().map(|k| k.0).collect::<Vec<_>>(), vec![1, 7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slab_free_list_survives_churn() {
+        let mut s = FileSlab::new();
+        let mut model = std::collections::BTreeMap::new();
+        let mut x = 12345u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = Ino(((x >> 33) % 257) as u32);
+            if (x >> 13).is_multiple_of(3) {
+                assert_eq!(s.remove(&k), model.remove(&k));
+            } else {
+                assert_eq!(s.insert(k, x), model.insert(k, x));
+            }
+            assert_eq!(s.len(), model.len());
+        }
+        assert_eq!(s.index_violation(), None);
+        let got: Vec<(u32, u64)> = s.keys().map(|k| k.0).zip(s.values().copied()).collect();
+        let want: Vec<(u32, u64)> = model.iter().map(|(k, v)| (k.0, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scrambled_index_is_detected_and_rebuilt() {
+        let mut s = FileSlab::new();
+        for i in 0..40 {
+            s.insert(Ino(i), i as u64);
+        }
+        for i in (0..40).step_by(3) {
+            s.remove(&Ino(i));
+        }
+        let pristine = s.clone();
+        let mut x = 99u32;
+        let hit = s.scramble_index(|bound| {
+            x = x.wrapping_mul(747796405).wrapping_add(2891336453);
+            (x >> 16) % bound.max(1)
+        });
+        assert!(hit);
+        assert!(s.index_violation().is_some(), "scramble went undetected");
+        s.rebuild_index();
+        assert_eq!(s.index_violation(), None);
+        assert_eq!(s, pristine, "rebuild lost data");
+        // And the rebuilt slab keeps working.
+        s.insert(Ino(3), 333);
+        s.remove(&Ino(1));
+        assert_eq!(s.index_violation(), None);
+    }
+
+    #[test]
+    fn block_list_stays_inline_then_spills() {
+        let mut b = BlockList::new();
+        assert!(b.is_empty());
+        for i in 0..BlockList::INLINE {
+            b.push(Daddr(i as u32 * 8));
+        }
+        assert_eq!(b.len(), BlockList::INLINE);
+        assert!(b.spill.is_none(), "inline capacity should not spill");
+        b.push(Daddr(999));
+        assert!(b.spill.is_some());
+        assert_eq!(b.len(), BlockList::INLINE + 1);
+        assert_eq!(b[8], Daddr(999));
+        // Popping back under the inline limit drops the spill.
+        assert_eq!(b.pop(), Some(Daddr(999)));
+        assert!(b.spill.is_none());
+        assert_eq!(b.pop(), Some(Daddr(56)));
+        assert_eq!(b.len(), BlockList::INLINE - 1);
+    }
+
+    #[test]
+    fn block_list_clone_shares_spill_and_cow_unshares() {
+        let big: BlockList = (0..20u32).map(|i| Daddr(i * 8)).collect();
+        let snap = big.clone();
+        assert!(big.is_shared() && snap.is_shared());
+        let mut writable = big.clone();
+        writable[0] = Daddr(4096); // triggers the copy
+        assert_eq!(snap[0], Daddr(0));
+        assert_eq!(writable[0], Daddr(4096));
+        assert!(!writable.is_shared());
+    }
+
+    #[test]
+    fn block_list_behaves_like_vec() {
+        let mut b = BlockList::new();
+        let mut v: Vec<Daddr> = Vec::new();
+        let mut x = 7u64;
+        for _ in 0..300 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if x.is_multiple_of(4) {
+                assert_eq!(b.pop(), v.pop());
+            } else {
+                let d = Daddr((x >> 40) as u32);
+                b.push(d);
+                v.push(d);
+            }
+            assert_eq!(b.as_slice(), v.as_slice());
+        }
+        let from: BlockList = v.clone().into();
+        assert_eq!(from.as_slice(), v.as_slice());
+        let collected: BlockList = v.iter().copied().collect();
+        assert_eq!(collected, from);
+    }
+}

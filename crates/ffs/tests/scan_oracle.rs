@@ -129,6 +129,25 @@ fn assert_oracle(cg: &CylGroup, rng: &mut StdRng, queries: usize) {
             naive::find_free_cluster_near(cg, from, len, window),
             "find_free_cluster_near(from={from}, len={len}, window={window})"
         );
+        // The word-at-a-time neighbor-run scans feeding the cluster
+        // summary, vs their per-bit references. Uncapped-ish caps too,
+        // so whole-word runs and the group edge both get exercised.
+        let b = rng.gen_range(0..n);
+        let cap = match rng.gen_range(0u32..4) {
+            0 => rng.gen_range(1..=7u32),
+            1 => n + 1,
+            _ => rng.gen_range(1..=200.min(n)),
+        };
+        assert_eq!(
+            cg.free_len_before(b, cap),
+            naive::free_len_before(cg, b, cap),
+            "free_len_before(block={b}, cap={cap})"
+        );
+        assert_eq!(
+            cg.free_len_after(b, cap),
+            naive::free_len_after(cg, b, cap),
+            "free_len_after(block={b}, cap={cap})"
+        );
     }
 }
 

@@ -1,0 +1,142 @@
+//! Differential oracle for the slab-backed file tables.
+//!
+//! `ffs::Slab` answers keyed lookups from a slot vector plus derived
+//! indices (occupancy bitmap, free list, live count); `ffs::naive`'s
+//! `RefTable` is the `BTreeMap` layout it replaced, kept as the slow,
+//! obviously correct model. These tests drive both through identical
+//! randomized op sequences — keyed inserts (including re-insert over a
+//! live key), removes of live and dead keys, in-place mutation through
+//! `get_mut` — and assert the canonical state stays identical and the
+//! slab's derived indices stay sound at every step.
+
+use ffs::naive::RefTable;
+use ffs::{BlockList, Slab};
+use ffs_types::{Daddr, Ino};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Asserts the two tables agree on every observable: size, membership,
+/// canonical iteration order, and per-key lookups.
+fn assert_same<V: PartialEq + std::fmt::Debug>(
+    slab: &Slab<Ino, V>,
+    reference: &RefTable<Ino, V>,
+    key_space: u32,
+) {
+    assert_eq!(slab.len(), reference.len());
+    assert_eq!(slab.is_empty(), reference.is_empty());
+    let sk: Vec<Ino> = slab.keys().collect();
+    let rk: Vec<Ino> = reference.keys().collect();
+    assert_eq!(sk, rk, "canonical key order diverged");
+    assert!(slab.values().eq(reference.values()), "values diverged");
+    for i in 0..key_space {
+        let key = Ino(i);
+        assert_eq!(slab.contains_key(&key), reference.contains_key(&key));
+        assert_eq!(slab.get(&key), reference.get(&key), "lookup of {key:?}");
+    }
+    if let Some(v) = slab.index_violation() {
+        panic!("slab index violation after valid ops: {v}");
+    }
+}
+
+#[test]
+fn slab_matches_map_reference_under_random_ops() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(0x7AB1E + seed);
+        let mut slab: Slab<Ino, u64> = Slab::new();
+        let mut reference: RefTable<Ino, u64> = RefTable::new();
+        // A small key space forces heavy slot reuse: every key gets
+        // inserted, removed, and re-inserted many times, which is what
+        // exercises the free list.
+        let key_space = 48u32;
+        for step in 0..3000u64 {
+            let key = Ino(rng.gen_range(0..key_space));
+            match rng.gen_range(0..10) {
+                0..=4 => {
+                    let value = step;
+                    assert_eq!(slab.insert(key, value), reference.insert(key, value));
+                }
+                5..=7 => {
+                    assert_eq!(slab.remove(&key), reference.remove(&key));
+                }
+                _ => {
+                    let a = slab.get_mut(&key).map(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    let b = reference.get_mut(&key).map(|v| {
+                        *v += 1;
+                        *v
+                    });
+                    assert_eq!(a, b);
+                }
+            }
+            if step % 16 == 0 {
+                assert_same(&slab, &reference, key_space);
+            }
+        }
+        assert_same(&slab, &reference, key_space);
+    }
+}
+
+#[test]
+fn slab_matches_map_reference_with_block_lists() {
+    // Same drill with `BlockList` values mutated in place, so spill,
+    // copy-back, and copy-on-write sharing all run under the oracle.
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    let mut slab: Slab<Ino, BlockList> = Slab::new();
+    let mut reference: RefTable<Ino, BlockList> = RefTable::new();
+    let key_space = 24u32;
+    let mut snapshots: Vec<(Slab<Ino, BlockList>, RefTable<Ino, BlockList>)> = Vec::new();
+    for step in 0..1500u64 {
+        let key = Ino(rng.gen_range(0..key_space));
+        match rng.gen_range(0..10) {
+            0..=3 => {
+                let blocks: BlockList = (0..rng.gen_range(0..20u32))
+                    .map(|b| Daddr(step as u32 * 32 + b))
+                    .collect();
+                assert_eq!(
+                    slab.insert(key, blocks.clone()),
+                    reference.insert(key, blocks)
+                );
+            }
+            4..=5 => {
+                assert_eq!(slab.remove(&key), reference.remove(&key));
+            }
+            6..=8 => {
+                // Grow or shrink in place; clones taken below must not
+                // observe these writes (copy-on-write isolation).
+                let a = slab.get_mut(&key).map(|v| {
+                    if step % 3 == 0 {
+                        v.pop();
+                    } else {
+                        v.push(Daddr(step as u32));
+                    }
+                    v.len()
+                });
+                let b = reference.get_mut(&key).map(|v| {
+                    if step % 3 == 0 {
+                        v.pop();
+                    } else {
+                        v.push(Daddr(step as u32));
+                    }
+                    v.len()
+                });
+                assert_eq!(a, b);
+            }
+            _ => {
+                if snapshots.len() < 8 {
+                    snapshots.push((slab.clone(), reference.clone()));
+                }
+            }
+        }
+        if step % 16 == 0 {
+            assert_same(&slab, &reference, key_space);
+        }
+    }
+    assert_same(&slab, &reference, key_space);
+    // Every snapshot pair must still agree with each other: shared block
+    // lists were unshared on write, never mutated through the clone.
+    for (s, r) in &snapshots {
+        assert_same(s, r, key_space);
+    }
+}
