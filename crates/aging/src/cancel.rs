@@ -1,0 +1,133 @@
+//! Cooperative cancellation for long replays.
+//!
+//! A [`CancelToken`] is the deterministic replacement for a wall-clock
+//! watchdog. The supervisor hands one to a job; the replay loop charges
+//! the token with the operations it has applied and *checks* it only at
+//! day (checkpoint) boundaries. Because the budget is measured in
+//! replayed operations — never in seconds — the same workload against
+//! the same budget is cut off at exactly the same point on every
+//! machine and for every worker count, so a deadline cannot perturb
+//! output bytes, only truncate a runaway job.
+//!
+//! The token is also externally cancellable ([`CancelToken::cancel`]),
+//! which a future fleet driver can use to drain a shard; the replay
+//! observes that the same way, at the next checkpoint boundary.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ffs_types::{FsError, FsResult};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    charged: AtomicU64,
+    /// Operation budget; 0 means unlimited.
+    budget: u64,
+}
+
+/// A shareable, cooperative cancellation handle.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same state.
+/// The default token is unlimited and never fires.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never fires on its own (it can still be
+    /// [`cancelled`](CancelToken::cancel) externally).
+    pub fn unlimited() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that fires once more than `ops` operations have been
+    /// charged. `0` means unlimited.
+    pub fn with_op_budget(ops: u64) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                budget: ops,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Requests cancellation from outside the running work.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Records `ops` completed operations against the budget.
+    pub fn charge(&self, ops: u64) {
+        self.inner.charged.fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Operations charged so far.
+    pub fn ops_charged(&self) -> u64 {
+        self.inner.charged.load(Ordering::Relaxed)
+    }
+
+    /// The operation budget (0 = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.inner.budget
+    }
+
+    /// Whether the token has fired: externally cancelled, or charged
+    /// past a nonzero budget.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || (self.inner.budget > 0 && self.ops_charged() > self.inner.budget)
+    }
+
+    /// The checkpoint-boundary probe: `Err(FsError::Cancelled)` once the
+    /// token has fired, `Ok(())` otherwise.
+    pub fn checkpoint(&self) -> FsResult<()> {
+        if self.is_cancelled() {
+            Err(FsError::Cancelled {
+                after_ops: self.ops_charged(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_token_never_fires_on_charges() {
+        let t = CancelToken::unlimited();
+        t.charge(u64::MAX / 2);
+        assert!(!t.is_cancelled());
+        assert!(t.checkpoint().is_ok());
+        assert_eq!(t.budget(), 0);
+    }
+
+    #[test]
+    fn budget_fires_only_once_exceeded() {
+        let t = CancelToken::with_op_budget(100);
+        t.charge(100);
+        assert!(!t.is_cancelled(), "exactly on budget is still in budget");
+        t.charge(1);
+        assert!(t.is_cancelled());
+        match t.checkpoint() {
+            Err(FsError::Cancelled { after_ops }) => assert_eq!(after_ops, 101),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_cancel_is_visible_to_clones() {
+        let t = CancelToken::with_op_budget(1_000_000);
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(matches!(
+            clone.checkpoint(),
+            Err(FsError::Cancelled { after_ops: 0 })
+        ));
+    }
+}

@@ -147,7 +147,12 @@ impl Checkpoint {
                 continue;
             }
             let mut f = line.split_whitespace();
-            let kind = f.next().expect("non-empty line has a first token");
+            let Some(kind) = f.next() else {
+                // `line` is non-empty after trimming, so a first token
+                // always exists; tolerate the impossible rather than
+                // panicking inside a parser fed from disk.
+                continue;
+            };
             let mut field = |name: &str| {
                 f.next()
                     .ok_or_else(|| format!("line {}: missing {name}", n + 1))

@@ -115,7 +115,7 @@ pub struct ReplayResult {
 }
 
 /// Options controlling a replay.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReplayOptions {
     /// Run the full consistency checker every `n` days (0 = never).
     /// Expensive; meant for tests and paranoid long runs.
@@ -141,6 +141,12 @@ pub struct ReplayOptions {
     pub crash_damage_seed: u64,
     /// How many metadata perturbations the crash applies.
     pub crash_damage_hits: u32,
+    /// Cooperative cancellation: the replay charges the token with each
+    /// day's operation count and probes it at day (checkpoint)
+    /// boundaries; once fired, the replay stops with
+    /// [`FsError::Cancelled`]. Deterministic — the budget is counted in
+    /// replayed ops, never wall time. `None` never cancels.
+    pub cancel: Option<crate::cancel::CancelToken>,
 }
 
 impl Default for ReplayOptions {
@@ -154,6 +160,7 @@ impl Default for ReplayOptions {
             crash_after_ops: 0,
             crash_damage_seed: 0xC4A5_11ED,
             crash_damage_hits: 8,
+            cancel: None,
         }
     }
 }
@@ -303,6 +310,16 @@ fn run_days(
         drop(ops_span);
         obs::counter!("aging.ops_replayed", day_log.ops.len() as u64);
         obs::counter!("aging.days_replayed", 1);
+        if let Some(token) = &options.cancel {
+            // Deadline probes happen only here, at the day boundary, so a
+            // budget cuts every run off at the same op count regardless of
+            // scheduling — cancellation cannot perturb surviving output.
+            token.charge(day_log.ops.len() as u64);
+            if let Err(e) = token.checkpoint() {
+                obs::counter!("aging.replays_cancelled", 1);
+                return Err(e);
+            }
+        }
         {
             let _s = obs::span!("day_stats");
             daily.push(DayStats {
@@ -528,6 +545,46 @@ mod tests {
         );
         assert_eq!(full.fs.nfiles(), resumed.fs.nfiles());
         assert_eq!(full.live, resumed.live);
+    }
+
+    #[test]
+    fn op_budget_cancels_at_a_day_boundary() {
+        use crate::cancel::CancelToken;
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(15, 42);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let day0_ops = w.days[0].ops.len() as u64;
+        // A budget smaller than day 0 cancels at the first boundary ...
+        let token = CancelToken::with_op_budget(day0_ops.saturating_sub(1).max(1));
+        let e = replay(
+            &w,
+            &params,
+            AllocPolicy::Orig,
+            ReplayOptions {
+                cancel: Some(token.clone()),
+                ..ReplayOptions::default()
+            },
+        )
+        .unwrap_err();
+        match e {
+            FsError::Cancelled { after_ops } => {
+                assert_eq!(after_ops, day0_ops, "cut off exactly at the boundary")
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(token.is_cancelled());
+        // ... and an ample budget never fires.
+        let r = replay(
+            &w,
+            &params,
+            AllocPolicy::Orig,
+            ReplayOptions {
+                cancel: Some(CancelToken::with_op_budget(u64::MAX / 2)),
+                ..ReplayOptions::default()
+            },
+        )
+        .expect("ample budget");
+        assert_eq!(r.daily.len(), 15);
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
                 realloc_no_split: ns,
                 ..ReplayOptions::default()
             };
-            b.iter(|| age_with(black_box(opts)))
+            b.iter(|| age_with(black_box(opts.clone())))
         });
     }
     g.finish();

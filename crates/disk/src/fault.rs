@@ -96,6 +96,35 @@ impl FaultPlan {
     }
 }
 
+/// How a supervising retry policy should treat a failure.
+///
+/// The fault layer is the authority on transience: the only errors a
+/// rerun of the same logical work can clear are the ones this module
+/// injects ([`ffs_types::FsError::Io`] — a drive that exhausted its
+/// retry budget on a run of transient faults may well succeed on the
+/// next pass). Everything else either reflects the inputs (and would
+/// fail identically again) or is a cooperative cancellation, which is a
+/// scheduling decision rather than a failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retry-eligible: a rerun against the fault layer may succeed.
+    Transient,
+    /// A cancellation token fired; retrying would be fighting the
+    /// supervisor's own deadline decision.
+    Cancelled,
+    /// Deterministic function of the inputs; a retry reproduces it.
+    Permanent,
+}
+
+/// Classifies an [`ffs_types::FsError`] for retry purposes.
+pub fn classify_error(e: &ffs_types::FsError) -> ErrorClass {
+    match e {
+        ffs_types::FsError::Io { .. } => ErrorClass::Transient,
+        ffs_types::FsError::Cancelled { .. } => ErrorClass::Cancelled,
+        _ => ErrorClass::Permanent,
+    }
+}
+
 /// Runtime fault state carried by a device: the latent-defect set, the
 /// grown remap table, and the error stream.
 #[derive(Clone, Debug)]
@@ -236,6 +265,27 @@ mod tests {
         assert_eq!(p.spare_sectors, 64);
         assert!(!p.is_noop());
         assert!(FaultPlan::new(0).is_noop());
+    }
+
+    #[test]
+    fn only_fault_layer_errors_classify_transient() {
+        use ffs_types::FsError;
+        assert_eq!(
+            classify_error(&FsError::Io { lba: 7, write: true }),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify_error(&FsError::Cancelled { after_ops: 10 }),
+            ErrorClass::Cancelled
+        );
+        assert_eq!(
+            classify_error(&FsError::Corrupt("x".into())),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            classify_error(&FsError::NoSpace { wanted_bytes: 1 }),
+            ErrorClass::Permanent
+        );
     }
 
     #[test]

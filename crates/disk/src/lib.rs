@@ -44,7 +44,7 @@ pub mod seek;
 pub mod trace;
 
 pub use device::{Device, DeviceStats, IoKind};
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{classify_error, ErrorClass, FaultInjector, FaultPlan};
 pub use geometry::{Chs, Geometry};
 pub use raw::{raw_read_throughput, raw_write_throughput, RawSweep};
 pub use seek::SeekCurve;

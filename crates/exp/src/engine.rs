@@ -1,24 +1,129 @@
-//! A deterministic job DAG executed on a `std::thread` worker pool.
+//! A supervised, deterministic job DAG executed on a `std::thread`
+//! worker pool.
 //!
 //! Jobs are pure functions of their declared dependencies, so the
 //! engine's only degrees of freedom — which ready job a worker picks and
 //! how many workers exist — cannot change any job's output. That is the
 //! property the harness's determinism tests pin down: `--jobs 4`
-//! produces byte-identical exhibits to `--jobs 1`.
+//! produces byte-identical exhibits to `--jobs 1`, and the same holds on
+//! the failure paths (retry counts, outcomes, and backoff accounting).
 //!
-//! Failure is contained, not fatal: a failed job marks its transitive
-//! dependents `skipped` and every other job still runs, so one broken
-//! experiment cannot hide the results (or errors) of the rest.
+//! Failure is contained, not fatal, in layers:
+//!
+//! * **Panic isolation** — every job body runs under
+//!   [`std::panic::catch_unwind`]; a panic becomes a typed
+//!   [`JobOutcome::Panicked`] record instead of a poisoned engine lock.
+//!   The lock itself is poison-tolerant as a second line of defense, so
+//!   surviving workers always drain the remaining independent subgraph.
+//! * **Typed failures** — jobs return [`JobError`], which separates
+//!   transient failures (the PR 1 fault layer's `FsError::Io`) from
+//!   permanent ones and from deadline cancellations.
+//! * **Deterministic retry with backoff** — a [`JobPolicy`] grants a
+//!   bounded number of retries to transient failures. The backoff
+//!   schedule is *simulated*: units derived from the job id and attempt
+//!   number via FNV-1a, recorded in the run record, never slept. Worker
+//!   count therefore still cannot change output bytes.
+//! * **Deadlines** — a per-job operation budget materializes as an
+//!   [`aging::CancelToken`] handed to the job through [`JobCtx`]; work
+//!   that threads it into `aging::replay` is cut off cooperatively at a
+//!   checkpoint boundary and recorded as [`JobOutcome::TimedOut`].
+//! * **Skip propagation** — dependents of a job that did not produce
+//!   output are recorded as [`JobOutcome::Skipped`] with the cause.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use aging::CancelToken;
+use disk::ErrorClass;
+use ffs_types::FsError;
+
+use crate::key::fnv1a;
 use crate::record::{Metrics, RunRecord};
+
+/// A typed job failure, classified for the supervisor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// Retry-eligible: a rerun may succeed (device I/O faults).
+    Transient(String),
+    /// Deterministic failure; retrying would reproduce it.
+    Fatal(String),
+    /// The job's cancellation token fired (op budget exceeded).
+    Deadline {
+        /// Operations the job had completed when it was cut off.
+        after_ops: u64,
+    },
+    /// The job consumed a dependency it never declared — a DAG
+    /// construction bug, surfaced in the record instead of a panic.
+    UndeclaredDep {
+        /// The offending job.
+        job: String,
+        /// The undeclared dependency it asked for.
+        dep: String,
+    },
+}
+
+impl JobError {
+    /// Classifies a file-system error using the fault layer's taxonomy:
+    /// `FsError::Io` is transient, `FsError::Cancelled` is a deadline,
+    /// everything else is fatal.
+    pub fn from_fs(e: &FsError) -> JobError {
+        match disk::classify_error(e) {
+            ErrorClass::Transient => JobError::Transient(e.to_string()),
+            ErrorClass::Cancelled => match e {
+                FsError::Cancelled { after_ops } => JobError::Deadline {
+                    after_ops: *after_ops,
+                },
+                _ => JobError::Deadline { after_ops: 0 },
+            },
+            ErrorClass::Permanent => JobError::Fatal(e.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Transient(e) => write!(f, "transient: {e}"),
+            JobError::Fatal(e) => write!(f, "{e}"),
+            JobError::Deadline { after_ops } => {
+                write!(f, "deadline exceeded after {after_ops} operations")
+            }
+            JobError::UndeclaredDep { job, dep } => {
+                write!(f, "job {job:?} consumed undeclared dependency {dep:?}")
+            }
+        }
+    }
+}
+
+impl From<String> for JobError {
+    fn from(e: String) -> JobError {
+        JobError::Fatal(e)
+    }
+}
+
+impl From<&str> for JobError {
+    fn from(e: &str) -> JobError {
+        JobError::Fatal(e.to_string())
+    }
+}
+
+/// Per-job supervision policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobPolicy {
+    /// Retries granted to transient failures (0 = fail on first error).
+    pub max_retries: u32,
+    /// Operation budget per attempt, enforced through the job's
+    /// [`CancelToken`] (0 = no deadline).
+    pub deadline_ops: u64,
+}
 
 /// The work function of a job: consumes its dependencies' outputs
 /// through [`JobCtx`], reports measurements into [`JobCtx::metrics`].
-pub type JobFn<T> = Box<dyn FnOnce(&mut JobCtx<'_, T>) -> Result<T, String> + Send>;
+/// `FnMut` rather than `FnOnce` so the supervisor can re-invoke it on a
+/// transient failure.
+pub type JobFn<T> = Box<dyn FnMut(&mut JobCtx<'_, T>) -> Result<T, JobError> + Send>;
 
 /// One node of the DAG.
 pub struct JobSpec<T> {
@@ -28,55 +133,81 @@ pub struct JobSpec<T> {
     pub deps: Vec<String>,
     /// The work.
     pub run: JobFn<T>,
+    /// Retry and deadline policy.
+    pub policy: JobPolicy,
 }
 
 impl<T> JobSpec<T> {
-    /// Convenience constructor.
+    /// Convenience constructor (default policy: no retries, no deadline).
     pub fn new<F>(id: &str, deps: &[&str], run: F) -> JobSpec<T>
     where
-        F: FnOnce(&mut JobCtx<'_, T>) -> Result<T, String> + Send + 'static,
+        F: FnMut(&mut JobCtx<'_, T>) -> Result<T, JobError> + Send + 'static,
     {
         JobSpec {
             id: id.to_string(),
             deps: deps.iter().map(|d| d.to_string()).collect(),
             run: Box::new(run),
+            policy: JobPolicy::default(),
         }
+    }
+
+    /// Sets the supervision policy.
+    pub fn with_policy(mut self, policy: JobPolicy) -> JobSpec<T> {
+        self.policy = policy;
+        self
     }
 }
 
-/// What a running job sees: its dependencies' outputs and its record's
-/// metrics section.
+/// What a running job sees: its dependencies' outputs, its record's
+/// metrics section, which attempt this is, and its cancellation token.
 pub struct JobCtx<'a, T> {
+    job: &'a str,
     deps: Vec<(&'a str, Arc<T>)>,
     /// Measurements merged into the job's [`RunRecord`].
     pub metrics: &'a mut Metrics,
+    attempt: u32,
+    cancel: CancelToken,
 }
 
 impl<T> JobCtx<'_, T> {
-    /// The output of dependency `id`.
-    ///
-    /// # Panics
-    /// Panics if `id` was not declared in the job's `deps` — that is a
-    /// bug in the DAG construction, not a runtime condition.
-    pub fn dep(&self, id: &str) -> &T {
+    /// The output of dependency `id`, or [`JobError::UndeclaredDep`]
+    /// when `id` was not declared in the job's `deps` — a bug in the DAG
+    /// construction, reported in the job's record rather than panicking.
+    pub fn dep(&self, id: &str) -> Result<&T, JobError> {
         self.deps
             .iter()
             .find(|(d, _)| *d == id)
             .map(|(_, v)| v.as_ref())
-            .unwrap_or_else(|| panic!("job consumed undeclared dependency {id:?}"))
+            .ok_or_else(|| JobError::UndeclaredDep {
+                job: self.job.to_string(),
+                dep: id.to_string(),
+            })
     }
 
     /// Like [`JobCtx::dep`], but returns an owned handle — for jobs that
     /// need a dependency and `metrics` borrowed at the same time.
-    ///
-    /// # Panics
-    /// Panics if `id` was not declared in the job's `deps`.
-    pub fn dep_arc(&self, id: &str) -> Arc<T> {
+    pub fn dep_arc(&self, id: &str) -> Result<Arc<T>, JobError> {
         self.deps
             .iter()
             .find(|(d, _)| *d == id)
             .map(|(_, v)| Arc::clone(v))
-            .unwrap_or_else(|| panic!("job consumed undeclared dependency {id:?}"))
+            .ok_or_else(|| JobError::UndeclaredDep {
+                job: self.job.to_string(),
+                dep: id.to_string(),
+            })
+    }
+
+    /// Which attempt this is (0 on the first run, `n` on the n-th
+    /// retry). Deterministic inputs may key behavior off it.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The job's cancellation token for this attempt. Long-running work
+    /// threads it into `aging::ReplayOptions::cancel` so the deadline
+    /// can cut it off at a checkpoint boundary.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 }
 
@@ -85,8 +216,12 @@ impl<T> JobCtx<'_, T> {
 pub enum JobOutcome<T> {
     /// The job ran and produced its output.
     Ok(Arc<T>),
-    /// The job ran and returned an error.
+    /// The job ran and returned an error (retries, if any, exhausted).
     Failed(String),
+    /// The job's body panicked; the payload message is preserved.
+    Panicked(String),
+    /// The job exceeded its deadline budget and was cancelled.
+    TimedOut(String),
     /// The job never ran because a dependency did not produce output.
     Skipped(String),
 }
@@ -104,7 +239,32 @@ impl<T> JobOutcome<T> {
     pub fn err(&self) -> Option<&str> {
         match self {
             JobOutcome::Ok(_) => None,
-            JobOutcome::Failed(e) | JobOutcome::Skipped(e) => Some(e),
+            JobOutcome::Failed(e)
+            | JobOutcome::Panicked(e)
+            | JobOutcome::TimedOut(e)
+            | JobOutcome::Skipped(e) => Some(e),
+        }
+    }
+
+    /// The `status` string recorded for this outcome.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok(_) => "ok",
+            JobOutcome::Failed(_) => "failed",
+            JobOutcome::Panicked(_) => "panicked",
+            JobOutcome::TimedOut(_) => "timeout",
+            JobOutcome::Skipped(_) => "skipped",
+        }
+    }
+
+    /// How this outcome reads as a dependency-skip cause.
+    fn skip_cause(&self, dep: &str) -> String {
+        match self {
+            JobOutcome::Ok(_) => unreachable!("ok dependencies do not skip dependents"),
+            JobOutcome::Failed(_) => format!("dependency {dep:?} failed"),
+            JobOutcome::Panicked(_) => format!("dependency {dep:?} panicked"),
+            JobOutcome::TimedOut(_) => format!("dependency {dep:?} exceeded its deadline"),
+            JobOutcome::Skipped(_) => format!("dependency {dep:?} was skipped"),
         }
     }
 }
@@ -121,6 +281,7 @@ struct Pending<T> {
     id: String,
     deps: Vec<String>,
     run: Option<JobFn<T>>,
+    policy: JobPolicy,
     waiting_on: usize,
     dependents: Vec<usize>,
 }
@@ -131,10 +292,45 @@ struct Shared<T> {
     records: Vec<Option<RunRecord>>,
     ready: VecDeque<usize>,
     unfinished: usize,
+    /// Set only if a worker dies outside the job-level catch — an engine
+    /// bug, not a job failure. Remaining workers drain and exit instead
+    /// of waiting forever on `unfinished`.
+    aborted: bool,
+}
+
+/// Poison-tolerant lock: a panic while holding the mutex (nothing inside
+/// the job-level `catch_unwind` can cause one, but engine bookkeeping
+/// could) must not wedge the surviving workers. The shared tables are
+/// written whole-slot-at-a-time, so the state is usable after recovery.
+fn lock<'a, T>(m: &'a Mutex<Shared<T>>) -> MutexGuard<'a, Shared<T>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The deterministic simulated-backoff schedule: exponential base with
+/// FNV-1a jitter derived from the job id and attempt number. Units are
+/// *recorded*, never slept, so the schedule is byte-identical for any
+/// worker count and costs no wall time.
+pub fn backoff_units(job: &str, attempt: u32) -> u64 {
+    let base = 1u64 << attempt.min(16);
+    let jitter = fnv1a(format!("{job}#{attempt}").as_bytes()) % base.max(1);
+    base + jitter
+}
+
+/// Renders a panic payload for the record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Executes `jobs` on `workers` threads (clamped to at least 1) and
-/// returns every outcome and run record.
+/// returns every outcome and run record. A failing, panicking, or
+/// timed-out job never aborts the run: its transitive dependents are
+/// recorded `skipped` and every independent job still completes.
 ///
 /// Fails up front — before running anything — on duplicate ids, unknown
 /// dependencies, or cycles.
@@ -162,6 +358,7 @@ pub fn run_jobs<T: Send + Sync + 'static>(
             id: j.id,
             deps: j.deps,
             run: Some(j.run),
+            policy: j.policy,
             dependents: Vec::new(),
         })
         .collect();
@@ -205,16 +402,28 @@ pub fn run_jobs<T: Send + Sync + 'static>(
         records: (0..n).map(|_| None).collect(),
         ready,
         unfinished: n,
+        aborted: false,
     });
     let cond = Condvar::new();
     let workers = workers.clamp(1, n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| worker_loop(&shared, &cond));
+            scope.spawn(|| {
+                // Job panics are caught inside worker_loop; this outer
+                // catch only fires on an engine-bookkeeping panic. Flag
+                // the abort so peers drain instead of waiting forever,
+                // and finish the thread normally so the scope does not
+                // re-panic.
+                if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, &cond))).is_err() {
+                    lock(&shared).aborted = true;
+                    cond.notify_all();
+                }
+            });
         }
     });
 
-    let shared = shared.into_inner().map_err(|_| "engine worker panicked")?;
+    let shared = shared.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let aborted = shared.aborted;
     let mut outcomes = BTreeMap::new();
     let mut records = Vec::with_capacity(n);
     for (p, (o, r)) in shared
@@ -222,21 +431,34 @@ pub fn run_jobs<T: Send + Sync + 'static>(
         .into_iter()
         .zip(shared.outcomes.into_iter().zip(shared.records))
     {
-        outcomes.insert(
-            p.id,
-            o.ok_or("engine finished with an unresolved job")?,
-        );
-        records.push(r.ok_or("engine finished with an unrecorded job")?);
+        // A job left unresolved can only happen after an engine abort;
+        // synthesize a skip record so the caller still sees every job.
+        let o = o.unwrap_or_else(|| {
+            debug_assert!(aborted, "unresolved job without an engine abort");
+            JobOutcome::Skipped("engine aborted before this job resolved".into())
+        });
+        let r = r.unwrap_or_else(|| RunRecord {
+            job: p.id.clone(),
+            deps: p.deps.clone(),
+            status: o.status().into(),
+            error: o.err().map(str::to_string),
+            wall_s: 0.0,
+            attempts: 0,
+            backoff_units: 0,
+            metrics: Metrics::default(),
+        });
+        outcomes.insert(p.id, o);
+        records.push(r);
     }
     records.sort_by(|a, b| a.job.cmp(&b.job));
     Ok(EngineRun { outcomes, records })
 }
 
 fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
-    let mut guard = shared.lock().expect("engine lock");
+    let mut guard = lock(shared);
     loop {
         let i = loop {
-            if guard.unfinished == 0 {
+            if guard.unfinished == 0 || guard.aborted {
                 return;
             }
             // Lowest-index first keeps the pick order stable; harmless
@@ -245,11 +467,15 @@ fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
                 guard.ready.retain(|&j| j != min);
                 break min;
             }
-            guard = cond.wait(guard).expect("engine lock");
+            guard = cond
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         };
         let id = guard.jobs[i].id.clone();
         let dep_names = guard.jobs[i].deps.clone();
-        // A dependency that failed (or was itself skipped) skips this job.
+        let policy = guard.jobs[i].policy;
+        // A dependency that did not produce output skips this job, with
+        // the cause recorded.
         let mut blocked = None;
         let mut dep_vals = Vec::with_capacity(dep_names.len());
         for d in &dep_names {
@@ -257,17 +483,24 @@ fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
                 .jobs
                 .iter()
                 .position(|p| &p.id == d)
-                .expect("deps validated");
-            match guard.outcomes[di].as_ref().expect("dep finished") {
+                .expect("invariant: dependency names were validated against the job table");
+            match guard.outcomes[di]
+                .as_ref()
+                .expect("invariant: a ready job's dependencies have all resolved")
+            {
                 JobOutcome::Ok(v) => dep_vals.push(Arc::clone(v)),
-                _ => {
-                    blocked = Some(format!("dependency {d:?} did not produce output"));
+                other => {
+                    blocked = Some(other.skip_cause(d));
                     break;
                 }
             }
         }
-        let run = guard.jobs[i].run.take().expect("job runs once");
+        let mut run = guard.jobs[i]
+            .run
+            .take()
+            .expect("invariant: each job is dispatched exactly once");
         let (outcome, record) = if let Some(reason) = blocked {
+            obs::counter!("exp.jobs_skipped", 1);
             (
                 JobOutcome::Skipped(reason.clone()),
                 RunRecord {
@@ -276,42 +509,97 @@ fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
                     status: "skipped".into(),
                     error: Some(reason),
                     wall_s: 0.0,
+                    attempts: 0,
+                    backoff_units: 0,
                     metrics: Metrics::default(),
                 },
             )
         } else {
             drop(guard);
-            let mut metrics = Metrics::default();
-            let mut ctx = JobCtx {
-                deps: dep_names
-                    .iter()
-                    .map(String::as_str)
-                    .zip(dep_vals)
-                    .collect(),
-                metrics: &mut metrics,
-            };
             let t0 = Instant::now();
-            let result = {
-                let _job_span = obs::span::enter(&format!("job:{id}"));
-                run(&mut ctx)
+            let mut attempt = 0u32;
+            let mut backoff = 0u64;
+            let (outcome, metrics) = loop {
+                let token = if policy.deadline_ops > 0 {
+                    CancelToken::with_op_budget(policy.deadline_ops)
+                } else {
+                    CancelToken::unlimited()
+                };
+                let mut metrics = Metrics::default();
+                let mut ctx = JobCtx {
+                    job: &id,
+                    deps: dep_names
+                        .iter()
+                        .map(String::as_str)
+                        .zip(dep_vals.iter().cloned())
+                        .collect(),
+                    metrics: &mut metrics,
+                    attempt,
+                    cancel: token,
+                };
+                // The job body is arbitrary user code: a panic here must
+                // become a typed outcome, not a poisoned engine.
+                let result = {
+                    let _job_span = obs::span::enter(&format!("job:{id}"));
+                    catch_unwind(AssertUnwindSafe(|| run(&mut ctx)))
+                };
+                match result {
+                    Err(payload) => {
+                        obs::counter!("exp.jobs_panicked", 1);
+                        break (
+                            JobOutcome::Panicked(format!("panic: {}", panic_message(payload))),
+                            metrics,
+                        );
+                    }
+                    Ok(Ok(v)) => break (JobOutcome::Ok(Arc::new(v)), metrics),
+                    Ok(Err(JobError::Transient(e))) => {
+                        if attempt < policy.max_retries {
+                            backoff += backoff_units(&id, attempt);
+                            attempt += 1;
+                            obs::counter!("exp.retries", 1);
+                            continue;
+                        }
+                        break (
+                            JobOutcome::Failed(format!(
+                                "transient failure persisted through {} attempts: {e}",
+                                attempt + 1
+                            )),
+                            metrics,
+                        );
+                    }
+                    Ok(Err(JobError::Deadline { after_ops })) => {
+                        obs::counter!("exp.deadline_cancels", 1);
+                        break (
+                            JobOutcome::TimedOut(format!(
+                                "deadline exceeded after {after_ops} operations (budget {})",
+                                policy.deadline_ops
+                            )),
+                            metrics,
+                        );
+                    }
+                    Ok(Err(e @ JobError::UndeclaredDep { .. })) => {
+                        break (JobOutcome::Failed(e.to_string()), metrics)
+                    }
+                    Ok(Err(JobError::Fatal(e))) => break (JobOutcome::Failed(e), metrics),
+                }
             };
             let wall_s = t0.elapsed().as_secs_f64();
-            let (outcome, status, error) = match result {
-                Ok(v) => (JobOutcome::Ok(Arc::new(v)), "ok", None),
-                Err(e) => (JobOutcome::Failed(e.clone()), "failed", Some(e)),
+            obs::hist!("exp.attempts", obs::bounds::ATTEMPTS, attempt as u64 + 1);
+            if matches!(outcome, JobOutcome::Ok(_)) {
+                obs::counter!("exp.jobs_ok", 1);
+            }
+            let record = RunRecord {
+                job: id,
+                deps: dep_names,
+                status: outcome.status().into(),
+                error: outcome.err().map(str::to_string),
+                wall_s,
+                attempts: attempt + 1,
+                backoff_units: backoff,
+                metrics,
             };
-            guard = shared.lock().expect("engine lock");
-            (
-                outcome,
-                RunRecord {
-                    job: id,
-                    deps: dep_names,
-                    status: status.into(),
-                    error,
-                    wall_s,
-                    metrics,
-                },
-            )
+            guard = lock(shared);
+            (outcome, record)
         };
         guard.outcomes[i] = Some(outcome);
         guard.records[i] = Some(record);
@@ -333,9 +621,9 @@ mod tests {
     fn diamond() -> Vec<JobSpec<u64>> {
         vec![
             JobSpec::new("a", &[], |_| Ok(1)),
-            JobSpec::new("b", &["a"], |c| Ok(c.dep("a") * 10)),
-            JobSpec::new("c", &["a"], |c| Ok(c.dep("a") * 100)),
-            JobSpec::new("d", &["b", "c"], |c| Ok(c.dep("b") + c.dep("c"))),
+            JobSpec::new("b", &["a"], |c| Ok(c.dep("a")? * 10)),
+            JobSpec::new("c", &["a"], |c| Ok(c.dep("a")? * 100)),
+            JobSpec::new("d", &["b", "c"], |c| Ok(c.dep("b")? + c.dep("c")?)),
         ]
     }
 
@@ -346,6 +634,7 @@ mod tests {
             assert_eq!(run.outcomes["d"].ok(), Some(&110));
             assert_eq!(run.records.len(), 4);
             assert!(run.records.iter().all(|r| r.status == "ok"));
+            assert!(run.records.iter().all(|r| r.attempts == 1));
             let ids: Vec<&str> = run.records.iter().map(|r| r.job.as_str()).collect();
             assert_eq!(ids, ["a", "b", "c", "d"], "records sorted by id");
         }
@@ -367,6 +656,117 @@ mod tests {
         let b = run.records.iter().find(|r| r.job == "b").unwrap();
         assert_eq!(b.status, "skipped");
         assert!(b.error.as_deref().unwrap().contains("\"a\""));
+    }
+
+    #[test]
+    fn a_panicking_job_is_contained_and_typed() {
+        let jobs: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("bomb", &[], |_| -> Result<u64, JobError> {
+                panic!("the payload message")
+            }),
+            JobSpec::new("child", &["bomb"], |c| Ok(*c.dep("bomb")?)),
+            JobSpec::new("solo", &[], |_| Ok(7)),
+        ];
+        let run = run_jobs(jobs, 2).expect("engine survives a panicking job");
+        match &run.outcomes["bomb"] {
+            JobOutcome::Panicked(msg) => assert!(msg.contains("the payload message")),
+            other => panic!("expected Panicked, got {:?}", other.status()),
+        }
+        let bomb = run.records.iter().find(|r| r.job == "bomb").unwrap();
+        assert_eq!(bomb.status, "panicked");
+        match &run.outcomes["child"] {
+            JobOutcome::Skipped(why) => assert!(why.contains("panicked"), "{why}"),
+            other => panic!("expected Skipped, got {:?}", other.status()),
+        }
+        assert_eq!(run.outcomes["solo"].ok(), Some(&7), "siblings complete");
+    }
+
+    #[test]
+    fn transient_failures_retry_with_deterministic_backoff() {
+        let make = || -> Vec<JobSpec<u64>> {
+            vec![JobSpec::new("flaky", &[], |c: &mut JobCtx<'_, u64>| {
+                if c.attempt() < 2 {
+                    Err(JobError::Transient("injected".into()))
+                } else {
+                    Ok(c.attempt() as u64)
+                }
+            })
+            .with_policy(JobPolicy {
+                max_retries: 3,
+                deadline_ops: 0,
+            })]
+        };
+        let a = run_jobs(make(), 1).unwrap();
+        let b = run_jobs(make(), 4).unwrap();
+        for run in [&a, &b] {
+            assert_eq!(run.outcomes["flaky"].ok(), Some(&2));
+            let r = &run.records[0];
+            assert_eq!(r.attempts, 3, "two retries then success");
+            assert_eq!(
+                r.backoff_units,
+                backoff_units("flaky", 0) + backoff_units("flaky", 1)
+            );
+        }
+        assert_eq!(a.records[0].attempts, b.records[0].attempts);
+        assert_eq!(a.records[0].backoff_units, b.records[0].backoff_units);
+
+        // An exhausted retry budget fails with the attempt count.
+        let hopeless: Vec<JobSpec<u64>> =
+            vec![
+                JobSpec::new("down", &[], |_| Err(JobError::Transient("still down".into())))
+                    .with_policy(JobPolicy {
+                        max_retries: 2,
+                        deadline_ops: 0,
+                    }),
+            ];
+        let run = run_jobs(hopeless, 1).unwrap();
+        let r = &run.records[0];
+        assert_eq!(r.status, "failed");
+        assert_eq!(r.attempts, 3);
+        assert!(r.error.as_deref().unwrap().contains("3 attempts"));
+    }
+
+    #[test]
+    fn undeclared_dependency_is_a_typed_failure_not_a_panic() {
+        let jobs: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("a", &[], |_| Ok(1)),
+            JobSpec::new("greedy", &["a"], |c| Ok(*c.dep("ghost")?)),
+        ];
+        let run = run_jobs(jobs, 1).unwrap();
+        let r = run.records.iter().find(|r| r.job == "greedy").unwrap();
+        assert_eq!(r.status, "failed");
+        let msg = r.error.as_deref().unwrap();
+        assert!(msg.contains("undeclared dependency"), "{msg}");
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn deadline_outcome_is_typed_and_contained() {
+        let jobs: Vec<JobSpec<u64>> = vec![
+            JobSpec::new("slow", &[], |c: &mut JobCtx<'_, u64>| {
+                // Simulate a replay loop honoring its token.
+                let token = c.cancel_token();
+                token.charge(500);
+                token.checkpoint().map_err(|e| JobError::from_fs(&e))?;
+                Ok(1)
+            })
+            .with_policy(JobPolicy {
+                max_retries: 0,
+                deadline_ops: 100,
+            }),
+            JobSpec::new("after", &["slow"], |c| Ok(*c.dep("slow")?)),
+        ];
+        let run = run_jobs(jobs, 2).unwrap();
+        match &run.outcomes["slow"] {
+            JobOutcome::TimedOut(msg) => {
+                assert!(msg.contains("after 500"), "{msg}");
+                assert!(msg.contains("budget 100"), "{msg}");
+            }
+            other => panic!("expected TimedOut, got {:?}", other.status()),
+        }
+        let r = run.records.iter().find(|r| r.job == "slow").unwrap();
+        assert_eq!(r.status, "timeout");
+        assert!(matches!(run.outcomes["after"], JobOutcome::Skipped(_)));
     }
 
     #[test]
@@ -409,12 +809,22 @@ mod tests {
         let mut jobs: Vec<JobSpec<u64>> = vec![JobSpec::new("root", &[], |_| Ok(7))];
         for i in 0..50u64 {
             jobs.push(JobSpec::new(&format!("leaf{i:02}"), &["root"], move |c| {
-                Ok(c.dep("root") + i)
+                Ok(c.dep("root")? + i)
             }));
         }
         let run = run_jobs(jobs, 4).unwrap();
         for i in 0..50u64 {
             assert_eq!(run.outcomes[&format!("leaf{i:02}")].ok(), Some(&(7 + i)));
         }
+    }
+
+    #[test]
+    fn backoff_schedule_is_stable_and_grows() {
+        assert_eq!(backoff_units("j", 5), backoff_units("j", 5));
+        // Attempt 0 has base 1 and no jitter room; from attempt 1 on the
+        // jitter separates ids.
+        assert_ne!(backoff_units("j", 5), backoff_units("k", 5), "id-jittered");
+        // Base doubles per attempt, so the schedule grows overall.
+        assert!(backoff_units("j", 8) > backoff_units("j", 2));
     }
 }

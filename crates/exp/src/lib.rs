@@ -5,18 +5,24 @@
 //! then a fan of figure and table computations over the aged images.
 //! This crate turns that protocol into data:
 //!
-//! * [`engine`] — a deterministic job DAG executed on a `std::thread`
-//!   worker pool. Independent jobs (the three agings; every figure whose
-//!   inputs are ready) run concurrently; outputs are identical for any
-//!   worker count because jobs are pure functions of their declared
-//!   dependencies.
+//! * [`engine`] — a supervised, deterministic job DAG executed on a
+//!   `std::thread` worker pool. Independent jobs (the three agings;
+//!   every figure whose inputs are ready) run concurrently; outputs are
+//!   identical for any worker count because jobs are pure functions of
+//!   their declared dependencies. Failure is contained: panics become
+//!   typed [`engine::JobOutcome::Panicked`] records, transient failures
+//!   retry on a deterministic simulated-backoff schedule, deadlines
+//!   cancel runaway jobs cooperatively, and dependents of anything that
+//!   did not produce output are recorded `skipped` while every
+//!   independent job still completes.
 //! * [`store`] — a content-addressed on-disk artifact store. An aged
 //!   file system is keyed by the full provenance of its construction
 //!   (file-system parameters, aging configuration, seed, days, policy,
 //!   format version) and serialized through the allocation-exact
 //!   [`aging::Checkpoint`] format, so it is aged once and reused across
 //!   processes. Damaged artifacts are rejected with
-//!   [`ffs_types::FsError::Corrupt`] and transparently re-aged.
+//!   [`ffs_types::FsError::Corrupt`], preserved under `quarantine/`,
+//!   and transparently re-aged.
 //! * [`record`] — structured JSON-lines run records (job id, dependency
 //!   keys, cache hit/miss, wall time, op counts,
 //!   [`disk::DeviceStats`]) written to `runs.jsonl`.
@@ -29,7 +35,9 @@ pub mod record;
 pub mod report;
 pub mod store;
 
-pub use engine::{run_jobs, EngineRun, JobCtx, JobOutcome, JobSpec};
+pub use engine::{
+    backoff_units, run_jobs, EngineRun, JobCtx, JobError, JobOutcome, JobPolicy, JobSpec,
+};
 pub use key::{aged_key, fnv1a, AgedKey, FORMAT_VERSION};
 pub use record::{CacheStatus, Metrics, RunRecord};
 pub use report::{bench_json, compare_baseline, summarize};

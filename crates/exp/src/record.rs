@@ -75,12 +75,19 @@ pub struct RunRecord {
     pub job: String,
     /// Identifiers of the jobs this one consumed.
     pub deps: Vec<String>,
-    /// `ok`, `failed`, or `skipped` (a dependency failed).
+    /// `ok`, `failed`, `panicked`, `timeout`, or `skipped`.
     pub status: String,
-    /// Error message for failed/skipped jobs.
+    /// Error message for jobs that did not succeed.
     pub error: Option<String>,
     /// Wall-clock seconds spent running the job.
     pub wall_s: f64,
+    /// How many times the job body ran (1 = no retries; 0 = never ran,
+    /// i.e. skipped).
+    pub attempts: u32,
+    /// Total simulated backoff units accrued across retries. Derived
+    /// from the job id and attempt numbers, so it is identical for any
+    /// worker count.
+    pub backoff_units: u64,
     /// Job-reported measurements.
     pub metrics: Metrics,
 }
@@ -151,6 +158,12 @@ impl RunRecord {
             push_json_str(&mut s, e);
         }
         let _ = write!(s, ",\"wall_s\":{:.6}", self.wall_s);
+        if self.attempts > 1 || self.backoff_units > 0 {
+            let _ = write!(s, ",\"attempts\":{}", self.attempts);
+        }
+        if self.backoff_units > 0 {
+            let _ = write!(s, ",\"backoff_units\":{}", self.backoff_units);
+        }
         if let Some(c) = self.metrics.cache {
             s.push_str(",\"cache\":");
             push_json_str(&mut s, c.as_str());
@@ -238,6 +251,8 @@ mod tests {
             status: "ok".into(),
             error: None,
             wall_s: 1.5,
+            attempts: 1,
+            backoff_units: 0,
             metrics,
         }
     }
@@ -298,10 +313,26 @@ mod tests {
             status: "ok".into(),
             error: None,
             wall_s: 0.0,
+            attempts: 1,
+            backoff_units: 0,
             metrics: Metrics::default(),
         };
         let line = r.to_json();
         assert!(RunRecord::field_str(&line, "cache").is_none());
         assert!(RunRecord::field_num(&line, "ops").is_none());
+        assert!(
+            RunRecord::field_num(&line, "attempts").is_none(),
+            "first-try jobs do not bloat their records"
+        );
+    }
+
+    #[test]
+    fn retried_jobs_record_attempts_and_backoff() {
+        let mut r = sample();
+        r.attempts = 3;
+        r.backoff_units = 11;
+        let line = r.to_json();
+        assert_eq!(RunRecord::field_num(&line, "attempts").unwrap(), 3.0);
+        assert_eq!(RunRecord::field_num(&line, "backoff_units").unwrap(), 11.0);
     }
 }

@@ -9,6 +9,7 @@ struct Row {
     cache: String,
     wall_s: f64,
     ops: f64,
+    attempts: f64,
 }
 
 /// Renders a human-readable summary of the run records in `jsonl`
@@ -30,6 +31,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
             cache: RunRecord::field_str(line, "cache").unwrap_or_else(|| "-".into()),
             wall_s: RunRecord::field_num(line, "wall_s").unwrap_or(0.0),
             ops: RunRecord::field_num(line, "ops").unwrap_or(0.0),
+            attempts: RunRecord::field_num(line, "attempts").unwrap_or(1.0),
         });
     }
     if rows.is_empty() {
@@ -59,12 +61,24 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         .filter(|r| r.cache == "miss" || r.cache == "corrupt")
         .count();
     let failed = rows.iter().filter(|r| r.status != "ok").count();
+    let retries: u64 = rows
+        .iter()
+        .map(|r| (r.attempts.max(1.0) - 1.0) as u64)
+        .sum();
+    let panicked = rows.iter().filter(|r| r.status == "panicked").count();
+    let timeouts = rows.iter().filter(|r| r.status == "timeout").count();
     let _ = writeln!(
         out,
         "total {:.3}s over {} jobs; cache {hits} hit / {misses} miss; {failed} not ok",
         total,
         rows.len()
     );
+    if retries + panicked as u64 + timeouts as u64 > 0 {
+        let _ = writeln!(
+            out,
+            "supervision: {retries} retries; {panicked} panicked; {timeouts} timed out"
+        );
+    }
     Ok(out)
 }
 
@@ -202,6 +216,8 @@ mod tests {
             status: "ok".into(),
             error: None,
             wall_s: wall,
+            attempts: 1,
+            backoff_units: 0,
             metrics: Metrics {
                 cache,
                 ..Metrics::default()

@@ -31,6 +31,7 @@ use aging::{generate, replay, take_checkpoint, AgingConfig, Checkpoint, DayStats
 use ffs::AllocPolicy;
 use ffs_types::{FsError, FsParams, FsResult};
 
+use crate::engine::JobError;
 use crate::key::{aged_key, AgedKey, FORMAT_VERSION};
 use crate::record::CacheStatus;
 
@@ -50,6 +51,8 @@ pub struct AgedRun {
     pub key: AgedKey,
     /// Workload operations replayed to produce the image (0 on a hit).
     pub ops: u64,
+    /// Where a damaged artifact was preserved, when the load found one.
+    pub quarantined: Option<PathBuf>,
 }
 
 impl ArtifactStore {
@@ -156,7 +159,7 @@ impl ArtifactStore {
         }
         let ck = Checkpoint::from_text(&checkpoint_text)
             .map_err(|e| corrupt(&format!("checkpoint: {e}")))?;
-        let last_day = daily.last().expect("non-empty").day;
+        let last_day = daily.last().ok_or_else(|| corrupt("no daily series"))?.day;
         if ck.day != last_day {
             return Err(corrupt(&format!(
                 "checkpoint day {} disagrees with daily series end {last_day}",
@@ -182,6 +185,33 @@ impl ArtifactStore {
             checkpoints: Vec::new(),
             crash: None,
         })
+    }
+
+    /// The directory damaged artifacts are moved to.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Moves the artifact for `key` into `quarantine/`, preserving the
+    /// bytes for post-mortem instead of silently overwriting them, and
+    /// drops a `<key>.reason` side file naming why. Returns the
+    /// quarantined path, or `None` when nothing could be preserved (the
+    /// artifact vanished, or the move itself failed — in either case the
+    /// caller proceeds to rebuild; quarantine is best-effort forensics,
+    /// never a correctness dependency).
+    pub fn quarantine(&self, key: &AgedKey, reason: &str) -> Option<PathBuf> {
+        let src = self.path_for(key);
+        let qdir = self.quarantine_dir();
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return None;
+        }
+        let dst = qdir.join(format!("{}.aged", key.hex));
+        if std::fs::rename(&src, &dst).is_err() {
+            return None;
+        }
+        let _ = std::fs::write(qdir.join(format!("{}.reason", key.hex)), format!("{reason}\n"));
+        obs::counter!("store.quarantined", 1);
+        Some(dst)
     }
 
     /// Persists an aged run under `key` (atomic replace).
@@ -221,17 +251,24 @@ impl ArtifactStore {
 
 /// Ages a file system, going through the artifact store when one is
 /// given: a valid cached image is reused (`cache: hit`), a missing one
-/// is built and saved (`miss`), and a damaged one is discarded, rebuilt,
-/// and overwritten (`corrupt`) — never trusted.
+/// is built and saved (`miss`), and a damaged one is moved to
+/// `quarantine/` and rebuilt (`corrupt`) — never trusted, never
+/// silently destroyed.
+///
+/// Errors are typed for the supervisor: a replay cut off by a
+/// cancellation token surfaces as [`JobError::Deadline`], an injected
+/// device fault as [`JobError::Transient`], everything else as
+/// [`JobError::Fatal`].
 pub fn age_cached(
     store: Option<&ArtifactStore>,
     params: &FsParams,
     config: &AgingConfig,
     policy: AllocPolicy,
     options: ReplayOptions,
-) -> Result<AgedRun, String> {
+) -> Result<AgedRun, JobError> {
     let key = aged_key(params, config, policy, &options);
     let mut cache = CacheStatus::Disabled;
+    let mut quarantined = None;
     if let Some(store) = store {
         match store.load(&key, params, policy) {
             Ok(Some(result)) => {
@@ -240,18 +277,22 @@ pub fn age_cached(
                     cache: CacheStatus::Hit,
                     key,
                     ops: 0,
+                    quarantined: None,
                 })
             }
             Ok(None) => cache = CacheStatus::Miss,
-            Err(_) => cache = CacheStatus::Corrupt,
+            Err(e) => {
+                cache = CacheStatus::Corrupt;
+                quarantined = store.quarantine(&key, &e.to_string());
+            }
         }
     }
     let w = generate(config, params.ncg, params.data_capacity_bytes());
     let ops = w.days.iter().map(|d| d.ops.len() as u64).sum();
-    let result = replay(&w, params, policy, options).map_err(|e| e.to_string())?;
+    let result = replay(&w, params, policy, options).map_err(|e| JobError::from_fs(&e))?;
     if let Some(store) = store {
         if !result.daily.is_empty() {
-            store.save(&key, &result)?;
+            store.save(&key, &result).map_err(JobError::Fatal)?;
         }
     }
     Ok(AgedRun {
@@ -259,6 +300,7 @@ pub fn age_cached(
         cache,
         key,
         ops,
+        quarantined,
     })
 }
 
@@ -363,7 +405,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
 
-        // age_cached treats all of that as "re-age, overwrite".
+        // age_cached treats all of that as "quarantine, re-age".
         std::fs::write(&path, &original[..original.len() / 3]).unwrap();
         let healed = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
                                 ReplayOptions::default())
@@ -371,6 +413,17 @@ mod tests {
         assert_eq!(healed.cache, CacheStatus::Corrupt);
         assert!(healed.ops > 0, "the image was rebuilt, not trusted");
         assert_eq!(healed.result.daily, cold.result.daily);
+        // The damaged bytes were preserved for post-mortem, not lost.
+        let qpath = healed.quarantined.expect("damaged artifact quarantined");
+        assert!(qpath.starts_with(store.quarantine_dir()));
+        assert_eq!(
+            std::fs::read_to_string(&qpath).unwrap(),
+            &original[..original.len() / 3]
+        );
+        let reason = store
+            .quarantine_dir()
+            .join(format!("{}.reason", cold.key.hex));
+        assert!(std::fs::read_to_string(reason).unwrap().contains("corrupt"));
         // The store healed: next call hits.
         let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
                               ReplayOptions::default())

@@ -1,0 +1,176 @@
+//! Chaos test for the supervised engine: one DAG where jobs panic,
+//! exceed their deadline, and fail transiently under a seeded fault
+//! plan — all at once. The supervisor must (a) complete every
+//! independent job, (b) type every failure, and (c) produce
+//! byte-identical retry counts and outcomes for any worker count.
+
+use aging::{generate, replay, AgingConfig, ReplayOptions};
+use disk::{Device, FaultPlan};
+use exp::{run_jobs, EngineRun, JobError, JobOutcome, JobPolicy, JobSpec};
+use ffs::AllocPolicy;
+use ffs_types::{DiskParams, FsParams};
+
+/// A job that writes through a fault-injecting device. The plan is
+/// seeded from the attempt number, so early attempts hit a transient
+/// I/O error deterministically and attempt 2 runs clean — the shape of
+/// a real flaky device that a bounded retry rides out.
+fn flaky_device_job(attempt: u32) -> Result<u64, JobError> {
+    let mut dev = Device::new(DiskParams::seagate_32430n());
+    if attempt < 2 {
+        // High fault rate, no device-level retries, no spares: the
+        // first write the plan marks faulty surfaces FsError::Io.
+        dev.inject_faults(
+            &FaultPlan::new(7 + attempt as u64)
+                .transient_rate(0.9)
+                .max_retries(0)
+                .spare_sectors(0),
+        );
+    }
+    let mut sectors = 0u64;
+    for lba in 0..200 {
+        match dev.try_write(lba * 16, 16) {
+            Ok(_) => sectors += 16,
+            Err(e) => return Err(JobError::from_fs(&e)),
+        }
+    }
+    Ok(sectors)
+}
+
+fn chaos_dag() -> Vec<JobSpec<u64>> {
+    vec![
+        // A healthy root and its healthy consumer: must complete no
+        // matter what the rest of the graph does.
+        JobSpec::new("root", &[], |_| Ok(1)),
+        JobSpec::new("healthy", &["root"], |c| Ok(c.dep("root")? + 1)),
+        // A panicking job and a transitive chain under it.
+        JobSpec::new("bomb", &["root"], |_| -> Result<u64, JobError> {
+            panic!("chaos: boom")
+        }),
+        JobSpec::new("bomb-child", &["bomb"], |c| Ok(*c.dep("bomb")?)),
+        JobSpec::new("bomb-grandchild", &["bomb-child"], |c| {
+            Ok(*c.dep("bomb-child")?)
+        }),
+        // A replay that blows through its op budget: cancelled at a day
+        // boundary, typed as a timeout.
+        JobSpec::new("runaway", &[], |c| {
+            let params = FsParams::small_test();
+            let config = AgingConfig::small_test(10, 42);
+            let w = generate(&config, params.ncg, params.data_capacity_bytes());
+            let result = replay(
+                &w,
+                &params,
+                AllocPolicy::Realloc,
+                ReplayOptions {
+                    cancel: Some(c.cancel_token()),
+                    ..ReplayOptions::default()
+                },
+            )
+            .map_err(|e| JobError::from_fs(&e))?;
+            Ok(result.daily.len() as u64)
+        })
+        .with_policy(JobPolicy {
+            max_retries: 0,
+            deadline_ops: 50,
+        }),
+        JobSpec::new("after-runaway", &["runaway"], |c| Ok(*c.dep("runaway")?)),
+        // A transiently failing device job with enough retry budget.
+        JobSpec::new("flaky", &[], |c| flaky_device_job(c.attempt()))
+            .with_policy(JobPolicy {
+                max_retries: 3,
+                deadline_ops: 0,
+            }),
+        JobSpec::new("after-flaky", &["flaky"], |c| Ok(*c.dep("flaky")?)),
+    ]
+}
+
+/// The worker-count-independent projection of a run: everything except
+/// wall time.
+fn fingerprint(run: &EngineRun<u64>) -> String {
+    run.records
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{:?}|{}|{:?}|{}|{}\n",
+                r.job, r.deps, r.status, r.error, r.attempts, r.backoff_units
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_dag_is_contained_and_deterministic() {
+    let single = run_jobs(chaos_dag(), 1).expect("supervisor survives the chaos DAG");
+    let pooled = run_jobs(chaos_dag(), 4).expect("supervisor survives the chaos DAG");
+
+    for run in [&single, &pooled] {
+        // (a) Every independent job completed.
+        assert_eq!(run.outcomes["root"].ok(), Some(&1));
+        assert_eq!(run.outcomes["healthy"].ok(), Some(&2));
+        match &run.outcomes["flaky"] {
+            JobOutcome::Ok(_) => {}
+            other => panic!("flaky should succeed after retries, got {:?}", other.status()),
+        }
+        assert!(run.outcomes["after-flaky"].ok().is_some());
+
+        // The panic is typed and contained; its chain is skipped with
+        // causes that name the culprit.
+        match &run.outcomes["bomb"] {
+            JobOutcome::Panicked(msg) => assert!(msg.contains("chaos: boom"), "{msg}"),
+            other => panic!("expected Panicked, got {:?}", other.status()),
+        }
+        match &run.outcomes["bomb-child"] {
+            JobOutcome::Skipped(why) => assert!(why.contains("\"bomb\""), "{why}"),
+            other => panic!("expected Skipped, got {:?}", other.status()),
+        }
+        assert!(matches!(
+            run.outcomes["bomb-grandchild"],
+            JobOutcome::Skipped(_)
+        ));
+
+        // The runaway replay was cancelled at a day boundary.
+        match &run.outcomes["runaway"] {
+            JobOutcome::TimedOut(msg) => assert!(msg.contains("budget 50"), "{msg}"),
+            other => panic!("expected TimedOut, got {:?}", other.status()),
+        }
+        match &run.outcomes["after-runaway"] {
+            JobOutcome::Skipped(why) => assert!(why.contains("deadline"), "{why}"),
+            other => panic!("expected Skipped, got {:?}", other.status()),
+        }
+
+        // The flaky job actually exercised the retry path.
+        let flaky = run.records.iter().find(|r| r.job == "flaky").unwrap();
+        assert_eq!(flaky.attempts, 3, "two injected failures, then success");
+        assert!(flaky.backoff_units > 0);
+    }
+
+    // (b) Retry counts, outcomes, errors, and backoff are byte-identical
+    // across worker counts.
+    assert_eq!(fingerprint(&single), fingerprint(&pooled));
+}
+
+#[test]
+fn exhausted_retries_fail_with_the_device_error() {
+    // No clean attempt ever comes: the budget runs out and the last
+    // transient error is reported, typed as a plain failure.
+    let make = || -> Vec<JobSpec<u64>> {
+        vec![
+            JobSpec::new("doomed", &[], |_| flaky_device_job(0)).with_policy(JobPolicy {
+                max_retries: 2,
+                deadline_ops: 0,
+            }),
+        ]
+    };
+    let run = run_jobs(make(), 2).unwrap();
+    let r = &run.records[0];
+    assert_eq!(r.status, "failed");
+    assert_eq!(r.attempts, 3);
+    assert!(
+        r.error.as_deref().unwrap().contains("3 attempts"),
+        "{:?}",
+        r.error
+    );
+    // Still deterministic when everything fails.
+    let again = run_jobs(make(), 1).unwrap();
+    assert_eq!(again.records[0].error, r.error);
+    assert_eq!(again.records[0].backoff_units, r.backoff_units);
+}

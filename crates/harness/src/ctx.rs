@@ -33,6 +33,20 @@ pub struct Options {
     /// Silences per-experiment progress chatter on stderr. Exhibit
     /// output (stdout and TSV files) is unchanged.
     pub quiet: bool,
+    /// Retries granted to transiently failing jobs (0 = fail fast).
+    pub max_retries: u32,
+    /// Per-job operation budget; a replay that exceeds it is cancelled
+    /// at the next day boundary (0 = no deadline).
+    pub job_deadline_ops: u64,
+    /// A prior `runs.jsonl` journal: exhibits it records as `ok` (whose
+    /// TSVs still exist) are reloaded from disk instead of recomputed.
+    pub resume_run: Option<String>,
+    /// Chaos hook: inject a deterministic, seed-derived number of
+    /// transient failures (at most `max_retries`) into every exhibit.
+    pub chaos_seed: Option<u64>,
+    /// Chaos hook: the named exhibit panics, exercising panic isolation
+    /// end to end.
+    pub chaos_kill: Option<String>,
 }
 
 impl Default for Options {
@@ -46,6 +60,11 @@ impl Default for Options {
             no_cache: false,
             metrics: None,
             quiet: false,
+            max_retries: 0,
+            job_deadline_ops: 0,
+            resume_run: None,
+            chaos_seed: None,
+            chaos_kill: None,
         }
     }
 }

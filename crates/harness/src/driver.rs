@@ -11,10 +11,12 @@
 
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use aging::{ReplayOptions, ReplayResult};
-use exp::{age_cached, ArtifactStore, JobCtx, JobOutcome, JobSpec, RunRecord};
+use exp::{
+    age_cached, fnv1a, ArtifactStore, JobCtx, JobError, JobOutcome, JobPolicy, JobSpec, RunRecord,
+};
 use ffs::AllocPolicy;
 
 use crate::ctx::{Options, Shared};
@@ -54,15 +56,15 @@ fn deps_of(name: &str) -> &'static [&'static str] {
     }
 }
 
-fn aged<'a>(ctx: &'a JobCtx<'_, JobOut>, id: &str) -> &'a ReplayResult {
-    match ctx.dep(id) {
-        JobOut::Aged(r) => r,
-        JobOut::Tsv(_) => unreachable!("{id} is an aging job"),
+fn aged<'a>(ctx: &'a JobCtx<'_, JobOut>, id: &str) -> Result<&'a ReplayResult, JobError> {
+    match ctx.dep(id)? {
+        JobOut::Aged(r) => Ok(r),
+        JobOut::Tsv(_) => Err(JobError::Fatal(format!("{id} is not an aging job"))),
     }
 }
 
 /// Owned variant of [`aged`] for jobs that also borrow `ctx.metrics`.
-fn aged_arc(ctx: &JobCtx<'_, JobOut>, id: &str) -> std::sync::Arc<JobOut> {
+fn aged_arc(ctx: &JobCtx<'_, JobOut>, id: &str) -> Result<std::sync::Arc<JobOut>, JobError> {
     ctx.dep_arc(id)
 }
 
@@ -71,6 +73,35 @@ fn as_aged(out: &JobOut) -> &ReplayResult {
         JobOut::Aged(r) => r,
         JobOut::Tsv(_) => unreachable!("aging jobs produce aged file systems"),
     }
+}
+
+/// The supervision policy every DAG job runs under, from the CLI flags.
+fn policy_of(opts: &Options) -> JobPolicy {
+    JobPolicy {
+        max_retries: opts.max_retries,
+        deadline_ops: opts.job_deadline_ops,
+    }
+}
+
+/// The chaos hook: with `--chaos-seed`, every exhibit fails transiently
+/// a deterministic, name-derived number of times (never more than the
+/// retry budget, so a supervised run still converges); with
+/// `--chaos-kill NAME`, that exhibit panics. Both exist to exercise the
+/// supervisor end to end — CI runs them against a live DAG.
+fn chaos_gate(name: &str, opts: &Options, ctx: &JobCtx<'_, JobOut>) -> Result<(), JobError> {
+    if opts.chaos_kill.as_deref() == Some(name) {
+        panic!("chaos kill: {name}");
+    }
+    if let Some(seed) = opts.chaos_seed {
+        let planned = fnv1a(format!("{name}:{seed}").as_bytes()) % (opts.max_retries as u64 + 1);
+        if (ctx.attempt() as u64) < planned {
+            return Err(JobError::Transient(format!(
+                "chaos: injected failure {} of {planned} for {name}",
+                ctx.attempt() + 1
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn aging_job(
@@ -92,37 +123,67 @@ fn aging_job(
             &params,
             &config,
             policy,
-            ReplayOptions::default(),
+            ReplayOptions {
+                // The job's deadline token rides into the replay so a
+                // runaway aging is cut off at a day boundary.
+                cancel: Some(ctx.cancel_token()),
+                ..ReplayOptions::default()
+            },
         )?;
         ctx.metrics.cache = Some(run.cache);
         ctx.metrics.key = Some(run.key.hex.clone());
         ctx.metrics.ops = Some(run.ops);
+        if let Some(q) = &run.quarantined {
+            ctx.metrics.note("quarantined", q.display());
+        }
         Ok(JobOut::Aged(Box::new(run.result)))
     })
+    .with_policy(policy_of(opts))
 }
 
-fn exhibit_job(name: &'static str, sh: &Shared) -> JobSpec<JobOut> {
+/// A job that replays a previously produced exhibit from its TSV on
+/// disk — the `--resume-run` path. Dep-free, so the aging runs it would
+/// otherwise require drop out of the DAG entirely.
+fn resumed_job(name: &'static str, opts: &Options, path: PathBuf) -> JobSpec<JobOut> {
+    let policy = policy_of(opts);
+    let opts = opts.clone();
+    JobSpec::new(name, &[], move |ctx| {
+        chaos_gate(name, &opts, ctx)?;
+        let tsv = fs::read_to_string(&path)
+            .map_err(|e| JobError::Fatal(format!("resume {}: {e}", path.display())))?;
+        ctx.metrics.note("resumed", "true");
+        Ok(JobOut::Tsv(tsv))
+    })
+    .with_policy(policy)
+}
+
+fn exhibit_job(name: &'static str, opts: &Options, sh: &Shared) -> JobSpec<JobOut> {
     let sh = sh.clone();
+    let policy = policy_of(opts);
+    let opts = opts.clone();
     JobSpec::new(name, deps_of(name), move |ctx| {
+        chaos_gate(name, &opts, ctx)?;
         let tsv = match name {
             "table1" => experiments::table1(&sh),
-            "fig1" => experiments::fig1(aged(ctx, "age:ffs"), aged(ctx, "age:realref")),
-            "fig2" => experiments::fig2(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
-            "fig3" => experiments::fig3(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "fig1" => experiments::fig1(aged(ctx, "age:ffs")?, aged(ctx, "age:realref")?),
+            "fig2" => experiments::fig2(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?),
+            "fig3" => experiments::fig3(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?),
             "fig4" => {
-                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                let (o, r) = (aged_arc(ctx, "age:ffs")?, aged_arc(ctx, "age:realloc")?);
                 experiments::fig4(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
             }
             "fig5" => {
-                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                let (o, r) = (aged_arc(ctx, "age:ffs")?, aged_arc(ctx, "age:realloc")?);
                 experiments::fig5(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
             }
-            "fig6" => experiments::fig6(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "fig6" => experiments::fig6(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?),
             "table2" => {
-                let (o, r) = (aged_arc(ctx, "age:ffs"), aged_arc(ctx, "age:realloc"));
+                let (o, r) = (aged_arc(ctx, "age:ffs")?, aged_arc(ctx, "age:realloc")?);
                 experiments::table2(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
             }
-            "freespace" => experiments::freespace(aged(ctx, "age:ffs"), aged(ctx, "age:realloc")),
+            "freespace" => {
+                experiments::freespace(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?)
+            }
             "snapval" => experiments::snapval(&sh, ctx.metrics),
             "profiles" => experiments::profiles(&sh, ctx.metrics),
             "sweep" => experiments::sweep(&sh, ctx.metrics),
@@ -130,12 +191,16 @@ fn exhibit_job(name: &'static str, sh: &Shared) -> JobSpec<JobOut> {
         }?;
         Ok(JobOut::Tsv(tsv))
     })
+    .with_policy(policy)
 }
 
 /// Outcome of one requested experiment.
 pub struct ExperimentResult {
     /// Experiment name.
     pub name: &'static str,
+    /// The job's terminal status: `ok`, `failed`, `panicked`, `timeout`,
+    /// or `skipped`.
+    pub status: String,
     /// `Err` holds the failure (or skip) reason.
     pub outcome: Result<(), String>,
 }
@@ -150,6 +215,23 @@ impl Summary {
     /// Whether every requested experiment produced its exhibit.
     pub fn all_ok(&self) -> bool {
         self.results.iter().all(|r| r.outcome.is_ok())
+    }
+
+    /// One line summarizing how degraded the run was: per-status counts
+    /// when anything went wrong, `all N experiments ok` otherwise.
+    pub fn degradation_line(&self) -> String {
+        if self.all_ok() {
+            return format!("all {} experiments ok", self.results.len());
+        }
+        let count = |s: &str| self.results.iter().filter(|r| r.status == s).count();
+        format!(
+            "degraded run: {} ok, {} failed, {} panicked, {} timed out, {} skipped",
+            count("ok"),
+            count("failed"),
+            count("panicked"),
+            count("timeout"),
+            count("skipped")
+        )
     }
 }
 
@@ -173,9 +255,36 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
         obs::set_enabled(true);
     }
     let sh = Shared::from_options(opts);
+
+    // --resume-run: exhibits a prior journal records as ok, and whose
+    // TSVs still exist on disk, reload instead of recomputing. They
+    // become dep-free jobs, so aging runs nothing else needs drop out
+    // of the DAG entirely.
+    let prior_ok: std::collections::BTreeSet<String> = match &opts.resume_run {
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| format!("resume journal {path}: {e}"))?;
+            text.lines()
+                .filter_map(|line| {
+                    let job = RunRecord::field_str(line, "job")?;
+                    let status = RunRecord::field_str(line, "status")?;
+                    (status == "ok").then_some(job)
+                })
+                .collect()
+        }
+        None => Default::default(),
+    };
+    let out_dir = Path::new(&opts.out_dir);
+    let tsv_path = |name: &str| out_dir.join(format!("{name}.tsv"));
+    let resumable =
+        |name: &str| prior_ok.contains(name) && tsv_path(name).is_file();
+
     let mut jobs: Vec<JobSpec<JobOut>> = Vec::new();
     let mut aging_needed: Vec<&str> = Vec::new();
     for name in requested {
+        if resumable(name) {
+            continue;
+        }
         for dep in deps_of(name) {
             if !aging_needed.contains(dep) {
                 aging_needed.push(dep);
@@ -191,12 +300,15 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
         });
     }
     for name in requested {
-        jobs.push(exhibit_job(name, &sh));
+        if resumable(name) {
+            jobs.push(resumed_job(name, opts, tsv_path(name)));
+        } else {
+            jobs.push(exhibit_job(name, opts, &sh));
+        }
     }
 
     let run = exp::run_jobs(jobs, opts.worker_count())?;
 
-    let out_dir = Path::new(&opts.out_dir);
     fs::create_dir_all(out_dir).map_err(|e| format!("create {}: {e}", out_dir.display()))?;
     let mut jsonl = String::new();
     for rec in &run.records {
@@ -209,22 +321,28 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
     let mut results = Vec::new();
     let mut stdout = std::io::stdout().lock();
     for name in requested {
-        let outcome = match run.outcomes.get(*name) {
-            Some(JobOutcome::Ok(out)) => match out.as_ref() {
+        let (status, outcome) = match run.outcomes.get(*name) {
+            Some(o @ JobOutcome::Ok(out)) => match out.as_ref() {
                 JobOut::Tsv(tsv) => {
-                    let path = out_dir.join(format!("{name}.tsv"));
+                    let path = tsv_path(name);
                     fs::write(&path, tsv).map_err(|e| format!("write {}: {e}", path.display()))?;
                     let _ = stdout.write_all(tsv.as_bytes());
                     let _ = stdout.write_all(b"\n");
-                    Ok(())
+                    (o.status(), Ok(()))
                 }
-                JobOut::Aged(_) => unreachable!("{name} is an exhibit job"),
+                JobOut::Aged(_) => ("failed", Err(format!("{name} is not an exhibit job"))),
             },
-            Some(JobOutcome::Failed(e)) => Err(e.clone()),
-            Some(JobOutcome::Skipped(why)) => Err(why.clone()),
-            None => Err(fail(&run.records, name)),
+            Some(o) => (
+                o.status(),
+                Err(o.err().unwrap_or("no failure reason recorded").to_string()),
+            ),
+            None => ("failed", Err(fail(&run.records, name))),
         };
-        results.push(ExperimentResult { name, outcome });
+        results.push(ExperimentResult {
+            name,
+            status: status.to_string(),
+            outcome,
+        });
     }
     if let Some(path) = &opts.metrics {
         obs::set_enabled(false);

@@ -5,7 +5,8 @@
 //! ```text
 //! harness <experiment>|all|report [--days N] [--seed S] [--out DIR]
 //!         [--jobs N] [--cache-dir DIR] [--no-cache] [--metrics PATH]
-//!         [-q|--quiet] [--profile]
+//!         [-q|--quiet] [--profile] [--max-retries N]
+//!         [--job-deadline-ops N] [--resume-run PATH]
 //! ```
 //!
 //! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
@@ -35,7 +36,18 @@
 //! bench-smoke gate.
 //!
 //! `all` runs every exhibit (`sweep` excluded), reporting per-experiment
-//! pass/fail on stderr and exiting non-zero iff any failed.
+//! status on stderr plus a one-line degradation summary, and exiting
+//! non-zero iff any experiment did not produce its exhibit.
+//!
+//! The supervision flags: `--max-retries N` grants transiently failing
+//! jobs up to `N` deterministic retries (the backoff schedule is
+//! simulated, derived from the job id, and recorded — never slept);
+//! `--job-deadline-ops N` cancels any job that replays more than `N`
+//! operations at the next day boundary; `--resume-run PATH` replays a
+//! prior `runs.jsonl`, reloading exhibits it records as ok from their
+//! TSVs instead of recomputing them. `--chaos-seed N` and
+//! `--chaos-kill NAME` inject deterministic transient failures and one
+//! panic respectively — supervisor exercise for CI, not for normal use.
 
 use std::process::ExitCode;
 
@@ -46,7 +58,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|report> \
          [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
-         [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT]"
+         [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT] \
+         [--max-retries N] [--job-deadline-ops N] [--resume-run PATH] \
+         [--chaos-seed N] [--chaos-kill NAME]"
     );
     std::process::exit(2);
 }
@@ -104,6 +118,31 @@ fn main() -> ExitCode {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+            }
+            "--max-retries" => {
+                opts.max_retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--job-deadline-ops" => {
+                opts.job_deadline_ops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--resume-run" => {
+                opts.resume_run = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--chaos-kill" => {
+                opts.chaos_kill = Some(args.next().unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -191,8 +230,11 @@ fn run(
                     eprintln!("harness: {:<10} ok", r.name);
                 }
             }
-            Err(e) => eprintln!("harness: {:<10} FAILED: {e}", r.name),
+            Err(e) => eprintln!("harness: {:<10} {}: {e}", r.name, r.status.to_uppercase()),
         }
+    }
+    if !opts.quiet || !summary.all_ok() {
+        eprintln!("harness: {}", summary.degradation_line());
     }
     Ok(summary.all_ok())
 }
