@@ -40,7 +40,9 @@ pub use checkpoint::{take_checkpoint, Checkpoint};
 pub use config::{AgingConfig, SizeDist};
 pub use livemap::LiveMap;
 pub use profiles::Profile;
-pub use replay::{replay, resume, CrashReport, DayStats, ReplayOptions, ReplayResult};
+pub use replay::{
+    replay, replay_tapped, resume, CrashReport, DayStats, DayTap, ReplayOptions, ReplayResult,
+};
 pub use snapshot::{diff_to_workload, take_snapshot, Snapshot, SnapshotEntry};
 pub use stats::{workload_stats, WorkloadStats};
 pub use workload::{generate, DayLog, FileId, Lifetime, Op, Workload};

@@ -165,12 +165,36 @@ impl Default for ReplayOptions {
     }
 }
 
+/// A per-day observer for [`replay_tapped`]: called once at the end of
+/// every replayed day with the file system in its end-of-day state and
+/// the [`DayStats`] just recorded for it. The tap only reads — it cannot
+/// change what the replay produces — so a tapped replay's
+/// [`ReplayResult`] is byte-identical to an untapped one.
+pub type DayTap<'a> = dyn FnMut(&Filesystem, &DayStats) + 'a;
+
 /// Ages a fresh file system with `policy` by replaying `workload`.
 pub fn replay(
     workload: &Workload,
     params: &FsParams,
     policy: AllocPolicy,
     options: ReplayOptions,
+) -> FsResult<ReplayResult> {
+    replay_tapped(workload, params, policy, options, None)
+}
+
+/// [`replay`], with an optional per-day sample tap.
+///
+/// The tap is how a fleet driver takes daily measurements (free-space
+/// fragmentation, anything derived from the live [`Filesystem`]) without
+/// growing [`DayStats`] or the aged-artifact format: samples stream out
+/// through the callback as each day completes instead of accumulating in
+/// the result.
+pub fn replay_tapped(
+    workload: &Workload,
+    params: &FsParams,
+    policy: AllocPolicy,
+    options: ReplayOptions,
+    tap: Option<&mut DayTap<'_>>,
 ) -> FsResult<ReplayResult> {
     if workload.ncg != params.ncg {
         return Err(FsError::InvalidArg(
@@ -181,7 +205,7 @@ pub fn replay(
     fs.set_cluster_first_fit(options.cluster_first_fit);
     fs.set_realloc_no_split(options.realloc_no_split);
     let dirs = fs.mkdir_per_cg()?;
-    run_days(workload, fs, &dirs, LiveMap::new(), None, 0, options)
+    run_days(workload, fs, &dirs, LiveMap::new(), None, 0, options, tap)
 }
 
 /// Continues `workload` from a [`Checkpoint`] taken by an earlier replay.
@@ -232,11 +256,13 @@ pub fn resume(
         Some(checkpoint.day),
         checkpoint.skipped_creates,
         options,
+        None,
     )
 }
 
 /// The shared replay loop: applies every day after `resume_after` (all of
 /// them when `None`) to `fs`.
+#[allow(clippy::too_many_arguments)]
 fn run_days(
     workload: &Workload,
     mut fs: Filesystem,
@@ -245,6 +271,7 @@ fn run_days(
     resume_after: Option<u32>,
     mut skipped: u64,
     options: ReplayOptions,
+    mut tap: Option<&mut DayTap<'_>>,
 ) -> FsResult<ReplayResult> {
     let mut daily = Vec::with_capacity(workload.days.len());
     let mut snapshots = Vec::new();
@@ -329,6 +356,9 @@ fn run_days(
                 nfiles: fs.nfiles(),
                 bytes_written: fs.bytes_written(),
             });
+        }
+        if let Some(t) = tap.as_mut() {
+            t(&fs, daily.last().expect("day stats just recorded"));
         }
         if options.verify_every_days > 0 && (day_log.day + 1) % options.verify_every_days == 0 {
             assert_consistent(&fs);
@@ -585,6 +615,34 @@ mod tests {
         )
         .expect("ample budget");
         assert_eq!(r.daily.len(), 15);
+    }
+
+    #[test]
+    fn day_tap_observes_every_day_without_perturbing_the_run() {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(15, 42);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let untapped = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default()).unwrap();
+        let mut seen: Vec<(u32, f64, u64)> = Vec::new();
+        let tapped = replay_tapped(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+            Some(&mut |fs, d| seen.push((d.day, d.layout_score, fs.free_blocks()))),
+        )
+        .unwrap();
+        // One call per day, in day order, with the recorded stats and the
+        // end-of-day file system.
+        assert_eq!(seen.len(), tapped.daily.len());
+        for (d, (day, score, free)) in tapped.daily.iter().zip(&seen) {
+            assert_eq!(d.day, *day);
+            assert_eq!(d.layout_score, *score);
+            assert!(*free > 0);
+        }
+        // The tap only observes: results are identical with and without.
+        assert_eq!(tapped.daily, untapped.daily);
+        assert_eq!(tapped.fs.digest(), untapped.fs.digest());
     }
 
     #[test]

@@ -10,14 +10,23 @@ struct Row {
     wall_s: f64,
     ops: f64,
     attempts: f64,
+    records: u64,
+    quarantined: bool,
 }
 
 /// Renders a human-readable summary of the run records in `jsonl`
-/// (the contents of a `runs.jsonl` file): one row per job sorted by
+/// (the contents of a `runs.jsonl` file): one row per job key sorted by
 /// wall time, then cache and failure totals.
+///
+/// A journal may hold several records for the same job — a resumed run
+/// concatenated onto the journal it resumed from, or reruns appended by
+/// other tooling. Those aggregate into one row per key: attempt counts,
+/// wall time, and op counts sum across the records (so retries spent in
+/// an earlier, interrupted run still show), while status and cache come
+/// from the latest record — the run that finally settled the job.
 pub fn summarize(jsonl: &str) -> Result<String, String> {
     use std::fmt::Write as _;
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for (n, line) in jsonl.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -25,14 +34,29 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         }
         let job = RunRecord::field_str(line, "job")
             .ok_or_else(|| format!("runs.jsonl line {}: no job field", n + 1))?;
-        rows.push(Row {
-            job,
-            status: RunRecord::field_str(line, "status").unwrap_or_else(|| "?".into()),
-            cache: RunRecord::field_str(line, "cache").unwrap_or_else(|| "-".into()),
-            wall_s: RunRecord::field_num(line, "wall_s").unwrap_or(0.0),
-            ops: RunRecord::field_num(line, "ops").unwrap_or(0.0),
-            attempts: RunRecord::field_num(line, "attempts").unwrap_or(1.0),
-        });
+        let row = match rows.iter_mut().find(|r| r.job == job) {
+            Some(row) => row,
+            None => {
+                rows.push(Row {
+                    job,
+                    status: "?".into(),
+                    cache: "-".into(),
+                    wall_s: 0.0,
+                    ops: 0.0,
+                    attempts: 0.0,
+                    records: 0,
+                    quarantined: false,
+                });
+                rows.last_mut().expect("row just pushed")
+            }
+        };
+        row.status = RunRecord::field_str(line, "status").unwrap_or_else(|| "?".into());
+        row.cache = RunRecord::field_str(line, "cache").unwrap_or_else(|| "-".into());
+        row.wall_s += RunRecord::field_num(line, "wall_s").unwrap_or(0.0);
+        row.ops += RunRecord::field_num(line, "ops").unwrap_or(0.0);
+        row.attempts += RunRecord::field_num(line, "attempts").unwrap_or(1.0);
+        row.records += 1;
+        row.quarantined |= RunRecord::field_str(line, "quarantined").is_some();
     }
     if rows.is_empty() {
         return Err("no run records".into());
@@ -61,22 +85,27 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         .filter(|r| r.cache == "miss" || r.cache == "corrupt")
         .count();
     let failed = rows.iter().filter(|r| r.status != "ok").count();
+    // A skipped job records 0 attempts; everything that ran records at
+    // least 1 per record, so attempts beyond the record count are
+    // retries — including retries spent in earlier runs of the key.
     let retries: u64 = rows
         .iter()
-        .map(|r| (r.attempts.max(1.0) - 1.0) as u64)
+        .map(|r| (r.attempts.max(r.records as f64) - r.records as f64) as u64)
         .sum();
     let panicked = rows.iter().filter(|r| r.status == "panicked").count();
     let timeouts = rows.iter().filter(|r| r.status == "timeout").count();
+    let quarantined = rows.iter().filter(|r| r.quarantined).count();
     let _ = writeln!(
         out,
         "total {:.3}s over {} jobs; cache {hits} hit / {misses} miss; {failed} not ok",
         total,
         rows.len()
     );
-    if retries + panicked as u64 + timeouts as u64 > 0 {
+    if retries + (panicked + timeouts + quarantined) as u64 > 0 {
         let _ = writeln!(
             out,
-            "supervision: {retries} retries; {panicked} panicked; {timeouts} timed out"
+            "supervision: {retries} retries; {panicked} panicked; {timeouts} timed out; \
+             {quarantined} quarantined"
         );
     }
     Ok(out)
@@ -247,6 +276,84 @@ mod tests {
     fn empty_input_is_an_error() {
         assert!(summarize("").is_err());
         assert!(summarize("\n\n").is_err());
+    }
+
+    #[test]
+    fn repeated_keys_aggregate_attempts_across_runs() {
+        // The shape of a resumed run: the prior journal's record (three
+        // attempts, then failure) concatenated with the rerun's record
+        // (one attempt, success). The summary must show one row carrying
+        // all four attempts — three of them retries — with the latest
+        // status and cache winning.
+        let prior = {
+            let mut r = RunRecord {
+                job: "age:ffs".into(),
+                deps: vec![],
+                status: "failed".into(),
+                error: Some("transient".into()),
+                wall_s: 2.0,
+                attempts: 3,
+                backoff_units: 7,
+                metrics: Metrics {
+                    cache: Some(CacheStatus::Miss),
+                    ..Metrics::default()
+                },
+            };
+            r.metrics.ops = Some(100);
+            r.to_json()
+        };
+        let rerun = {
+            let mut r = RunRecord {
+                job: "age:ffs".into(),
+                deps: vec![],
+                status: "ok".into(),
+                error: None,
+                wall_s: 1.0,
+                attempts: 2,
+                backoff_units: 3,
+                metrics: Metrics {
+                    cache: Some(CacheStatus::Hit),
+                    ..Metrics::default()
+                },
+            };
+            r.metrics.ops = Some(50);
+            r.to_json()
+        };
+        let jsonl = format!("{prior}\n{rerun}");
+        let s = summarize(&jsonl).unwrap();
+        assert_eq!(s.matches("age:ffs").count(), 1, "one row per key:\n{s}");
+        assert!(s.contains("over 1 jobs"), "{s}");
+        // 3 + 2 attempts over 2 records = 3 retries.
+        assert!(s.contains("supervision: 3 retries"), "{s}");
+        // Latest record settles status and cache; wall and ops sum.
+        assert!(s.contains("ok"), "{s}");
+        assert!(s.contains("hit"), "{s}");
+        assert!(s.contains("total 3.000s"), "{s}");
+        assert!(s.contains("150"), "{s}");
+    }
+
+    #[test]
+    fn quarantined_artifacts_surface_in_the_footer() {
+        let mut r = RunRecord {
+            job: "age:realloc".into(),
+            deps: vec![],
+            status: "ok".into(),
+            error: None,
+            wall_s: 1.0,
+            attempts: 1,
+            backoff_units: 0,
+            metrics: Metrics {
+                cache: Some(CacheStatus::Corrupt),
+                ..Metrics::default()
+            },
+        };
+        r.metrics.note("quarantined", "cache/quarantine/abc.aged");
+        let jsonl = format!("{}\n{}", record("fig1", 0.5, None), r.to_json());
+        let s = summarize(&jsonl).unwrap();
+        assert!(s.contains("1 quarantined"), "{s}");
+        // No supervision line at all when nothing needed supervising.
+        let calm = summarize(&record("fig1", 0.5, None)).unwrap();
+        assert!(!calm.contains("supervision"), "{calm}");
     }
 
     fn bench_doc(ffs: f64, realloc: f64) -> String {

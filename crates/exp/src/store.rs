@@ -69,7 +69,69 @@ impl ArtifactStore {
 
     /// The artifact path for a key.
     pub fn path_for(&self, key: &AgedKey) -> PathBuf {
-        self.dir.join(format!("{}.aged", key.hex))
+        self.named_path(&key.hex, "aged")
+    }
+
+    /// The path of the generic text artifact `<stem>.<ext>` in this
+    /// store. The aged images use `ext = "aged"`; other layers (the
+    /// fleet's per-shard sample checkpoints) bring their own extension
+    /// so they share the directory, the atomic-install discipline, and
+    /// the quarantine flow without colliding.
+    pub fn named_path(&self, stem: &str, ext: &str) -> PathBuf {
+        self.dir.join(format!("{stem}.{ext}"))
+    }
+
+    /// Loads the raw text of the named artifact `<stem>.<ext>`.
+    ///
+    /// Returns `Ok(None)` when no artifact exists and
+    /// [`FsError::Corrupt`] when one exists but cannot be read — the
+    /// same trust-nothing contract as [`ArtifactStore::load`], with
+    /// content validation left to the caller (formats differ per
+    /// extension).
+    pub fn load_named(&self, stem: &str, ext: &str) -> FsResult<Option<String>> {
+        let path = self.named_path(stem, ext);
+        match std::fs::read_to_string(&path) {
+            Ok(t) => Ok(Some(t)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(FsError::Corrupt(format!(
+                "unreadable artifact {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+
+    /// Atomically installs `text` as the named artifact `<stem>.<ext>`
+    /// (temporary file + rename, so a crashed writer can never leave a
+    /// half-written artifact under a valid name).
+    pub fn save_named(&self, stem: &str, ext: &str, text: &str) -> Result<PathBuf, String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
+        let path = self.named_path(stem, ext);
+        let tmp = self
+            .dir
+            .join(format!("{stem}.{ext}.tmp{}", std::process::id()));
+        std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("installing {}: {e}", path.display()))?;
+        Ok(path)
+    }
+
+    /// Moves the named artifact `<stem>.<ext>` into `quarantine/` with a
+    /// `<stem>.reason` side file — the generic form of
+    /// [`ArtifactStore::quarantine`], same best-effort semantics.
+    pub fn quarantine_named(&self, stem: &str, ext: &str, reason: &str) -> Option<PathBuf> {
+        let src = self.named_path(stem, ext);
+        let qdir = self.quarantine_dir();
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return None;
+        }
+        let dst = qdir.join(format!("{stem}.{ext}"));
+        if std::fs::rename(&src, &dst).is_err() {
+            return None;
+        }
+        let _ = std::fs::write(qdir.join(format!("{stem}.reason")), format!("{reason}\n"));
+        obs::counter!("store.quarantined", 1);
+        Some(dst)
     }
 
     /// Loads and validates the artifact for `key`.
@@ -83,18 +145,10 @@ impl ArtifactStore {
         params: &FsParams,
         policy: AllocPolicy,
     ) -> FsResult<Option<ReplayResult>> {
-        let path = self.path_for(key);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => {
-                return Err(FsError::Corrupt(format!(
-                    "unreadable artifact {}: {e}",
-                    path.display()
-                )))
-            }
-        };
-        self.parse(key, params, policy, &text).map(Some)
+        match self.load_named(&key.hex, "aged")? {
+            Some(text) => self.parse(key, params, policy, &text).map(Some),
+            None => Ok(None),
+        }
     }
 
     fn parse(
@@ -200,18 +254,7 @@ impl ArtifactStore {
     /// caller proceeds to rebuild; quarantine is best-effort forensics,
     /// never a correctness dependency).
     pub fn quarantine(&self, key: &AgedKey, reason: &str) -> Option<PathBuf> {
-        let src = self.path_for(key);
-        let qdir = self.quarantine_dir();
-        if std::fs::create_dir_all(&qdir).is_err() {
-            return None;
-        }
-        let dst = qdir.join(format!("{}.aged", key.hex));
-        if std::fs::rename(&src, &dst).is_err() {
-            return None;
-        }
-        let _ = std::fs::write(qdir.join(format!("{}.reason", key.hex)), format!("{reason}\n"));
-        obs::counter!("store.quarantined", 1);
-        Some(dst)
+        self.quarantine_named(&key.hex, "aged", reason)
     }
 
     /// Persists an aged run under `key` (atomic replace).
@@ -238,14 +281,7 @@ impl ArtifactStore {
             let _ = writeln!(text, "daily {}", d.to_record());
         }
         text.push_str(&ck.to_text());
-        std::fs::create_dir_all(&self.dir)
-            .map_err(|e| format!("creating {}: {e}", self.dir.display()))?;
-        let path = self.path_for(key);
-        let tmp = self.dir.join(format!("{}.tmp{}", key.hex, std::process::id()));
-        std::fs::write(&tmp, &text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| format!("installing {}: {e}", path.display()))?;
-        Ok(path)
+        self.save_named(&key.hex, "aged", &text)
     }
 }
 
@@ -429,6 +465,32 @@ mod tests {
                               ReplayOptions::default())
             .unwrap();
         assert_eq!(warm.cache, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn named_artifacts_round_trip_and_quarantine() {
+        let dir = tmpdir("named");
+        let store = ArtifactStore::new(&dir);
+        assert_eq!(store.load_named("00ff", "shard").unwrap(), None);
+        let path = store.save_named("00ff", "shard", "hello\n").unwrap();
+        assert_eq!(path, store.named_path("00ff", "shard"));
+        assert_eq!(store.load_named("00ff", "shard").unwrap().unwrap(), "hello\n");
+        // Saving again atomically replaces.
+        store.save_named("00ff", "shard", "world\n").unwrap();
+        assert_eq!(store.load_named("00ff", "shard").unwrap().unwrap(), "world\n");
+        // Quarantine preserves the bytes and records why.
+        let q = store
+            .quarantine_named("00ff", "shard", "checksum mismatch")
+            .unwrap();
+        assert!(q.starts_with(store.quarantine_dir()));
+        assert_eq!(std::fs::read_to_string(&q).unwrap(), "world\n");
+        assert!(std::fs::read_to_string(store.quarantine_dir().join("00ff.reason"))
+            .unwrap()
+            .contains("checksum"));
+        assert_eq!(store.load_named("00ff", "shard").unwrap(), None);
+        // Quarantining a vanished artifact preserves nothing, calmly.
+        assert!(store.quarantine_named("00ff", "shard", "again").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

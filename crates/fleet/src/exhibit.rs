@@ -1,0 +1,77 @@
+//! Fleet exhibits: per-day percentile tables rendered from the
+//! accumulator.
+//!
+//! One TSV per metric, one row per day, p50/p90/p99 columns per policy.
+//! Rendering happens once, after the engine drains, over the finished
+//! [`FleetAccum`] — the render pass itself is single-threaded and
+//! canonical, so exhibit bytes depend only on accumulator state, which
+//! is itself fold-order-independent.
+
+use std::fmt::Write as _;
+
+use crate::accum::{FleetAccum, Metric, POLICIES};
+
+/// Renders the per-day percentile table for `metric`.
+///
+/// Days where a policy has no folded samples (e.g. a single-policy
+/// fleet, or shards that failed) render as `-` so the table shape stays
+/// fixed.
+pub fn render(accum: &FleetAccum, metric: Metric) -> String {
+    let mut out =
+        String::from("day\torig_p50\torig_p90\torig_p99\trealloc_p50\trealloc_p90\trealloc_p99\n");
+    for day in 0..accum.days() {
+        let _ = write!(out, "{day}");
+        for policy in 0..POLICIES {
+            match accum.percentiles(metric, policy, day) {
+                Some((p50, p90, p99)) => {
+                    let _ = write!(out, "\t{p50:.3}\t{p90:.3}\t{p99:.3}");
+                }
+                None => out.push_str("\t-\t-\t-"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardSample;
+
+    #[test]
+    fn tables_have_fixed_shape_and_three_decimals() {
+        let a = FleetAccum::new(2);
+        a.fold(
+            0,
+            &[
+                ShardSample {
+                    day: 0,
+                    layout: 0.875,
+                    freefrag: 0.25,
+                    util: 0.7,
+                },
+                ShardSample {
+                    day: 1,
+                    layout: 0.85,
+                    freefrag: 0.3,
+                    util: 0.7,
+                },
+            ],
+            10,
+        );
+        let tsv = render(&a, Metric::Layout);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per day");
+        assert_eq!(
+            lines[0],
+            "day\torig_p50\torig_p90\torig_p99\trealloc_p50\trealloc_p90\trealloc_p99"
+        );
+        // One orig shard: all three percentiles are its value; realloc
+        // columns are placeholders.
+        assert_eq!(lines[1], "0\t0.876\t0.876\t0.876\t-\t-\t-");
+        assert!(lines[2].starts_with("1\t0.850\t"));
+        let frag = render(&a, Metric::FreeFrag);
+        assert!(frag.lines().nth(1).unwrap().starts_with("0\t0.250\t"));
+    }
+}

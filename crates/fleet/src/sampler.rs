@@ -1,0 +1,86 @@
+//! The deterministic generator behind fleet-spec expansion.
+//!
+//! splitmix64 (Steele, Lea & Flood's `SplittableRandom` finalizer): a
+//! stateless-feeling, jump-free mixer whose whole state is one `u64`.
+//! The fleet uses one independent instance per shard, seeded from the
+//! fleet seed and the shard index, so any shard's parameters can be
+//! re-derived in isolation — no sequential draw order to replay, which
+//! is what keeps spec expansion order-free and resumable.
+
+/// A splitmix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    pub fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[(self.next_u64() % items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_are_unit_interval_and_spread() {
+        let mut r = SplitMix64::new(7);
+        let draws: Vec<f64> = (0..1000).map(|_| r.next_f64()).collect();
+        assert!(draws.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+        let lo = draws.iter().filter(|&&v| v < 0.5).count();
+        assert!((400..600).contains(&lo), "{lo} draws below 0.5");
+    }
+
+    #[test]
+    fn pick_and_range_stay_in_bounds() {
+        let mut r = SplitMix64::new(3);
+        let items = [8u64, 12, 16, 24];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(*r.pick(&items));
+            let v = r.in_range(0.55, 0.85);
+            assert!((0.55..0.85).contains(&v));
+        }
+        assert_eq!(seen.len(), items.len(), "every choice eventually drawn");
+    }
+}

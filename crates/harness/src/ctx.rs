@@ -47,6 +47,10 @@ pub struct Options {
     /// Chaos hook: the named exhibit panics, exercising panic isolation
     /// end to end.
     pub chaos_kill: Option<String>,
+    /// `fleet` only: number of independently seeded volumes to age.
+    pub shards: u32,
+    /// `fleet` only: master seed the per-shard draws derive from.
+    pub fleet_seed: u64,
 }
 
 impl Default for Options {
@@ -65,6 +69,8 @@ impl Default for Options {
             resume_run: None,
             chaos_seed: None,
             chaos_kill: None,
+            shards: 64,
+            fleet_seed: 7,
         }
     }
 }

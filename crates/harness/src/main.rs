@@ -39,6 +39,19 @@
 //! status on stderr plus a one-line degradation summary, and exiting
 //! non-zero iff any experiment did not produce its exhibit.
 //!
+//! `fleet` ages a population instead of one volume: `--shards N`
+//! independently seeded volumes (heterogeneous sizes, policies, and
+//! workload profiles drawn from `--fleet-seed S`) age concurrently for
+//! `--days N` (default 30), streaming per-day samples into
+//! constant-memory percentile accumulators. It writes
+//! `fleet_layout.tsv` and `fleet_freefrag.tsv` (p50/p90/p99 by day per
+//! policy) plus `runs.jsonl` with one record per shard and a synthetic
+//! `fleet` record for the bench gate. Finished shards checkpoint their
+//! sample series in the artifact store, so rerunning a killed fleet —
+//! optionally with `--resume-run` pointing at the dead run's journal —
+//! re-ages only the missing shards. Worker count never changes an
+//! output byte.
+//!
 //! The supervision flags: `--max-retries N` grants transiently failing
 //! jobs up to `N` deterministic retries (the backoff schedule is
 //! simulated, derived from the job id, and recorded — never slept);
@@ -56,11 +69,11 @@ use harness::driver;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|report> \
+        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|fleet|report> \
          [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
          [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT] \
          [--max-retries N] [--job-deadline-ops N] [--resume-run PATH] \
-         [--chaos-seed N] [--chaos-kill NAME]"
+         [--chaos-seed N] [--chaos-kill NAME] [--shards N] [--fleet-seed S]"
     );
     std::process::exit(2);
 }
@@ -69,6 +82,11 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else { usage() };
     let mut opts = Options::default();
+    if cmd == "fleet" {
+        // Fleet shards draw their own scaled-down workloads; the
+        // single-volume default of 300 days would be enormous × shards.
+        opts.days = 30;
+    }
     let mut profile = false;
     let mut baseline: Option<String> = None;
     let mut max_regression = 20.0f64;
@@ -144,6 +162,18 @@ fn main() -> ExitCode {
             "--chaos-kill" => {
                 opts.chaos_kill = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--shards" => {
+                opts.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fleet-seed" => {
+                opts.fleet_seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
@@ -166,7 +196,19 @@ fn report(
     let path = std::path::Path::new(&opts.out_dir).join("runs.jsonl");
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("read {}: {e} (run an experiment first)", path.display()))?;
-    print!("{}", exp::summarize(&text)?);
+    // `report --resume-run PRIOR` summarizes the prior journal and the
+    // fresh one as a single supervised run: repeated keys aggregate
+    // (attempts and wall summed, last status wins), so retries that
+    // spanned the crash are counted once, coherently.
+    let summarized = match &opts.resume_run {
+        Some(prior_path) => {
+            let prior = std::fs::read_to_string(prior_path)
+                .map_err(|e| format!("read {prior_path}: {e}"))?;
+            format!("{prior}\n{text}")
+        }
+        None => text.clone(),
+    };
+    print!("{}", exp::summarize(&summarized)?);
     let bench = exp::bench_json(&text)?;
     std::fs::write("BENCH_aging.json", &bench)
         .map_err(|e| format!("write BENCH_aging.json: {e}"))?;
@@ -199,6 +241,37 @@ fn report(
     Ok(())
 }
 
+/// Runs the fleet command: maps the shared CLI options onto
+/// [`fleet::FleetOptions`], prints both fleet exhibits to stdout, and
+/// reports degradation like `all` does for exhibits.
+fn run_fleet(opts: &Options) -> Result<bool, String> {
+    let summary = fleet::run_fleet(&fleet::FleetOptions {
+        shards: opts.shards,
+        fleet_seed: opts.fleet_seed,
+        days: opts.days,
+        jobs: opts.jobs,
+        out_dir: opts.out_dir.clone(),
+        cache_dir: opts.cache_dir.clone(),
+        no_cache: opts.no_cache,
+        max_retries: opts.max_retries,
+        job_deadline_ops: opts.job_deadline_ops,
+        resume_run: opts.resume_run.clone(),
+        chaos_kill: opts.chaos_kill.clone(),
+        metrics: opts.metrics.clone(),
+    })?;
+    print!("{}", summary.layout_tsv);
+    println!();
+    print!("{}", summary.freefrag_tsv);
+    println!();
+    for (job, why) in &summary.failures {
+        eprintln!("harness: {job} {why}");
+    }
+    if !opts.quiet || !summary.all_ok() {
+        eprintln!("harness: {}", summary.degradation_line());
+    }
+    Ok(summary.all_ok())
+}
+
 fn run(
     cmd: &str,
     opts: &Options,
@@ -209,6 +282,9 @@ fn run(
     if cmd == "report" {
         report(opts, profile, baseline, max_regression)?;
         return Ok(true);
+    }
+    if cmd == "fleet" {
+        return run_fleet(opts);
     }
     let requested: Vec<&'static str> = if cmd == "all" {
         driver::EXHIBITS.to_vec()

@@ -153,6 +153,55 @@ impl Histogram {
         self.sum.store(0, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
+
+    /// Folds another histogram with identical bounds into this one:
+    /// buckets, count, and sum add, max takes the larger value. Because
+    /// every component is a commutative fold, merging partial histograms
+    /// in any order — or observing into a shared histogram from any
+    /// number of threads — produces the same result as one sequential
+    /// pass, which is what lets a fleet aggregate per-shard samples
+    /// concurrently without perturbing a single output byte.
+    pub fn merge_from(&self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merged histograms must share bucket bounds"
+        );
+        for (b, n) in self.buckets.iter().zip(other.bucket_counts()) {
+            b.fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(other.sum()))
+            });
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// The upper bound of the bucket holding the `q`-quantile
+    /// observation (`0.0 < q <= 1.0`), i.e. the smallest bound below
+    /// which at least `ceil(q * count)` observations fall. Observations
+    /// in the overflow bucket report [`Histogram::max`]. Returns `None`
+    /// when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, c) in self.bucket_counts().iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max()
+                });
+            }
+        }
+        Some(self.max())
+    }
 }
 
 /// The process-wide set of registered metrics, keyed by name.
@@ -297,6 +346,53 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[2, 1]);
+    }
+
+    #[test]
+    fn merge_matches_sequential_observation() {
+        let bounds = &[1, 2, 4, 8];
+        let all = Histogram::new(bounds);
+        let left = Histogram::new(bounds);
+        let right = Histogram::new(bounds);
+        for v in [0, 2, 3, 8, 9] {
+            all.observe(v);
+        }
+        for v in [0, 3] {
+            left.observe(v);
+        }
+        for v in [2, 8, 9] {
+            right.observe(v);
+        }
+        // Merge order cannot matter: fold right-into-left and compare
+        // against the single-pass histogram component by component.
+        left.merge_from(&right);
+        assert_eq!(left.bucket_counts(), all.bucket_counts());
+        assert_eq!(left.count(), all.count());
+        assert_eq!(left.sum(), all.sum());
+        assert_eq!(left.max(), all.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "share bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[1, 2]);
+        let b = Histogram::new(&[1, 2, 3]);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn quantiles_read_bucket_upper_bounds() {
+        let h = Histogram::new(&[10, 20, 30, 40]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [5, 15, 15, 25, 35] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.2), Some(10));
+        assert_eq!(h.quantile(0.5), Some(20));
+        assert_eq!(h.quantile(1.0), Some(40));
+        // Overflow observations report the true maximum.
+        h.observe(999);
+        assert_eq!(h.quantile(1.0), Some(999));
     }
 
     #[test]
