@@ -15,7 +15,7 @@ use ffs_types::FsParams;
 /// Version of the on-disk artifact format. Bump on any change to the
 /// serialization in [`crate::store`]; old artifacts then miss instead of
 /// parsing wrongly.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// FNV-1a over a byte string; stable across platforms and processes
 /// (unlike `std::hash`, which is seeded per process).
@@ -58,7 +58,8 @@ pub fn aged_key(
          bytes_per_inode={} inode_size={}\n\
          config {}\n\
          policy {}\n\
-         replay first_fit={} no_split={} crash_after_ops={}",
+         replay first_fit={} no_split={} crash_after_ops={}\n\
+         defrag {}",
         params.size_bytes,
         params.bsize,
         params.fsize,
@@ -72,6 +73,10 @@ pub fn aged_key(
         options.cluster_first_fit,
         options.realloc_no_split,
         options.crash_after_ops,
+        options
+            .defrag
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |spec| spec.fingerprint()),
     );
     AgedKey {
         hex: format!("{:016x}", fnv1a(provenance.as_bytes())),
@@ -133,6 +138,30 @@ mod tests {
         assert_ne!(
             base.hex,
             aged_key(&params, &config, AllocPolicy::Orig, &ablate).hex
+        );
+        // Defragmentation spec: policy and budget each split the key.
+        let greedy = ReplayOptions {
+            defrag: Some(defrag::DefragSpec::new(defrag::DefragPolicy::Greedy, 200)),
+            ..ReplayOptions::default()
+        };
+        let greedy_key = aged_key(&params, &config, AllocPolicy::Orig, &greedy);
+        assert_ne!(base.hex, greedy_key.hex);
+        assert!(greedy_key.provenance.contains("defrag policy=greedy"));
+        let scrub = ReplayOptions {
+            defrag: Some(defrag::DefragSpec::new(defrag::DefragPolicy::Scrub, 200)),
+            ..ReplayOptions::default()
+        };
+        assert_ne!(
+            greedy_key.hex,
+            aged_key(&params, &config, AllocPolicy::Orig, &scrub).hex
+        );
+        let smaller = ReplayOptions {
+            defrag: Some(defrag::DefragSpec::new(defrag::DefragPolicy::Greedy, 50)),
+            ..ReplayOptions::default()
+        };
+        assert_ne!(
+            greedy_key.hex,
+            aged_key(&params, &config, AllocPolicy::Orig, &smaller).hex
         );
     }
 }

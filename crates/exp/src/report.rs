@@ -11,7 +11,7 @@ struct Row {
     ops: f64,
     attempts: f64,
     records: u64,
-    quarantined: bool,
+    quarantined: Option<String>,
 }
 
 /// Renders a human-readable summary of the run records in `jsonl`
@@ -45,7 +45,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
                     ops: 0.0,
                     attempts: 0.0,
                     records: 0,
-                    quarantined: false,
+                    quarantined: None,
                 });
                 rows.last_mut().expect("row just pushed")
             }
@@ -56,7 +56,9 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         row.ops += RunRecord::field_num(line, "ops").unwrap_or(0.0);
         row.attempts += RunRecord::field_num(line, "attempts").unwrap_or(1.0);
         row.records += 1;
-        row.quarantined |= RunRecord::field_str(line, "quarantined").is_some();
+        if let Some(path) = RunRecord::field_str(line, "quarantined") {
+            row.quarantined = Some(path);
+        }
     }
     if rows.is_empty() {
         return Err("no run records".into());
@@ -94,7 +96,20 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         .sum();
     let panicked = rows.iter().filter(|r| r.status == "panicked").count();
     let timeouts = rows.iter().filter(|r| r.status == "timeout").count();
-    let quarantined = rows.iter().filter(|r| r.quarantined).count();
+    let quarantined = rows.iter().filter(|r| r.quarantined.is_some()).count();
+    // Quarantined artifacts split by kind: an `.aged` image lost from the
+    // experiment cache is a different degradation than a `.shard`
+    // checkpoint lost from a fleet run.
+    let by_ext = |ext: &str| {
+        rows.iter()
+            .filter(|r| {
+                r.quarantined
+                    .as_deref()
+                    .is_some_and(|p| p.ends_with(ext))
+            })
+            .count()
+    };
+    let (q_aged, q_shard) = (by_ext(".aged"), by_ext(".shard"));
     let _ = writeln!(
         out,
         "total {:.3}s over {} jobs; cache {hits} hit / {misses} miss; {failed} not ok",
@@ -102,11 +117,20 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         rows.len()
     );
     if retries + (panicked + timeouts + quarantined) as u64 > 0 {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "supervision: {retries} retries; {panicked} panicked; {timeouts} timed out; \
              {quarantined} quarantined"
         );
+        if quarantined > 0 {
+            let other = quarantined - q_aged - q_shard;
+            let _ = write!(out, " ({q_aged} aged, {q_shard} shard");
+            if other > 0 {
+                let _ = write!(out, ", {other} other");
+            }
+            out.push(')');
+        }
+        out.push('\n');
     }
     Ok(out)
 }
@@ -348,9 +372,30 @@ mod tests {
             },
         };
         r.metrics.note("quarantined", "cache/quarantine/abc.aged");
-        let jsonl = format!("{}\n{}", record("fig1", 0.5, None), r.to_json());
+        let mut shard = RunRecord {
+            job: "fleet:shard3".into(),
+            deps: vec![],
+            status: "ok".into(),
+            error: None,
+            wall_s: 0.2,
+            attempts: 1,
+            backoff_units: 0,
+            metrics: Metrics {
+                cache: Some(CacheStatus::Corrupt),
+                ..Metrics::default()
+            },
+        };
+        shard.metrics.note("quarantined", "cache/quarantine/def.shard");
+        let jsonl = format!(
+            "{}\n{}\n{}",
+            record("fig1", 0.5, None),
+            r.to_json(),
+            shard.to_json()
+        );
         let s = summarize(&jsonl).unwrap();
-        assert!(s.contains("1 quarantined"), "{s}");
+        // Lost aged images and lost fleet shard checkpoints are counted
+        // as distinct degradations, not lumped together.
+        assert!(s.contains("2 quarantined (1 aged, 1 shard)"), "{s}");
         // No supervision line at all when nothing needed supervising.
         let calm = summarize(&record("fig1", 0.5, None)).unwrap();
         assert!(!calm.contains("supervision"), "{calm}");

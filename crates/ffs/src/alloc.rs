@@ -64,6 +64,9 @@ pub struct AllocStats {
     pub frag_moves: u64,
     /// Realloc windows already contiguous (no move needed).
     pub realloc_already_contig: u64,
+    /// Blocks moved by the online relocation primitive
+    /// ([`Filesystem::relocate_block`]), i.e. by defragmenters.
+    pub relocations: u64,
 }
 
 impl AllocStats {
@@ -88,6 +91,7 @@ impl AllocStats {
         self.realloc_already_contig = self
             .realloc_already_contig
             .saturating_add(other.realloc_already_contig);
+        self.relocations = self.relocations.saturating_add(other.relocations);
     }
 }
 

@@ -41,6 +41,7 @@ pub mod grow;
 pub mod inode;
 pub mod layout;
 pub mod naive;
+pub mod relocate;
 pub mod repair;
 pub mod table;
 

@@ -35,6 +35,12 @@ use crate::exhibit;
 use crate::shard::run_shard;
 use crate::spec::FleetSpec;
 
+/// Group accumulators the shard folds spread over before the root
+/// merge. Fixed — never the worker count — so the grouping itself is
+/// deterministic, although merge commutativity already guarantees the
+/// rendered bytes for any grouping.
+const MERGE_GROUPS: u32 = 8;
+
 /// Options for one fleet run, mirroring the harness CLI flags.
 #[derive(Clone, Debug)]
 pub struct FleetOptions {
@@ -66,6 +72,10 @@ pub struct FleetOptions {
     /// Enables observability and writes the captured metrics to this
     /// path as `metrics.json`.
     pub metrics: Option<String>,
+    /// Renders a live `shards done / total + ETA` line on stderr while
+    /// the fleet ages. Off by default; output files are byte-identical
+    /// either way.
+    pub progress: bool,
 }
 
 impl Default for FleetOptions {
@@ -83,6 +93,7 @@ impl Default for FleetOptions {
             resume_run: None,
             chaos_kill: None,
             metrics: None,
+            progress: false,
         }
     }
 }
@@ -159,12 +170,24 @@ impl FleetSummary {
 /// from the percentile pools) rather than aborting the fleet; the
 /// summary and the synthetic `fleet` journal record carry the damage.
 pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
-    if opts.metrics.is_some() {
+    // `--progress` rides on the observability counters, so it force-
+    // enables them; exhibits are byte-identical with obs on or off, so
+    // the flag can never change an output file.
+    if opts.metrics.is_some() || opts.progress {
         obs::reset();
         obs::set_enabled(true);
     }
     let spec = FleetSpec::new(opts.shards, opts.fleet_seed, opts.days);
+    // Two-level aggregation: shards fold into a fixed set of group
+    // accumulators while the engine is live; the root merges the groups
+    // once it drains. Folding and merging are commutative, so the root
+    // ends up bit-identical to flat folding (the driver test pins this)
+    // while each group sees 1/MERGE_GROUPS of the fold contention.
     let accum = Arc::new(FleetAccum::new(opts.days));
+    let ngroups = MERGE_GROUPS.min(opts.shards).max(1);
+    let groups: Vec<Arc<FleetAccum>> = (0..ngroups)
+        .map(|_| Arc::new(FleetAccum::new(opts.days)))
+        .collect();
     let store = (!opts.no_cache).then(|| ArtifactStore::new(opts.cache_path()));
 
     // Shards a prior journal finished: their cache hits get a `resumed`
@@ -191,7 +214,7 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
         let shard = spec.shard(i);
         let jid = shard.job_id();
         let was_ok = prior_ok.contains(&jid);
-        let accum = Arc::clone(&accum);
+        let accum = Arc::clone(&groups[(i % ngroups) as usize]);
         let store = store.clone();
         let chaos = opts.chaos_kill.clone();
         let job_id = jid.clone();
@@ -216,6 +239,9 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
                 ctx.metrics.key = Some(shard.key_hex());
                 ctx.metrics.ops = Some(out.ops);
                 ctx.metrics.note("policy", shard.policy_name());
+                if let Some(d) = &shard.defrag {
+                    ctx.metrics.note("defrag", d.label());
+                }
                 if was_ok && out.cache == CacheStatus::Hit {
                     ctx.metrics.note("resumed", "true");
                 }
@@ -231,11 +257,54 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
         );
     }
 
+    // The live progress line: a monitor thread reads the global
+    // `fleet.shards_done` counter and `fleet.shard_wall_us` histogram —
+    // the same instruments `--metrics` captures — and rewrites one
+    // stderr line until the engine drains. Stderr only; no output file
+    // sees a byte of it.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let monitor = opts.progress.then(|| {
+        let stop = Arc::clone(&stop);
+        let total = opts.shards as u64;
+        let workers = opts.worker_count().max(1) as f64;
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let done_ctr = obs::registry().counter("fleet.shards_done");
+            let wall_hist = obs::registry().histogram("fleet.shard_wall_us", obs::bounds::TIME_US);
+            loop {
+                let done = done_ctr.get().min(total);
+                let eta = match wall_hist.count() {
+                    0 => "?".into(),
+                    n => {
+                        let avg_us = wall_hist.sum() as f64 / n as f64;
+                        let left = avg_us * (total - done) as f64 / workers / 1e6;
+                        format!("{left:.0}s")
+                    }
+                };
+                eprint!("\rfleet: {done}/{total} shards done, eta {eta}    ");
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            eprintln!();
+        })
+    });
     let run = {
         let _fleet_span = obs::span!("fleet");
-        run_jobs(jobs, opts.worker_count())?
+        run_jobs(jobs, opts.worker_count())
     };
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    if let Some(h) = monitor {
+        let _ = h.join();
+    }
+    let run = run?;
     let wall = t0.elapsed().as_secs_f64();
+    // Merge the group accumulators into the root, in index order
+    // (though any order renders the same bytes — merge is commutative).
+    for g in &groups {
+        accum.merge_from(g);
+    }
 
     let shards_ok = run.records.iter().filter(|r| r.status == "ok").count() as u32;
     let failures: Vec<(String, String)> = run
@@ -295,8 +364,10 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
     write("runs.jsonl", &jsonl)?;
     write("fleet_layout.tsv", &layout_tsv)?;
     write("fleet_freefrag.tsv", &freefrag_tsv)?;
-    if let Some(path) = &opts.metrics {
+    if opts.metrics.is_some() || opts.progress {
         obs::set_enabled(false);
+    }
+    if let Some(path) = &opts.metrics {
         let snap = obs::take_snapshot();
         fs::write(path, snap.to_json()).map_err(|e| format!("write {path}: {e}"))?;
     }
@@ -316,6 +387,41 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn two_level_merge_matches_flat_folding() {
+        // The driver folds shards into MERGE_GROUPS group accumulators
+        // and merges them into the root; a sequential flat fold of the
+        // same shards must render the identical exhibits.
+        let dir = std::env::temp_dir().join(format!("fleet-merge-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let opts = FleetOptions {
+            shards: 10,
+            fleet_seed: 11,
+            days: 3,
+            jobs: 4,
+            out_dir: dir.to_string_lossy().into_owned(),
+            no_cache: true,
+            ..FleetOptions::default()
+        };
+        let summary = run_fleet(&opts).unwrap();
+        assert!(summary.all_ok());
+
+        let spec = FleetSpec::new(opts.shards, opts.fleet_seed, opts.days);
+        let flat = FleetAccum::new(opts.days);
+        for i in 0..opts.shards {
+            let shard = spec.shard(i);
+            let out = run_shard(None, &shard, None).unwrap();
+            flat.fold(policy_index(shard.policy), &out.samples, out.ops);
+        }
+        assert_eq!(summary.layout_tsv, exhibit::render(&flat, Metric::Layout));
+        assert_eq!(
+            summary.freefrag_tsv,
+            exhibit::render(&flat, Metric::FreeFrag)
+        );
+        assert_eq!(summary.total_ops, flat.total_ops());
+        let _ = fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn defaults_and_paths() {

@@ -212,6 +212,7 @@ pub fn run_shard(
         spec.policy,
         ReplayOptions {
             cancel,
+            defrag: spec.defrag.clone(),
             ..ReplayOptions::default()
         },
         Some(&mut tap),

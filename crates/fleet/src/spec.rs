@@ -19,8 +19,9 @@ use ffs_types::{FsParams, KB, MB};
 use crate::sampler::SplitMix64;
 
 /// Version of the shard provenance and artifact format. Bumping it
-/// invalidates every cached shard checkpoint at once.
-pub const FLEET_FORMAT_VERSION: u32 = 1;
+/// invalidates every cached shard checkpoint at once. v2 added the
+/// defragmentation draw to the shard menu.
+pub const FLEET_FORMAT_VERSION: u32 = 2;
 
 /// Volume sizes the sampler draws from, in megabytes. All are small
 /// multiples of the test geometry so a large fleet stays cheap while
@@ -29,6 +30,9 @@ const SIZE_MB_MENU: [u64; 4] = [8, 12, 16, 24];
 
 /// Cylinder-group counts the sampler draws from.
 const NCG_MENU: [u32; 2] = [2, 4];
+
+/// Daily move budgets the defragmentation draw picks from.
+const DEFRAG_BUDGET_MENU: [u32; 2] = [50, 200];
 
 /// A fleet: `shards` independent volumes aged for `days` days.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -87,11 +91,23 @@ impl FleetSpec {
         config.plateau_util = rng.in_range(0.55, 0.85);
         config.peak_util = (config.plateau_util + 0.10).min(0.92);
         config.burst_prob = rng.in_range(0.03, 0.09);
+        // Drawn after everything above so the defragmentation menu's
+        // introduction left every existing shard's volume, policy, and
+        // workload untouched. Roughly one shard in four runs a daily
+        // defragmentation pass.
+        let defrag = if rng.next_u64().is_multiple_of(4) {
+            let policy = *rng.pick(&defrag::DefragPolicy::all());
+            let budget = *rng.pick(&DEFRAG_BUDGET_MENU);
+            Some(defrag::DefragSpec::new(policy, budget))
+        } else {
+            None
+        };
         ShardSpec {
             index,
             params,
             policy,
             config,
+            defrag,
         }
     }
 }
@@ -107,6 +123,8 @@ pub struct ShardSpec {
     pub policy: AllocPolicy,
     /// The shard's workload configuration (carries the shard's seed).
     pub config: AgingConfig,
+    /// The daily defragmentation pass this shard runs, if it drew one.
+    pub defrag: Option<defrag::DefragSpec>,
 }
 
 impl ShardSpec {
@@ -145,9 +163,13 @@ impl ShardSpec {
              maxcontig={maxcontig} minfree={minfree_pct} bpi={bytes_per_inode} \
              isize={inode_size}\n\
              policy {}\n\
-             config {}\n",
+             config {}\n\
+             defrag {}\n",
             self.policy_name(),
-            self.config.fingerprint()
+            self.config.fingerprint(),
+            self.defrag
+                .as_ref()
+                .map_or_else(|| "none".to_string(), |d| d.fingerprint())
         )
     }
 
@@ -180,8 +202,13 @@ mod tests {
         let spec = FleetSpec::new(64, 7, 10);
         let mut sizes = std::collections::BTreeSet::new();
         let mut policies = std::collections::BTreeSet::new();
+        let mut defragged = 0u32;
         for i in 0..64 {
             let s = spec.shard(i);
+            if let Some(d) = &s.defrag {
+                defragged += 1;
+                assert!(DEFRAG_BUDGET_MENU.contains(&d.moves_per_day));
+            }
             assert_eq!(s.index, i);
             assert_eq!(s.config.days, 10);
             sizes.insert(s.params.size_bytes);
@@ -195,6 +222,12 @@ mod tests {
         }
         assert!(sizes.len() >= 3, "size menu exercised: {sizes:?}");
         assert_eq!(policies.len(), 2, "both policies drawn");
+        // The ~1-in-4 defragmentation draw: some shards run a pass,
+        // most do not.
+        assert!(
+            (1..32).contains(&defragged),
+            "defrag drawn by {defragged} of 64 shards"
+        );
     }
 
     #[test]

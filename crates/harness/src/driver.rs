@@ -30,9 +30,53 @@ pub const EXHIBITS: &[&str] = &[
     "profiles",
 ];
 
+/// Experiments runnable by name but excluded from `all`: the maxcontig
+/// ablation and the defragmentation Pareto frontier, both of which age
+/// far more volumes than the paper exhibits need.
+pub const NAMED_ONLY: &[&str] = &["sweep", "pareto"];
+
 /// Whether `name` is an experiment the driver can run.
 pub fn is_experiment(name: &str) -> bool {
-    name == "sweep" || EXHIBITS.contains(&name)
+    NAMED_ONLY.contains(&name) || EXHIBITS.contains(&name)
+}
+
+/// The aged runs the pareto exhibit consumes: both allocation-policy
+/// baselines plus every defragmentation policy × daily move budget.
+/// Budget 0 is deliberately in the grid — its rows must come out
+/// byte-identical to the `ffs` baseline, a standing no-op check.
+const PARETO_DEPS: &[&str] = &[
+    "age:ffs",
+    "age:realloc",
+    "age:greedy:0",
+    "age:greedy:50",
+    "age:greedy:200",
+    "age:greedy:1000",
+    "age:thresh:0",
+    "age:thresh:50",
+    "age:thresh:200",
+    "age:thresh:1000",
+    "age:scrub:0",
+    "age:scrub:50",
+    "age:scrub:200",
+    "age:scrub:1000",
+];
+
+/// Column/row label of an aging job in the pareto exhibit: `age:ffs`
+/// becomes `ffs`, `age:greedy:50` becomes `greedy/50`.
+fn pareto_label(id: &str) -> String {
+    id.strip_prefix("age:")
+        .unwrap_or(id)
+        .replace(':', "/")
+}
+
+/// Parses a defragmenting aging job id (`age:<policy>:<budget>`) into
+/// its spec; `None` for the plain aging jobs.
+fn defrag_spec_of(id: &str) -> Option<defrag::DefragSpec> {
+    let (policy, budget) = id.strip_prefix("age:")?.split_once(':')?;
+    Some(defrag::DefragSpec::new(
+        defrag::DefragPolicy::parse(policy)?,
+        budget.parse().ok()?,
+    ))
 }
 
 /// What a job produces: an aged file system (aging layer) or a TSV
@@ -52,6 +96,7 @@ fn deps_of(name: &str) -> &'static [&'static str] {
         "fig2" | "fig3" | "fig4" | "fig5" | "fig6" | "table2" | "freespace" => {
             &["age:ffs", "age:realloc"]
         }
+        "pareto" => PARETO_DEPS,
         _ => &[],
     }
 }
@@ -110,6 +155,7 @@ fn aging_job(
     sh: &Shared,
     policy: AllocPolicy,
     real_variant: bool,
+    defrag: Option<defrag::DefragSpec>,
 ) -> JobSpec<JobOut> {
     let params = sh.params.clone();
     let mut config = opts.aging_config();
@@ -127,6 +173,7 @@ fn aging_job(
                 // The job's deadline token rides into the replay so a
                 // runaway aging is cut off at a day boundary.
                 cancel: Some(ctx.cancel_token()),
+                defrag: defrag.clone(),
                 ..ReplayOptions::default()
             },
         )?;
@@ -187,6 +234,17 @@ fn exhibit_job(name: &'static str, opts: &Options, sh: &Shared) -> JobSpec<JobOu
             "snapval" => experiments::snapval(&sh, ctx.metrics),
             "profiles" => experiments::profiles(&sh, ctx.metrics),
             "sweep" => experiments::sweep(&sh, ctx.metrics),
+            "pareto" => {
+                let arcs: Vec<(String, std::sync::Arc<JobOut>)> = PARETO_DEPS
+                    .iter()
+                    .map(|id| Ok((pareto_label(id), aged_arc(ctx, id)?)))
+                    .collect::<Result<_, JobError>>()?;
+                let runs: Vec<(String, &ReplayResult)> = arcs
+                    .iter()
+                    .map(|(label, arc)| (label.clone(), as_aged(arc)))
+                    .collect();
+                experiments::pareto(&sh, &runs, ctx.metrics)
+            }
             other => Err(format!("unknown experiment '{other}'")),
         }?;
         Ok(JobOut::Tsv(tsv))
@@ -293,10 +351,13 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
     }
     for id in &aging_needed {
         jobs.push(match *id {
-            "age:ffs" => aging_job(id, opts, &sh, AllocPolicy::Orig, false),
-            "age:realloc" => aging_job(id, opts, &sh, AllocPolicy::Realloc, false),
-            "age:realref" => aging_job(id, opts, &sh, AllocPolicy::Orig, true),
-            other => unreachable!("unknown aging job {other}"),
+            "age:ffs" => aging_job(id, opts, &sh, AllocPolicy::Orig, false, None),
+            "age:realloc" => aging_job(id, opts, &sh, AllocPolicy::Realloc, false, None),
+            "age:realref" => aging_job(id, opts, &sh, AllocPolicy::Orig, true, None),
+            other => match defrag_spec_of(other) {
+                Some(spec) => aging_job(id, opts, &sh, AllocPolicy::Orig, false, Some(spec)),
+                None => unreachable!("unknown aging job {other}"),
+            },
         });
     }
     for name in requested {
@@ -326,6 +387,16 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
                 JobOut::Tsv(tsv) => {
                     let path = tsv_path(name);
                     fs::write(&path, tsv).map_err(|e| format!("write {}: {e}", path.display()))?;
+                    // The pareto exhibit's headline table additionally
+                    // lands in its own file, so downstream tooling can
+                    // consume the frontier without the per-day series.
+                    if *name == "pareto" {
+                        if let Some((frontier, _)) = tsv.split_once(experiments::PARETO_SPLIT) {
+                            let fpath = out_dir.join("pareto_frontier.tsv");
+                            fs::write(&fpath, format!("{}\n", frontier.trim_end()))
+                                .map_err(|e| format!("write {}: {e}", fpath.display()))?;
+                        }
+                    }
                     let _ = stdout.write_all(tsv.as_bytes());
                     let _ = stdout.write_all(b"\n");
                     (o.status(), Ok(()))

@@ -396,6 +396,71 @@ pub fn profiles(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
     Ok(s)
 }
 
+/// Marker line separating the pareto exhibit's frontier table from its
+/// per-day layout series; the driver writes everything before it to
+/// `pareto_frontier.tsv` as well.
+pub const PARETO_SPLIT: &str = "# Per-day layout series";
+
+/// Extension: the layout-vs-moves Pareto frontier of online
+/// defragmentation. Each aged run is one point: how good the final
+/// layout is, how many block moves the defragmenter spent getting
+/// there, what those moves cost on the disk model, and what the hot-file
+/// read benchmark gains over the undefragmented FFS baseline. The first
+/// entry must be the `ffs` baseline (the delta reference); a `realloc`
+/// run rides along as the paper's allocation-time alternative.
+pub fn pareto(
+    sh: &Shared,
+    runs: &[(String, &ReplayResult)],
+    m: &mut Metrics,
+) -> Result<String, String> {
+    if runs.first().map(|(n, _)| n.as_str()) != Some("ffs") {
+        return Err("pareto needs the ffs baseline as its first run".into());
+    }
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# Pareto: final layout quality vs defragmentation effort ({} days)",
+        sh.days
+    );
+    let _ = writeln!(
+        s,
+        "policy\tbudget\tlayout_score\tmoves\tcost_s\tread_mb_s\tread_delta_pct"
+    );
+    let mut ops = 0u64;
+    let mut base_read = 0.0f64;
+    for (name, r) in runs {
+        let (policy, budget) = match name.split_once('/') {
+            Some((p, b)) => (p, b),
+            None => (name.as_str(), "-"),
+        };
+        let hot = r.hot_files(HOT_DAYS);
+        let bench = run_hot_files(&r.fs, &hot, &sh.disk);
+        m.add_device(&bench.device);
+        ops += bench.device.reads + bench.device.writes;
+        if name == "ffs" {
+            base_read = bench.read_mb_s;
+        }
+        let moves: u64 = r.daily.iter().map(|d| d.defrag_moves).sum();
+        let cost_us: u64 = r.daily.iter().map(|d| d.defrag_cost_us).sum();
+        let _ = writeln!(
+            s,
+            "{policy}\t{budget}\t{:.4}\t{moves}\t{:.3}\t{:.3}\t{:+.1}%",
+            r.daily.last().map_or(1.0, |d| d.layout_score),
+            cost_us as f64 / 1e6,
+            bench.read_mb_s,
+            (bench.read_mb_s / base_read - 1.0) * 100.0
+        );
+    }
+    m.ops = Some(ops);
+    let _ = writeln!(s);
+    let series: Vec<(&str, &ReplayResult)> =
+        runs.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+    // layout_series_tsv prefixes the title with "# ", completing the
+    // split marker the driver looks for.
+    s.push_str(&layout_series_tsv(&PARETO_SPLIT[2..], &series));
+    Ok(s)
+}
+
 /// Extension: sensitivity of the day-300 layout gap to the realloc
 /// cluster size (maxcontig ablation).
 pub fn sweep(sh: &Shared, m: &mut Metrics) -> Result<String, String> {

@@ -11,7 +11,7 @@
 //!
 //! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
 //! `fig4`, `fig5`, `fig6`, `table2`, `freespace`, `snapval`,
-//! `profiles`, or `sweep`. Experiments run as jobs on the `exp`
+//! `profiles`, `sweep`, or `pareto`. Experiments run as jobs on the `exp`
 //! engine's worker pool; aged file systems are cached under
 //! `<out>/cache` (override with `--cache-dir`, disable with
 //! `--no-cache`). Each exhibit prints its tab-separated block to stdout
@@ -35,9 +35,18 @@
 //! regresses more than `--max-regression PCT` (default 20) — the CI
 //! bench-smoke gate.
 //!
-//! `all` runs every exhibit (`sweep` excluded), reporting per-experiment
-//! status on stderr plus a one-line degradation summary, and exiting
-//! non-zero iff any experiment did not produce its exhibit.
+//! `all` runs every exhibit (`sweep` and `pareto` excluded), reporting
+//! per-experiment status on stderr plus a one-line degradation summary,
+//! and exiting non-zero iff any experiment did not produce its exhibit.
+//!
+//! `pareto` ages the workload under every defragmentation policy
+//! (greedy worst-file-first, rebuild-on-threshold, background scrub) ×
+//! daily move budget {0, 50, 200, 1000} plus the two allocation-policy
+//! baselines, then emits the layout-vs-moves frontier — final layout
+//! score, total moves, cumulative simulated move cost, hot-file read
+//! throughput and its delta vs FFS — followed by the per-day layout
+//! series. The frontier table is additionally written to
+//! `<out>/pareto_frontier.tsv`.
 //!
 //! `fleet` ages a population instead of one volume: `--shards N`
 //! independently seeded volumes (heterogeneous sizes, policies, and
@@ -46,7 +55,11 @@
 //! constant-memory percentile accumulators. It writes
 //! `fleet_layout.tsv` and `fleet_freefrag.tsv` (p50/p90/p99 by day per
 //! policy) plus `runs.jsonl` with one record per shard and a synthetic
-//! `fleet` record for the bench gate. Finished shards checkpoint their
+//! `fleet` record for the bench gate. Roughly a quarter of the shards
+//! draw a daily defragmentation pass from the policy menu on top of
+//! their allocation policy. `--progress` renders a live
+//! `shards done / total + ETA` line on stderr (off by default; output
+//! files are byte-identical either way). Finished shards checkpoint their
 //! sample series in the artifact store, so rerunning a killed fleet —
 //! optionally with `--resume-run` pointing at the dead run's journal —
 //! re-ages only the missing shards. Worker count never changes an
@@ -69,11 +82,11 @@ use harness::driver;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|all|fleet|report> \
+        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|pareto|all|fleet|report> \
          [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
          [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT] \
          [--max-retries N] [--job-deadline-ops N] [--resume-run PATH] \
-         [--chaos-seed N] [--chaos-kill NAME] [--shards N] [--fleet-seed S]"
+         [--chaos-seed N] [--chaos-kill NAME] [--shards N] [--fleet-seed S] [--progress]"
     );
     std::process::exit(2);
 }
@@ -174,6 +187,9 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--progress" => {
+                opts.progress = true;
+            }
             _ => usage(),
         }
     }
@@ -258,6 +274,7 @@ fn run_fleet(opts: &Options) -> Result<bool, String> {
         resume_run: opts.resume_run.clone(),
         chaos_kill: opts.chaos_kill.clone(),
         metrics: opts.metrics.clone(),
+        progress: opts.progress,
     })?;
     print!("{}", summary.layout_tsv);
     println!();
@@ -291,7 +308,7 @@ fn run(
     } else {
         match driver::EXHIBITS
             .iter()
-            .chain(&["sweep"])
+            .chain(driver::NAMED_ONLY)
             .find(|n| **n == cmd)
         {
             Some(n) => vec![n],

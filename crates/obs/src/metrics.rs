@@ -396,6 +396,49 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_of_an_empty_histogram_are_none_at_every_q() {
+        let h = Histogram::new(&[1, 2, 4]);
+        for q in [0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        // Observing then zeroing returns the histogram to empty.
+        h.observe(3);
+        assert_eq!(h.quantile(0.5), Some(4));
+        h.zero();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn all_mass_in_the_overflow_bucket_reports_the_true_max() {
+        // Every observation lands beyond the last bound, so no finite
+        // bucket ever satisfies the rank; each quantile must fall
+        // through to the recorded maximum, not a bucket bound.
+        let h = Histogram::new(&[10, 20]);
+        for v in [100, 200, 300] {
+            h.observe(v);
+        }
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(300), "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_quantiles_agree_at_every_q() {
+        // One observation: rank clamps to 1 for any q, so p50 and p99
+        // (and p1) are the same bucket bound.
+        let h = Histogram::new(&[10, 20, 30]);
+        h.observe(15);
+        assert_eq!(h.quantile(0.50), h.quantile(0.99));
+        assert_eq!(h.quantile(0.01), Some(20));
+        assert_eq!(h.quantile(1.0), Some(20));
+        // A single overflow sample does the same through max().
+        let o = Histogram::new(&[10]);
+        o.observe(77);
+        assert_eq!(o.quantile(0.50), Some(77));
+        assert_eq!(o.quantile(0.99), Some(77));
+    }
+
+    #[test]
     fn registry_returns_the_same_handle_per_name() {
         let r = Registry::new();
         let a = r.counter("test.reg.same");
