@@ -9,7 +9,7 @@
 
 use ffs_types::{KB, MB};
 
-use crate::config::AgingConfig;
+use crate::config::{AgingConfig, SizeDist};
 
 /// A named usage pattern with a calibrated configuration.
 #[derive(Clone, Debug)]
@@ -106,6 +106,112 @@ pub fn all(seed: u64) -> Vec<Profile> {
     ]
 }
 
+// --- Small-file family ---------------------------------------------------
+//
+// Workloads whose file sizes sit mostly *below one block*, so fragment
+// packing — not cluster layout — dominates the outcome. These drive the
+// `harness smallfile` exhibit across a utilization sweep; they are kept
+// out of [`all`] so the block-scale `profiles` exhibit and its committed
+// goldens are untouched.
+
+/// A news spool at article granularity: torrential churn of sub-block
+/// articles, expiry sweeping whole cohorts. Nearly every allocation is a
+/// fragment run.
+pub fn spool_smallfile(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 3.0;
+    c.short_sizes = SizeDist {
+        median: 1500,
+        sigma: 0.9,
+        min: 128,
+        max: 32 * KB,
+    };
+    c.long_creates_per_day *= 2.0;
+    c.long_sizes = SizeDist {
+        median: 2 * KB,
+        sigma: 1.0,
+        min: 256,
+        max: 96 * KB,
+    };
+    c.long_modifies_per_day = 12.0;
+    c.rewrites_per_day = 15.0;
+    c.scatter_deletes = 0.02;
+    c.delete_age_bias = 0.0; // Expiry kills the oldest articles.
+    Profile {
+        name: "spool",
+        description: "news spool: sub-block articles, expiry churn",
+        config: c,
+    }
+}
+
+/// A maildir store: one immutable file per message, a couple of
+/// kilobytes each, deleted one message at a time as users triage.
+pub fn maildir_smallfile(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 1.5;
+    c.short_sizes = SizeDist {
+        median: KB,
+        sigma: 1.1,
+        min: 128,
+        max: 64 * KB,
+    };
+    c.long_creates_per_day *= 2.5; // One file per delivered message.
+    c.long_sizes = SizeDist {
+        median: 2 * KB + 512,
+        sigma: 1.2,
+        min: 256,
+        max: 256 * KB,
+    };
+    c.long_modifies_per_day *= 0.2; // Messages are immutable.
+    c.rewrites_per_day = 5.0;
+    c.scatter_deletes = 0.90; // Individual message deletion.
+    c.delete_age_bias = 0.5;
+    Profile {
+        name: "maildir",
+        description: "maildir: one immutable sub-block file per message",
+        config: c,
+    }
+}
+
+/// A build-output tree: small object files rewritten on every rebuild,
+/// bursty clean-and-rebuild cycles, short-lived temporaries.
+pub fn build_smallfile(seed: u64) -> Profile {
+    let mut c = AgingConfig::paper(seed);
+    c.short_pairs_per_day *= 1.2; // Compiler temporaries.
+    c.short_sizes = SizeDist {
+        median: 3 * KB,
+        sigma: 1.0,
+        min: 256,
+        max: 128 * KB,
+    };
+    c.long_creates_per_day *= 1.5; // Object files.
+    c.long_sizes = SizeDist {
+        median: 3 * KB + 512,
+        sigma: 1.3,
+        min: 512,
+        max: 512 * KB,
+    };
+    c.long_modifies_per_day *= 1.5; // Rebuilds rewrite objects.
+    c.rewrites_per_day *= 0.3;
+    c.burst_prob = 0.25; // Clean builds.
+    c.delete_age_bias = 0.2;
+    c.scatter_deletes = 0.30;
+    Profile {
+        name: "build",
+        description: "build trees: small objects, rebuild churn, clean bursts",
+        config: c,
+    }
+}
+
+/// The small-file profile family driving the `smallfile` exhibit.
+pub fn smallfile(seed: u64) -> Vec<Profile> {
+    vec![
+        spool_smallfile(seed),
+        maildir_smallfile(seed),
+        build_smallfile(seed),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +260,41 @@ mod tests {
         assert!(db.rewrites > 2 * db.long_creates);
         // Personal computing is the quietest.
         assert!(personal.total_ops < news.total_ops);
+    }
+
+    #[test]
+    fn smallfile_profiles_skew_below_one_block() {
+        let block = 8 * KB;
+        for p in smallfile(5) {
+            assert!(
+                p.config.short_sizes.median < block && p.config.long_sizes.median < block,
+                "{}: medians must sit below one block",
+                p.name
+            );
+            let s = age(&p, 6, AllocPolicy::Realloc);
+            assert!((0.0..=1.0).contains(&s), "{}: score {s}", p.name);
+        }
+    }
+
+    #[test]
+    fn smallfile_replay_is_fragment_dominated() {
+        // On the small-file workloads, sub-block (fragment) allocations
+        // must outnumber whole-block data allocations — the regime the
+        // frag allocator exists for.
+        let params = FsParams::paper_502mb();
+        let mut config = spool_smallfile(9).config;
+        config.days = 6;
+        config.ramp_days = 2;
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        let r = replay(&w, &params, AllocPolicy::Orig, ReplayOptions::default())
+            .expect("spool replays");
+        let stats = r.fs.alloc_stats();
+        assert!(
+            stats.frag_allocs > stats.block_allocs,
+            "frag_allocs {} vs block_allocs {}",
+            stats.frag_allocs,
+            stats.block_allocs
+        );
     }
 
     #[test]

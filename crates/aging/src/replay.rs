@@ -140,6 +140,10 @@ pub struct ReplayOptions {
     /// Ablation: leave a realloc window in place when no full-length
     /// cluster exists, instead of gathering it into two smaller ones.
     pub realloc_no_split: bool,
+    /// Fragment placement: `true` uses the `cg_frsum`-guided best-fit
+    /// fragment search instead of the historical first fit (see
+    /// DESIGN.md).
+    pub frag_bestfit: bool,
     /// Take a nightly snapshot every `n` days (0 = never) and return the
     /// series in [`ReplayResult::snapshots`] — the paper's collection
     /// job.
@@ -178,6 +182,7 @@ impl Default for ReplayOptions {
             verify_every_days: 0,
             cluster_first_fit: false,
             realloc_no_split: false,
+            frag_bestfit: false,
             snapshot_every_days: 0,
             checkpoint_every_days: 0,
             crash_after_ops: 0,
@@ -228,6 +233,7 @@ pub fn replay_tapped(
     let mut fs = Filesystem::new(params.clone(), policy);
     fs.set_cluster_first_fit(options.cluster_first_fit);
     fs.set_realloc_no_split(options.realloc_no_split);
+    fs.set_frag_bestfit(options.frag_bestfit);
     let dirs = fs.mkdir_per_cg()?;
     run_days(workload, fs, &dirs, LiveMap::new(), None, 0, options, tap)
 }
@@ -254,6 +260,7 @@ pub fn resume(
     let (mut fs, live) = checkpoint.restore(params.clone(), policy)?;
     fs.set_cluster_first_fit(options.cluster_first_fit);
     fs.set_realloc_no_split(options.realloc_no_split);
+    fs.set_frag_bestfit(options.frag_bestfit);
     // Recover the per-group directory table the op stream indexes by
     // cylinder group. The replayer creates exactly one directory per
     // group up front, so each group must own exactly one.

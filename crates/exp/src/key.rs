@@ -58,7 +58,7 @@ pub fn aged_key(
          bytes_per_inode={} inode_size={}\n\
          config {}\n\
          policy {}\n\
-         replay first_fit={} no_split={} crash_after_ops={}\n\
+         replay first_fit={} no_split={} frag_bestfit={} crash_after_ops={}\n\
          defrag {}",
         params.size_bytes,
         params.bsize,
@@ -72,6 +72,7 @@ pub fn aged_key(
         policy_name(policy),
         options.cluster_first_fit,
         options.realloc_no_split,
+        options.frag_bestfit,
         options.crash_after_ops,
         options
             .defrag
@@ -139,6 +140,13 @@ mod tests {
             base.hex,
             aged_key(&params, &config, AllocPolicy::Orig, &ablate).hex
         );
+        let bestfit = ReplayOptions {
+            frag_bestfit: true,
+            ..ReplayOptions::default()
+        };
+        let bestfit_key = aged_key(&params, &config, AllocPolicy::Orig, &bestfit);
+        assert_ne!(base.hex, bestfit_key.hex);
+        assert!(bestfit_key.provenance.contains("frag_bestfit=true"));
         // Defragmentation spec: policy and budget each split the key.
         let greedy = ReplayOptions {
             defrag: Some(defrag::DefragSpec::new(defrag::DefragPolicy::Greedy, 200)),

@@ -257,12 +257,28 @@ impl Filesystem {
     ) -> FsResult<Daddr> {
         debug_assert!(len >= 1 && len < self.params.frags_per_block());
         let start_cg = pref.map(|d| self.params.dtog(d)).unwrap_or(cg_hint);
+        let bestfit = self.frag_bestfit;
         let got = self.hashalloc(start_cg, |fs, g| {
             let cg = &mut fs.cgs[g.0 as usize];
             let from = match pref {
                 Some(p) if fs.params.dtog(p) == g => cg.daddr_to_block(p).0,
                 _ => cg.rotor(),
             };
+            if bestfit {
+                // `ffs_alloccg` proper: the frag summary picks the
+                // smallest adequate run among partial blocks; only when
+                // none exists is a fully free block split.
+                if let Some(run) = cg.find_frag_run_bestfit(from, len) {
+                    cg.alloc_frags(run.block, run.frag, len);
+                    return Some(Daddr(cg.block_daddr(run.block).0 + run.frag));
+                }
+                if let Some(b) = cg.find_free_block(from) {
+                    fs.alloc_stats.frag_splits = fs.alloc_stats.frag_splits.saturating_add(1);
+                    cg.alloc_frags(b, 0, len);
+                    return Some(cg.block_daddr(b));
+                }
+                return None;
+            }
             if let Some(run) = cg.find_frag_run(from, len) {
                 if cg.is_block_free(run.block) {
                     fs.alloc_stats.frag_splits = fs.alloc_stats.frag_splits.saturating_add(1);

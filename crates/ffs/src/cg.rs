@@ -1,14 +1,15 @@
 //! Cylinder groups: the allocation pools of FFS.
 //!
-//! Each group keeps a fragment-granularity allocation map. The map is laid
-//! out one byte per block with one bit per fragment (the paper's geometry
-//! has exactly 8 fragments per block), so "is this block fully free" is a
-//! zero-byte test — the moral equivalent of the `cg_blksfree` map of
-//! 4.4BSD.
+//! Each group keeps a fragment-granularity allocation map packed into
+//! `u64` words: bit `block * fpb + frag` set means that fragment is
+//! allocated — the `cg_blksfree` map of 4.4BSD, tested and updated with
+//! the `ffs_isblock`/`ffs_setblock`/`ffs_clrblock` masked-word idiom.
+//! The supported fragment-per-block geometries (1, 2, 4, 8) all divide
+//! 64, so a block's lane never straddles a word and every lane test is
+//! one shift and mask.
 //!
-//! Block-granularity search does not walk that byte map. Two derived
-//! structures, maintained incrementally on every allocation and free,
-//! carry it at word speed:
+//! Search does not walk the raw map. Three derived structures, maintained
+//! incrementally on every allocation and free, carry it at word speed:
 //!
 //! * `free_words` — one bit per block (set = fully free), packed into
 //!   `u64` words, so the scans behind [`CylGroup::find_free_block`] and
@@ -18,13 +19,20 @@
 //!   `csum[k-1]` counts the maximal free runs of length `k`, with every
 //!   run of at least `maxcontig` blocks pooled in the last bucket. A
 //!   cluster request longer than any existing run is rejected in O(1)
-//!   without touching the bitmap at all.
+//!   without touching the bitmap at all;
+//! * `frsum` — the fragment summary (`cg_frsum`): `frsum[k-1]` counts the
+//!   maximal free fragment runs of exactly `k` fragments inside
+//!   *partially allocated* blocks (fully free and fully allocated blocks
+//!   contribute nothing). It drives the best-fit fragment search of
+//!   [`CylGroup::find_frag_run_bestfit`], which picks the smallest
+//!   adequate run size before touching the map at all — `ffs_alloccg`'s
+//!   `allocsiz` loop.
 //!
 //! The retired byte-at-a-time scans survive verbatim in [`crate::naive`];
-//! a differential oracle (`tests/scan_oracle.rs`) holds the two
-//! implementations bit-for-bit equal over randomized bitmaps, and
-//! [`crate::check`] verifies both derived structures against the
-//! fragment map.
+//! differential oracles (`tests/scan_oracle.rs`, `tests/frag_oracle.rs`)
+//! hold the two implementations bit-for-bit equal over randomized
+//! bitmaps and every fragment-per-block geometry, and [`crate::check`]
+//! verifies all three derived structures against the fragment map.
 
 use ffs_types::{CgIdx, Daddr, FsParams};
 
@@ -39,17 +47,26 @@ pub struct CylGroup {
     /// Blocks at the front reserved for the superblock copy, group
     /// descriptor, and inode table; marked allocated at initialization.
     meta_blocks: u32,
-    /// One byte per block; bit `i` set means fragment `i` of the block is
-    /// allocated.
-    map: Vec<u8>,
+    /// Fragment allocation map, one bit per fragment packed 64 to the
+    /// word: bit `block * fpb + frag` set means that fragment is
+    /// allocated. `fpb` divides 64, so each block's lane of `fpb` bits
+    /// lives in exactly one word (`cg_blksfree` with `ffs_isblock`-style
+    /// masked access).
+    frag_words: Vec<u64>,
     /// One bit per block, set when the block is fully free, packed 64
-    /// blocks to the word. Derived from `map`; bits at and above
+    /// blocks to the word. Derived from `frag_words`; bits at and above
     /// `nblocks` are always clear so runs never extend past the group.
     free_words: Vec<u64>,
     /// Cluster summary: `csum[k-1]` counts maximal free runs of capped
     /// length `k`, where lengths are capped at `csum.len()`
-    /// (`maxcontig`). Derived from `map`, maintained incrementally.
+    /// (`maxcontig`). Derived from `frag_words`, maintained incrementally.
     csum: Vec<u32>,
+    /// Fragment summary (`cg_frsum`): `frsum[k-1]` counts maximal free
+    /// fragment runs of exactly `k` fragments inside partially allocated
+    /// blocks. Has `fpb - 1` entries (a partial block's longest free run
+    /// is `fpb - 1`; empty when `fpb == 1` and fragments cannot exist).
+    /// Derived from `frag_words`, maintained incrementally.
+    frsum: Vec<u32>,
     /// Fragments per block (always 8 for the paper geometry, kept for
     /// generality).
     fpb: u32,
@@ -83,11 +100,17 @@ impl CylGroup {
     pub fn new(params: &FsParams, idx: CgIdx) -> CylGroup {
         let nblocks = params.cg_nblocks(idx);
         let meta_blocks = params.cg_meta_blocks().min(nblocks);
-        let mut map = vec![0u8; nblocks as usize];
-        for b in map.iter_mut().take(meta_blocks as usize) {
-            *b = 0xFF;
-        }
         let fpb = params.frags_per_block();
+        debug_assert!(
+            fpb.is_power_of_two() && fpb <= 8,
+            "unsupported frag-per-block geometry {fpb}"
+        );
+        let full = ((1u16 << fpb) - 1) as u64;
+        let mut frag_words = vec![0u64; (nblocks as usize * fpb as usize).div_ceil(64)];
+        for b in 0..meta_blocks as usize {
+            let bit = b * fpb as usize;
+            frag_words[bit / 64] |= full << (bit % 64);
+        }
         let ninodes = params.inodes_per_cg();
         let data_blocks = nblocks - meta_blocks;
         let cap = params.maxcontig.max(1) as usize;
@@ -105,9 +128,10 @@ impl CylGroup {
             base: params.cg_base(idx),
             nblocks,
             meta_blocks,
-            map,
+            frag_words,
             free_words,
             csum,
+            frsum: vec![0u32; (fpb - 1) as usize],
             fpb,
             free_frags: data_blocks * fpb,
             free_blocks: data_blocks,
@@ -173,37 +197,53 @@ impl CylGroup {
         (off / self.fpb, off % self.fpb)
     }
 
-    /// Whether the block is fully free.
+    /// Fragments per block for this group's geometry.
+    pub fn frags_per_block(&self) -> u32 {
+        self.fpb
+    }
+
+    /// The lane value of a fully allocated block (`0xFF` for the paper's
+    /// 8-frags-per-block geometry, `(1 << fpb) - 1` in general).
+    pub fn full_lane(&self) -> u8 {
+        ((1u16 << self.fpb) - 1) as u8
+    }
+
+    /// Whether the block is fully free (`ffs_isblock`: one masked word
+    /// test).
     pub fn is_block_free(&self, block: u32) -> bool {
-        self.map[block as usize] == 0
+        self.map_byte(block) == 0
     }
 
     /// Whether the given fragment run is entirely free.
     pub fn is_run_free(&self, block: u32, frag: u32, len: u32) -> bool {
         debug_assert!(frag + len <= self.fpb);
-        let mask = run_mask(frag, len);
-        self.map[block as usize] & mask == 0
+        let bit = block as usize * self.fpb as usize + frag as usize;
+        let mask = ((1u64 << len) - 1) << (bit % 64);
+        self.frag_words[bit / 64] & mask == 0
     }
 
-    /// Allocates a fully free block.
+    /// Allocates a fully free block (`ffs_setblock`).
     ///
     /// # Panics
     ///
     /// Panics in debug builds if the block is not fully free.
     pub fn alloc_block(&mut self, block: u32) {
         debug_assert!(self.is_block_free(block), "double alloc of {block}");
-        self.map[block as usize] = 0xFF;
+        // A free-to-full transition touches no partial block, so the
+        // fragment summary is unchanged by definition.
+        self.write_lane(block, self.full_lane());
         self.mark_block_used(block);
         self.free_blocks -= 1;
         self.free_frags -= self.fpb;
         self.rotor = block;
     }
 
-    /// Frees a fully allocated block.
+    /// Frees a fully allocated block (`ffs_clrblock`).
     pub fn free_block(&mut self, block: u32) {
-        debug_assert_eq!(self.map[block as usize], 0xFF, "freeing non-full block");
+        debug_assert_eq!(self.map_byte(block), self.full_lane(), "freeing non-full block");
         debug_assert!(block >= self.meta_blocks);
-        self.map[block as usize] = 0;
+        // Full-to-free: no partial block involved, frsum unchanged.
+        self.write_lane(block, 0);
         self.mark_block_free(block);
         self.free_blocks += 1;
         self.free_frags += self.fpb;
@@ -214,9 +254,12 @@ impl CylGroup {
     /// call then splits it).
     pub fn alloc_frags(&mut self, block: u32, frag: u32, len: u32) {
         debug_assert!(self.is_run_free(block, frag, len));
-        let was_free = self.is_block_free(block);
-        self.map[block as usize] |= run_mask(frag, len);
-        if was_free {
+        let old = self.map_byte(block);
+        let new = old | run_mask(frag, len);
+        self.write_lane(block, new);
+        self.frsum_account(old, false);
+        self.frsum_account(new, true);
+        if old == 0 {
             self.mark_block_used(block);
             self.free_blocks -= 1;
         }
@@ -224,20 +267,57 @@ impl CylGroup {
     }
 
     /// Frees a fragment run within one block. If the block becomes fully
-    /// free it returns to the block pool.
+    /// free it returns to the block pool (the promotion path: the block
+    /// re-enters `free_words` and the cluster summary exactly once, on
+    /// the transition of its last allocated fragment).
     pub fn free_frag_run(&mut self, block: u32, frag: u32, len: u32) {
         let mask = run_mask(frag, len);
-        debug_assert_eq!(
-            self.map[block as usize] & mask,
-            mask,
-            "freeing unallocated fragments"
-        );
+        let old = self.map_byte(block);
+        debug_assert_eq!(old & mask, mask, "freeing unallocated fragments");
         debug_assert!(block >= self.meta_blocks);
-        self.map[block as usize] &= !mask;
+        let new = old & !mask;
+        self.write_lane(block, new);
+        self.frsum_account(old, false);
+        self.frsum_account(new, true);
         self.free_frags += len;
-        if self.map[block as usize] == 0 {
+        if new == 0 {
             self.mark_block_free(block);
             self.free_blocks += 1;
+        }
+    }
+
+    /// Overwrites one block's fragment lane in the packed map
+    /// (`ffs_setblock`/`ffs_clrblock` for whole lanes, a masked
+    /// read-modify-write for partial ones). Raw map write only: no
+    /// counter, summary, or free-bitmap maintenance.
+    fn write_lane(&mut self, block: u32, lane: u8) {
+        debug_assert!(u32::from(lane) <= u32::from(self.full_lane()));
+        let bit = block as usize * self.fpb as usize;
+        let (wi, sh) = (bit / 64, bit % 64);
+        let full = self.full_lane() as u64;
+        self.frag_words[wi] = (self.frag_words[wi] & !(full << sh)) | ((lane as u64) << sh);
+    }
+
+    /// Adds (`add`) or removes the maximal free runs of one block lane
+    /// to/from the fragment summary. Fully free and fully allocated
+    /// lanes contribute nothing (`cg_frsum` counts runs in partial
+    /// blocks only), so callers account the old lane out and the new
+    /// lane in around every fragment-level mutation and the empty/full
+    /// endpoints fall out automatically.
+    fn frsum_account(&mut self, lane: u8, add: bool) {
+        if lane == 0 || lane == self.full_lane() {
+            return;
+        }
+        // Walk the maximal zero runs with bit intrinsics: a partial lane
+        // has at most fpb/2 runs and usually one, so this is a couple of
+        // iterations where a per-bit loop is always fpb + 1.
+        let mut z = !u32::from(lane) & u32::from(self.full_lane());
+        while z != 0 {
+            let start = z.trailing_zeros();
+            let run = (z >> start).trailing_ones();
+            let slot = &mut self.frsum[(run - 1) as usize];
+            *slot = if add { *slot + 1 } else { *slot - 1 };
+            z &= !(((1u32 << run) - 1) << start);
         }
     }
 
@@ -383,31 +463,46 @@ impl CylGroup {
         }
     }
 
-    /// Recomputes `free_words` and `csum` from the fragment map, for
-    /// fsck-style rebuild after the raw map has been rewritten.
+    /// Recomputes `free_words`, `csum`, and `frsum` from the fragment
+    /// map, for fsck-style rebuild after the raw map has been rewritten.
     pub(crate) fn rebuild_derived(&mut self) {
         for w in self.free_words.iter_mut() {
             *w = 0;
         }
         for b in 0..self.nblocks {
-            if self.map[b as usize] == 0 {
+            if self.map_byte(b) == 0 {
                 self.free_words[(b / 64) as usize] |= 1 << (b % 64);
             }
         }
         let cap = self.csum.len();
         self.csum = crate::naive::recount_cluster_summary(self, cap);
+        self.frsum = crate::naive::recount_frag_summary(self);
     }
 
     /// Raw mutable access to the cluster summary, for fault injection;
-    /// same caveats as [`CylGroup::raw_map_mut`].
+    /// same caveats as [`CylGroup::set_map_byte`].
     pub(crate) fn raw_csum_mut(&mut self) -> &mut [u32] {
         &mut self.csum
     }
 
     /// Raw mutable access to the free-block bitmap, for fault injection;
-    /// same caveats as [`CylGroup::raw_map_mut`].
+    /// same caveats as [`CylGroup::set_map_byte`].
     pub(crate) fn raw_free_words_mut(&mut self) -> &mut [u64] {
         &mut self.free_words
+    }
+
+    /// The fragment summary table (`cg_frsum`): entry `k` counts the
+    /// maximal free fragment runs of exactly `k + 1` fragments inside
+    /// partially allocated blocks. Empty for the 1-frag-per-block
+    /// geometry, where sub-block allocation cannot exist.
+    pub fn frag_summary(&self) -> &[u32] {
+        &self.frsum
+    }
+
+    /// Raw mutable access to the fragment summary, for fault injection;
+    /// same caveats as [`CylGroup::set_map_byte`].
+    pub(crate) fn raw_frsum_mut(&mut self) -> &mut [u32] {
+        &mut self.frsum
     }
 
     /// Finds the first fully free block at or after `from` (block index),
@@ -563,6 +658,82 @@ impl CylGroup {
         None
     }
 
+    /// Word-parallel first-fit fragment search over blocks `lo..hi`: the
+    /// earliest free run of at least `len` fragments that does not cross
+    /// a lane boundary, whether in a partial or a fully free block.
+    ///
+    /// One `u64` of map holds `64 / fpb` lanes; ANDing the complemented
+    /// word with itself shifted `1..len` times leaves a set bit at every
+    /// position starting `len` free fragments, and a precomputed
+    /// per-lane mask drops the starts too close to a lane edge. A word
+    /// of full lanes dies at the first AND, so the loop skips allocated
+    /// regions at word speed and `trailing_zeros` lands on the earliest
+    /// hit — no per-lane walk anywhere.
+    fn scan_free_run(&self, lo: u32, hi: u32, len: u32) -> Option<(u32, u32)> {
+        let lanes = 64 / self.fpb;
+        // Valid in-lane starts: fragment offsets 0..=fpb-len, broadcast
+        // to every lane (the multiply cannot carry: the per-lane pattern
+        // is below 1 << fpb).
+        let unit = u64::MAX / u64::from(self.full_lane());
+        let starts = ((1u64 << (self.fpb - len + 1)) - 1).wrapping_mul(unit);
+        let mut b = lo.max(self.meta_blocks);
+        while b < hi {
+            let word_base = b - b % lanes;
+            let z = !self.frag_words[(b / lanes) as usize];
+            let mut m = z;
+            for i in 1..len {
+                m &= z >> i;
+            }
+            m &= starts << ((b % lanes) * self.fpb);
+            let lim = (hi - word_base).min(lanes) * self.fpb;
+            if lim < 64 {
+                m &= (1u64 << lim) - 1;
+            }
+            if m != 0 {
+                let p = m.trailing_zeros();
+                return Some((word_base + p / self.fpb, p % self.fpb));
+            }
+            b = word_base + lanes;
+        }
+        None
+    }
+
+    /// Word-at-a-time walk of the partially allocated lanes of blocks
+    /// `lo..hi` in address order. One compare skips a whole word of
+    /// lanes when every lane at or after the cursor in it is fully
+    /// allocated or fully free — on an aged group most words are
+    /// exactly that. `pick` inspects the surviving partial lanes;
+    /// returns the first `(block, frag)` it accepts.
+    fn scan_partial_lanes(
+        &self,
+        lo: u32,
+        hi: u32,
+        pick: impl Fn(u8) -> Option<u32>,
+    ) -> Option<(u32, u32)> {
+        let full = self.full_lane();
+        let lanes = 64 / self.fpb;
+        let mut b = lo.max(self.meta_blocks);
+        while b < hi {
+            let sh = (b % lanes) * self.fpb;
+            let w = self.frag_words[(b / lanes) as usize];
+            if w >> sh == u64::MAX >> sh || w >> sh == 0 {
+                b += lanes - b % lanes;
+                continue;
+            }
+            let word_end = (b - b % lanes + lanes).min(hi);
+            while b < word_end {
+                let lane = (w >> ((b % lanes) * self.fpb)) as u8 & full;
+                if lane != full && lane != 0 {
+                    if let Some(frag) = pick(lane) {
+                        return Some((b, frag));
+                    }
+                }
+                b += 1;
+            }
+        }
+        None
+    }
+
     /// Finds a free fragment run of at least `len` fragments, first fit
     /// at or after block `from`, wrapping once — `ffs_mapsearch`: the
     /// scan takes the first adequate free run in address order, whether
@@ -576,18 +747,9 @@ impl CylGroup {
         } else {
             from
         };
-        let check = |b: u32| -> Option<FragRun> {
-            let byte = self.map[b as usize];
-            if byte == 0xFF || b < self.meta_blocks {
-                return None;
-            }
-            first_zero_run(byte, self.fpb, len).map(|frag| FragRun {
-                block: b,
-                frag,
-                len,
-            })
-        };
-        (start..self.nblocks).chain(0..start).find_map(check)
+        self.scan_free_run(start, self.nblocks, len)
+            .or_else(|| self.scan_free_run(0, start, len))
+            .map(|(block, frag)| FragRun { block, frag, len })
     }
 
     /// Like [`CylGroup::find_frag_run`] but restricted to partially
@@ -600,18 +762,39 @@ impl CylGroup {
         } else {
             from
         };
-        let check = |b: u32| -> Option<FragRun> {
-            let byte = self.map[b as usize];
-            if byte == 0 || byte == 0xFF {
-                return None;
-            }
-            first_zero_run(byte, self.fpb, len).map(|frag| FragRun {
-                block: b,
-                frag,
-                len,
-            })
+        let pick = |lane: u8| first_zero_run(lane, self.fpb, len);
+        self.scan_partial_lanes(start, self.nblocks, pick)
+            .or_else(|| self.scan_partial_lanes(0, start, pick))
+            .map(|(block, frag)| FragRun { block, frag, len })
+    }
+
+    /// Best-fit fragment search guided by the fragment summary — the
+    /// `allocsiz` loop of `ffs_alloccg` followed by `ffs_mapsearch`: the
+    /// smallest run size `k >= len` with a live `frsum` bucket is chosen
+    /// in O(fpb) before the map is touched, then the first partially
+    /// allocated block at or after `from` (wrapping once) holding a
+    /// maximal free run of exactly `k` fragments supplies the first
+    /// `len` of them. Returns `None` when no partial block has an
+    /// adequate run; the caller then splits a fully free block, exactly
+    /// as the BSD allocator falls back to `ffs_alloccgblk`.
+    pub fn find_frag_run_bestfit(&self, from: u32, len: u32) -> Option<FragRun> {
+        debug_assert!(len >= 1 && len < self.fpb);
+        let k = (len..self.fpb).find(|&k| self.frsum[(k - 1) as usize] > 0)?;
+        let start = if from >= self.nblocks {
+            self.meta_blocks
+        } else {
+            from
         };
-        (start..self.nblocks).chain(0..start).find_map(check)
+        let pick = |lane: u8| exact_zero_run(lane, self.fpb, k);
+        let found = self
+            .scan_partial_lanes(start, self.nblocks, pick)
+            .or_else(|| self.scan_partial_lanes(0, start, pick))
+            .map(|(block, frag)| FragRun { block, frag, len });
+        debug_assert!(
+            found.is_some(),
+            "frsum says a {k}-frag run exists but none was found"
+        );
+        found
     }
 
     /// Histogram of free-cluster lengths: `hist[k]` counts maximal runs of
@@ -663,20 +846,25 @@ impl CylGroup {
         self.imap[w as usize] & (1 << b) != 0
     }
 
-    /// Raw map byte for a block (for the consistency checker).
+    /// One block's fragment lane extracted from the packed map: bit `i`
+    /// set means fragment `i` of the block is allocated (for the
+    /// consistency checker and the byte-at-a-time references in
+    /// [`crate::naive`]).
     pub fn map_byte(&self, block: u32) -> u8 {
-        self.map[block as usize]
+        let bit = block as usize * self.fpb as usize;
+        ((self.frag_words[bit / 64] >> (bit % 64)) & self.full_lane() as u64) as u8
     }
 
-    /// Raw mutable access to the fragment map, for fsck-style rebuild and
-    /// fault injection. Counters are NOT maintained; callers must restore
-    /// consistency themselves (that is the point of the exercise).
-    pub(crate) fn raw_map_mut(&mut self) -> &mut [u8] {
-        &mut self.map
+    /// Overwrites one block's fragment lane, for fsck-style rebuild and
+    /// fault injection. Counters, summaries, and the free-block bitmap
+    /// are NOT maintained; callers must restore consistency themselves
+    /// (that is the point of the exercise).
+    pub(crate) fn set_map_byte(&mut self, block: u32, lane: u8) {
+        self.write_lane(block, lane);
     }
 
     /// Raw mutable access to the inode bitmap; same caveats as
-    /// [`CylGroup::raw_map_mut`].
+    /// [`CylGroup::set_map_byte`].
     pub(crate) fn raw_imap_mut(&mut self) -> &mut [u64] {
         &mut self.imap
     }
@@ -796,6 +984,24 @@ fn first_zero_run(byte: u8, fpb: u32, len: u32) -> Option<u32> {
                 return Some(i + 1 - len);
             }
         } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+/// First position of a *maximal* run of exactly `len` zero bits within
+/// the low `fpb` bits of `byte` — bounded by set bits or the lane edges,
+/// matching what the fragment summary counts.
+fn exact_zero_run(byte: u8, fpb: u32, len: u32) -> Option<u32> {
+    let mut run = 0u32;
+    for i in 0..=fpb {
+        if i < fpb && byte & (1 << i) == 0 {
+            run += 1;
+        } else {
+            if run == len {
+                return Some(i - len);
+            }
             run = 0;
         }
     }
@@ -1017,6 +1223,120 @@ mod tests {
         assert_eq!(first_zero_run(0b0001_1100, 8, 2), Some(0));
         assert_eq!(first_zero_run(0b0001_1111, 8, 3), Some(5));
         assert_eq!(first_zero_run(0xFF, 8, 1), None);
+    }
+
+    #[test]
+    fn exact_zero_run_matches_maximal_runs_only() {
+        // 0b0001_1100: maximal free runs are frags 0..2 (len 2) and
+        // 5..8 (len 3).
+        assert_eq!(exact_zero_run(0b0001_1100, 8, 2), Some(0));
+        assert_eq!(exact_zero_run(0b0001_1100, 8, 3), Some(5));
+        assert_eq!(exact_zero_run(0b0001_1100, 8, 1), None);
+        assert_eq!(exact_zero_run(0b0001_1100, 8, 4), None);
+        assert_eq!(exact_zero_run(0b0000_0001, 8, 7), Some(1));
+        assert_eq!(exact_zero_run(0xFF, 8, 1), None);
+    }
+
+    #[test]
+    fn frag_summary_is_maintained_incrementally() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        assert!(cg.frag_summary().iter().all(|&c| c == 0));
+        cg.alloc_frags(m, 0, 3); // One maximal free run of 5 remains.
+        assert_eq!(cg.frag_summary()[4], 1);
+        cg.alloc_frags(m, 5, 2); // Runs now: frags 3..5 and frag 7.
+        assert_eq!(cg.frag_summary()[0], 1);
+        assert_eq!(cg.frag_summary()[1], 1);
+        assert_eq!(cg.frag_summary()[4], 0);
+        // Whole-block transitions never touch the summary.
+        cg.alloc_block(m + 1);
+        cg.free_block(m + 1);
+        assert_eq!(
+            cg.frag_summary(),
+            crate::naive::recount_frag_summary(&cg).as_slice()
+        );
+        cg.free_frag_run(m, 0, 3);
+        cg.free_frag_run(m, 5, 2);
+        assert!(cg.is_block_free(m));
+        assert!(cg.frag_summary().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn bestfit_prefers_smallest_adequate_run() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        // Block m keeps a 5-frag hole, block m+1 an exact 2-frag hole.
+        cg.alloc_frags(m, 0, 3);
+        cg.alloc_frags(m + 1, 0, 6);
+        // First fit from m takes the big hole in m...
+        let ff = cg.find_frag_run(m, 2).expect("first fit");
+        assert_eq!((ff.block, ff.frag), (m, 3));
+        // ...best fit takes the exact 2-run in m+1 instead.
+        let bf = cg.find_frag_run_bestfit(m, 2).expect("best fit");
+        assert_eq!((bf.block, bf.frag, bf.len), (m + 1, 6, 2));
+        // With the exact run consumed, the 5-run is the smallest left.
+        cg.alloc_frags(m + 1, 6, 2);
+        let bf = cg.find_frag_run_bestfit(m, 2).expect("best fit");
+        assert_eq!((bf.block, bf.frag), (m, 3));
+        // No partial block has any run: None, caller splits a block.
+        cg.alloc_frags(m, 3, 5);
+        assert!(cg.find_frag_run_bestfit(m, 2).is_none());
+    }
+
+    #[test]
+    fn promotion_coalesces_exactly_once() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        let blocks = cg.free_blocks();
+        cg.alloc_frags(m, 0, 2);
+        cg.alloc_frags(m, 2, 6);
+        assert_eq!(cg.free_blocks(), blocks - 1);
+        cg.free_frag_run(m, 0, 2);
+        // Still partially allocated: no promotion yet.
+        assert_eq!(cg.free_blocks(), blocks - 1);
+        assert!(!cg.free_bit(m));
+        cg.free_frag_run(m, 2, 6);
+        // Last fragment freed: promoted exactly once.
+        assert_eq!(cg.free_blocks(), blocks);
+        assert!(cg.free_bit(m));
+        let cap = cg.cluster_summary().len();
+        assert_eq!(
+            cg.cluster_summary(),
+            crate::naive::recount_cluster_summary(&cg, cap).as_slice()
+        );
+        assert_eq!(
+            cg.frag_summary(),
+            crate::naive::recount_frag_summary(&cg).as_slice()
+        );
+    }
+
+    #[test]
+    fn promotion_at_word_boundary_merges_cluster_runs() {
+        let (_, mut cg) = group();
+        assert!(cg.meta_blocks() <= 63 && cg.nblocks() > 65);
+        // Blocks 63 and 64 straddle the free_words word boundary: 63 is
+        // the top bit of word 0, 64 the bottom bit of word 1.
+        for b in [63u32, 64] {
+            cg.alloc_frags(b, 0, 4);
+            cg.alloc_frags(b, 4, 4);
+        }
+        let blocks = cg.free_blocks();
+        assert!(!cg.free_bit(63) && !cg.free_bit(64));
+        cg.free_frag_run(63, 0, 4);
+        cg.free_frag_run(63, 4, 4);
+        assert!(cg.free_bit(63));
+        assert_eq!(cg.free_blocks(), blocks + 1);
+        cg.free_frag_run(64, 4, 4);
+        cg.free_frag_run(64, 0, 4);
+        assert!(cg.free_bit(64));
+        assert_eq!(cg.free_blocks(), blocks + 2);
+        // The cluster summary re-merged the run across the boundary.
+        assert!(cg.is_cluster_free(63, 2));
+        let cap = cg.cluster_summary().len();
+        assert_eq!(
+            cg.cluster_summary(),
+            crate::naive::recount_cluster_summary(&cg, cap).as_slice()
+        );
     }
 
     #[test]

@@ -113,6 +113,16 @@ pub enum Violation {
         /// The summary recounted from the fragment map.
         recounted: Vec<u32>,
     },
+    /// A group's fragment summary (`cg_frsum` analogue) disagrees with a
+    /// recount from its map.
+    FragSummaryDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// The summary as maintained incrementally.
+        stored: Vec<u32>,
+        /// The summary recounted from the fragment map.
+        recounted: Vec<u32>,
+    },
     /// The file system's used-data byte counter disagrees with the files.
     UsedDataDrift {
         /// The counter as stored, in bytes.
@@ -205,6 +215,14 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "cg {cg}: cluster summary {stored:?} vs recount {recounted:?}"
+            ),
+            Violation::FragSummaryDrift {
+                cg,
+                stored,
+                recounted,
+            } => write!(
+                f,
+                "cg {cg}: frag summary {stored:?} vs recount {recounted:?}"
             ),
             Violation::UsedDataDrift {
                 counter,
@@ -304,7 +322,7 @@ pub fn check(fs: &Filesystem) -> Vec<Violation> {
                 }
             }
             if b < cg.meta_blocks() {
-                byte = 0xFF; // Static metadata area.
+                byte = cg.full_lane(); // Static metadata area.
             }
             if cg.map_byte(b) != byte {
                 errs.push(Violation::MapMismatch {
@@ -353,6 +371,14 @@ pub fn check(fs: &Filesystem) -> Vec<Violation> {
                 cg: g,
                 stored: cg.cluster_summary().to_vec(),
                 recounted,
+            });
+        }
+        let frag_recount = crate::naive::recount_frag_summary(cg);
+        if cg.frag_summary() != frag_recount.as_slice() {
+            errs.push(Violation::FragSummaryDrift {
+                cg: g,
+                stored: cg.frag_summary().to_vec(),
+                recounted: frag_recount,
             });
         }
     }

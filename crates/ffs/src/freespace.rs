@@ -36,6 +36,73 @@ impl FreeSpaceStats {
     }
 }
 
+/// Fragment-packing statistics: how well sub-block allocations fill the
+/// partially allocated blocks they share.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FragSpaceStats {
+    /// Partially allocated data blocks (neither fully free nor full).
+    pub partial_blocks: u64,
+    /// Free fragments stranded inside those partial blocks — space no
+    /// whole-block allocation can use.
+    pub free_frags_in_partial: u64,
+    /// `fill_hist[k]` counts partial blocks with exactly `k + 1`
+    /// allocated fragments (`fpb - 1` entries; a partial block holds
+    /// between 1 and `fpb - 1` allocated fragments).
+    pub fill_hist: Vec<u64>,
+    /// Per-size free-run histogram summed over all groups: entry `k`
+    /// counts maximal free runs of exactly `k + 1` fragments in partial
+    /// blocks (the fleet-wide `cg_frsum`).
+    pub frsum_totals: Vec<u64>,
+}
+
+impl FragSpaceStats {
+    /// Mean allocated fragments per partial block (0.0 when no block is
+    /// partial).
+    pub fn mean_fill(&self) -> f64 {
+        let blocks: u64 = self.fill_hist.iter().sum();
+        if blocks == 0 {
+            return 0.0;
+        }
+        let frags: u64 = self
+            .fill_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum();
+        frags as f64 / blocks as f64
+    }
+}
+
+/// Computes fragment-packing statistics by summing each group's fragment
+/// summary and walking its partial-block lanes.
+pub fn frag_space_stats(fs: &Filesystem) -> FragSpaceStats {
+    let fpb = fs.params().frags_per_block();
+    let mut stats = FragSpaceStats {
+        partial_blocks: 0,
+        free_frags_in_partial: 0,
+        fill_hist: vec![0u64; (fpb - 1) as usize],
+        frsum_totals: vec![0u64; (fpb - 1) as usize],
+    };
+    for g in 0..fs.ncg() {
+        let cg = fs.cg(CgIdx(g));
+        let full = cg.full_lane();
+        for (i, &n) in cg.frag_summary().iter().enumerate() {
+            stats.frsum_totals[i] += n as u64;
+        }
+        for b in cg.meta_blocks()..cg.nblocks() {
+            let byte = cg.map_byte(b);
+            if byte == 0 || byte == full {
+                continue;
+            }
+            let used = byte.count_ones();
+            stats.partial_blocks += 1;
+            stats.free_frags_in_partial += (fpb - used) as u64;
+            stats.fill_hist[(used - 1) as usize] += 1;
+        }
+    }
+    stats
+}
+
 /// Computes the free-cluster distribution. `hist_max` bounds the histogram
 /// length; runs longer than that land in the last bucket (their blocks are
 /// still counted exactly).
@@ -101,6 +168,20 @@ mod tests {
             fs.free_blocks(),
             "every free block is in some run"
         );
+    }
+
+    #[test]
+    fn frag_stats_count_partial_blocks() {
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let d = fs.mkdir().unwrap();
+        // A 3 KB file is one 3-fragment tail splitting a free block.
+        fs.create(d, 3 * KB, 0).unwrap();
+        let s = frag_space_stats(&fs);
+        assert_eq!(s.partial_blocks, 1);
+        assert_eq!(s.free_frags_in_partial, 5);
+        assert_eq!(s.fill_hist[2], 1, "3 allocated frags: {:?}", s.fill_hist);
+        assert_eq!(s.frsum_totals[4], 1, "one free 5-run: {:?}", s.frsum_totals);
+        assert!((s.mean_fill() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct Filesystem {
     /// being gathered into two smaller clusters. Exposed for the
     /// ablation bench.
     pub(crate) realloc_no_split: bool,
+    /// Fragment placement strategy: `true` uses the `cg_frsum`-guided
+    /// best-fit search (`ffs_alloccg`'s `allocsiz` path, splitting a
+    /// free block only when no partial block has an adequate run);
+    /// `false` (default) keeps the historical first-fit scan. See
+    /// DESIGN.md.
+    pub(crate) frag_bestfit: bool,
     /// Application write size used when creating files; clusters are
     /// gathered and realloc'd as each write's blocks complete (4 MB in
     /// the paper's benchmark).
@@ -116,6 +122,7 @@ impl Filesystem {
             alloc_stats: AllocStats::default(),
             cluster_first_fit: false,
             realloc_no_split: false,
+            frag_bestfit: false,
             write_chunk_blocks,
         }
     }
@@ -132,6 +139,13 @@ impl Filesystem {
     /// best fit after the chained preference. See DESIGN.md.
     pub fn set_cluster_first_fit(&mut self, first_fit: bool) {
         self.cluster_first_fit = first_fit;
+    }
+
+    /// Selects the fragment placement strategy: `true` uses the
+    /// `cg_frsum`-guided best-fit search, `false` (the default) keeps
+    /// the historical first-fit scan. See DESIGN.md.
+    pub fn set_frag_bestfit(&mut self, bestfit: bool) {
+        self.frag_bestfit = bestfit;
     }
 
     /// The file-system parameters.

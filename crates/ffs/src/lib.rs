@@ -46,9 +46,9 @@ pub mod repair;
 pub mod table;
 
 pub use alloc::{realloc_windows, AllocPolicy, AllocStats};
-pub use cg::CylGroup;
+pub use cg::{CylGroup, FragRun};
 pub use check::{assert_consistent, check, Violation};
-pub use freespace::{free_space_stats, FreeSpaceStats};
+pub use freespace::{frag_space_stats, free_space_stats, FragSpaceStats, FreeSpaceStats};
 pub use fs::{DirMeta, Filesystem, LayoutAgg};
 pub use inode::FileMeta;
 pub use layout::{layout_by_size, recompute_aggregate, size_bins_paper, SizeBinScore};

@@ -271,3 +271,97 @@ pub fn recount_cluster_summary(cg: &CylGroup, cap: usize) -> Vec<u32> {
     }
     csum
 }
+
+/// From-scratch fragment summary recount off the fragment map: bucket `k`
+/// counts maximal free fragment runs of exactly `k + 1` fragments inside
+/// partially allocated blocks — fully free and fully allocated blocks
+/// contribute nothing, matching `cg_frsum` semantics. The incremental
+/// table in `CylGroup` must equal this after every operation.
+pub fn recount_frag_summary(cg: &CylGroup) -> Vec<u32> {
+    let fpb = cg.frags_per_block();
+    let full = ((1u16 << fpb) - 1) as u8;
+    let mut frsum = vec![0u32; (fpb - 1) as usize];
+    for b in 0..cg.nblocks() {
+        let byte = cg.map_byte(b);
+        if byte == 0 || byte == full {
+            continue;
+        }
+        let mut run = 0u32;
+        for i in 0..=fpb {
+            if i < fpb && byte & (1 << i) == 0 {
+                run += 1;
+            } else if run > 0 {
+                frsum[(run - 1) as usize] += 1;
+                run = 0;
+            }
+        }
+    }
+    frsum
+}
+
+/// Reference [`CylGroup::find_frag_run`]: first fragment run of at least
+/// `len` free fragments at or after block `from`, wrapping once, checked
+/// one fragment bit at a time via the lane accessor.
+pub fn find_frag_run(cg: &CylGroup, from: u32, len: u32) -> Option<(u32, u32)> {
+    let start = if from >= cg.nblocks() {
+        cg.meta_blocks()
+    } else {
+        from
+    };
+    let fpb = cg.frags_per_block();
+    let check = |b: u32| -> Option<(u32, u32)> {
+        if b < cg.meta_blocks() {
+            return None;
+        }
+        let byte = cg.map_byte(b);
+        let mut run = 0u32;
+        for i in 0..fpb {
+            if byte & (1 << i) == 0 {
+                run += 1;
+                if run >= len {
+                    return Some((b, i + 1 - len));
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    };
+    (start..cg.nblocks()).chain(0..start).find_map(check)
+}
+
+/// Reference [`CylGroup::find_frag_run_bestfit`]: recounts the fragment
+/// summary from scratch, picks the smallest adequate run size, then
+/// scans partially allocated blocks for the first maximal free run of
+/// exactly that size.
+pub fn find_frag_run_bestfit(cg: &CylGroup, from: u32, len: u32) -> Option<(u32, u32)> {
+    let fpb = cg.frags_per_block();
+    let full = ((1u16 << fpb) - 1) as u8;
+    let frsum = recount_frag_summary(cg);
+    let k = (len..fpb).find(|&k| frsum[(k - 1) as usize] > 0)?;
+    let start = if from >= cg.nblocks() {
+        cg.meta_blocks()
+    } else {
+        from
+    };
+    let check = |b: u32| -> Option<(u32, u32)> {
+        let byte = cg.map_byte(b);
+        if byte == 0 || byte == full {
+            return None;
+        }
+        // Maximal zero runs only: a run bounded by set bits or lane edges.
+        let mut run = 0u32;
+        for i in 0..=fpb {
+            if i < fpb && byte & (1 << i) == 0 {
+                run += 1;
+            } else {
+                if run == k {
+                    return Some((b, i - k));
+                }
+                run = 0;
+            }
+        }
+        None
+    };
+    (start..cg.nblocks()).chain(0..start).find_map(check)
+}

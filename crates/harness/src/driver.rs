@@ -31,9 +31,10 @@ pub const EXHIBITS: &[&str] = &[
 ];
 
 /// Experiments runnable by name but excluded from `all`: the maxcontig
-/// ablation and the defragmentation Pareto frontier, both of which age
-/// far more volumes than the paper exhibits need.
-pub const NAMED_ONLY: &[&str] = &["sweep", "pareto"];
+/// ablation, the defragmentation Pareto frontier, and the small-file
+/// fragment-packing sweep, all of which age far more volumes than the
+/// paper exhibits need.
+pub const NAMED_ONLY: &[&str] = &["sweep", "pareto", "smallfile"];
 
 /// Whether `name` is an experiment the driver can run.
 pub fn is_experiment(name: &str) -> bool {
@@ -234,6 +235,7 @@ fn exhibit_job(name: &'static str, opts: &Options, sh: &Shared) -> JobSpec<JobOu
             "snapval" => experiments::snapval(&sh, ctx.metrics),
             "profiles" => experiments::profiles(&sh, ctx.metrics),
             "sweep" => experiments::sweep(&sh, ctx.metrics),
+            "smallfile" => experiments::smallfile(&sh, ctx.metrics),
             "pareto" => {
                 let arcs: Vec<(String, std::sync::Arc<JobOut>)> = PARETO_DEPS
                     .iter()

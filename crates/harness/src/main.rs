@@ -11,7 +11,7 @@
 //!
 //! where `<experiment>` is one of `table1`, `fig1`, `fig2`, `fig3`,
 //! `fig4`, `fig5`, `fig6`, `table2`, `freespace`, `snapval`,
-//! `profiles`, `sweep`, or `pareto`. Experiments run as jobs on the `exp`
+//! `profiles`, `sweep`, `pareto`, or `smallfile`. Experiments run as jobs on the `exp`
 //! engine's worker pool; aged file systems are cached under
 //! `<out>/cache` (override with `--cache-dir`, disable with
 //! `--no-cache`). Each exhibit prints its tab-separated block to stdout
@@ -35,7 +35,15 @@
 //! regresses more than `--max-regression PCT` (default 20) — the CI
 //! bench-smoke gate.
 //!
-//! `all` runs every exhibit (`sweep` and `pareto` excluded), reporting
+//! `smallfile` ages the small-file profile family (news spool, maildir,
+//! build tree — sizes skewed below one block) on a small fragment-heavy
+//! volume across a 60–95 % utilization sweep, under both allocation
+//! policies × both fragment placement strategies (first fit vs the
+//! `cg_frsum`-guided best fit), and reports fragment-packing efficiency
+//! (partial blocks, mean fill, free fragments stranded per live file,
+//! block splits) plus the final layout score.
+//!
+//! `all` runs every exhibit (`sweep`, `pareto`, and `smallfile` excluded), reporting
 //! per-experiment status on stderr plus a one-line degradation summary,
 //! and exiting non-zero iff any experiment did not produce its exhibit.
 //!
@@ -82,7 +90,7 @@ use harness::driver;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|pareto|all|fleet|report> \
+        "usage: harness <table1|fig1|fig2|fig3|fig4|fig5|fig6|table2|freespace|snapval|profiles|sweep|pareto|smallfile|all|fleet|report> \
          [--days N] [--seed S] [--out DIR] [--jobs N] [--cache-dir DIR] [--no-cache] \
          [--metrics PATH] [-q|--quiet] [--profile] [--baseline PATH] [--max-regression PCT] \
          [--max-retries N] [--job-deadline-ops N] [--resume-run PATH] \

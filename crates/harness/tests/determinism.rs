@@ -112,6 +112,36 @@ fn exhibits_match_committed_goldens_at_days_30() {
 }
 
 #[test]
+fn smallfile_matches_committed_golden_and_ignores_worker_count() {
+    // The committed fixture under tests/golden/smallfile30 was produced
+    // by `harness smallfile --days 30` (seed 1996) when the exhibit
+    // landed; fragment-allocator changes must either keep it
+    // byte-identical or regenerate it deliberately. Worker count must
+    // never be the reason it moves.
+    let base = std::env::temp_dir().join(format!("harness-smallfile-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let run = |jobs: usize| -> Vec<u8> {
+        let out = base.join(format!("j{jobs}"));
+        let mut o = opts(&out, jobs);
+        o.days = 30;
+        o.seed = 1996;
+        let summary = driver::run(&o, &["smallfile"]).expect("driver runs");
+        assert!(summary.all_ok(), "smallfile failed");
+        fs::read(out.join("smallfile.tsv")).expect("tsv written")
+    };
+    let got = run(1);
+    let golden =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/smallfile30/smallfile.tsv");
+    assert_eq!(
+        got,
+        fs::read(&golden).expect("golden fixture"),
+        "smallfile.tsv diverged from the committed days-30 golden"
+    );
+    assert_eq!(got, run(4), "smallfile.tsv differs between --jobs 1 and --jobs 4");
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
 fn no_cache_disables_the_store() {
     let out = std::env::temp_dir().join(format!("harness-nocache-{}", std::process::id()));
     let _ = fs::remove_dir_all(&out);
