@@ -328,7 +328,9 @@ mod tests {
         if let Some(f) = bad.files.iter_mut().find(|f| !f.blocks.is_empty()) {
             f.blocks[0] = Daddr(u32::MAX - 7);
         }
-        let e = bad.restore(params.clone(), AllocPolicy::Realloc).unwrap_err();
+        let e = bad
+            .restore(params.clone(), AllocPolicy::Realloc)
+            .unwrap_err();
         assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
         // Duplicate a block claim across two files.
         let mut dup = ck.clone();
@@ -344,7 +346,9 @@ mod tests {
             .rfind(|f| !f.blocks.is_empty() && f.blocks[0] != stolen)
             .expect("a second file with blocks");
         victim.blocks[0] = stolen;
-        let e = dup.restore(params.clone(), AllocPolicy::Realloc).unwrap_err();
+        let e = dup
+            .restore(params.clone(), AllocPolicy::Realloc)
+            .unwrap_err();
         assert!(matches!(e, FsError::Corrupt(_)), "got {e:?}");
         // Dangling live-map entry.
         let mut dangle = ck.clone();

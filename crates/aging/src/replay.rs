@@ -19,13 +19,18 @@
 //!   a [`Checkpoint`] at end of day, from which [`resume`] continues the
 //!   same workload in a later process.
 
+use std::collections::BTreeSet;
+
 use ffs_types::{DirId, FsError, FsParams, FsResult, Ino};
 
-use ffs::{assert_consistent, inject_metadata_damage, repair, AllocPolicy, Filesystem, RepairReport};
+use ffs::{
+    assert_consistent, inject_metadata_damage, repair, AllocPolicy, BatchOp, Filesystem, OpOutcome,
+    RepairReport,
+};
 
 use crate::checkpoint::{take_checkpoint, Checkpoint};
 use crate::livemap::LiveMap;
-use crate::workload::{Op, Workload};
+use crate::workload::{FileId, Op, Workload};
 
 /// End-of-day measurements.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -174,6 +179,14 @@ pub struct ReplayOptions {
     /// scrub policy's sweep cursor) lives for the duration of one
     /// replay and is not checkpointed, so a resumed replay restarts it.
     pub defrag: Option<defrag::DefragSpec>,
+    /// Worker threads for the day's operations (1 = the classic inline
+    /// loop). The parallel path shards each day's batch by cylinder
+    /// group through [`ffs::Filesystem::run_ops`], which is proven
+    /// bit-identical to the inline loop for every thread count — same
+    /// exhibits, same digests. Ignored (treated as 1) when
+    /// [`ReplayOptions::crash_after_ops`] is set, because crash
+    /// injection counts individual operations mid-day.
+    pub threads: usize,
 }
 
 impl Default for ReplayOptions {
@@ -190,6 +203,7 @@ impl Default for ReplayOptions {
             crash_damage_hits: 8,
             cancel: None,
             defrag: None,
+            threads: 1,
         }
     }
 }
@@ -310,60 +324,81 @@ fn run_days(
     let mut crash: Option<CrashReport> = None;
     let mut defragger = options.defrag.as_ref().map(defrag::DefragRunner::new);
     let mut ops_done = 0u64;
+    // Allocator counters reach the obs registry once per day rather than
+    // per allocation (see `AllocStats::publish_delta`); this clone is the
+    // high-water mark already published.
+    let mut published_stats = fs.alloc_stats().clone();
     for day_log in &workload.days {
         if resume_after.is_some_and(|d| day_log.day <= d) {
             continue;
         }
         let _day_span = obs::span!("age_day");
         let ops_span = obs::span!("replay_ops");
-        for op in &day_log.ops {
-            match *op {
-                Op::Create {
-                    file,
-                    cg,
-                    size,
-                    kind: _,
-                } => {
-                    let dir = dirs[cg.0 as usize];
-                    match fs.create(dir, size, day_log.day) {
-                        Ok(ino) => {
-                            let prev = live.insert(file, ino);
-                            debug_assert!(prev.is_none());
+        if options.threads > 1 && options.crash_after_ops == 0 {
+            run_day_parallel(
+                &mut fs,
+                dirs,
+                &mut live,
+                day_log,
+                options.threads,
+                &mut skipped,
+            )?;
+            ops_done += day_log.ops.len() as u64;
+        } else {
+            for op in &day_log.ops {
+                match *op {
+                    Op::Create {
+                        file,
+                        cg,
+                        size,
+                        kind: _,
+                    } => {
+                        let dir = dirs[cg.0 as usize];
+                        match fs.create(dir, size, day_log.day) {
+                            Ok(ino) => {
+                                let prev = live.insert(file, ino);
+                                debug_assert!(prev.is_none());
+                            }
+                            Err(FsError::NoSpace { .. }) => skipped += 1,
+                            Err(e) => return Err(e),
                         }
-                        Err(FsError::NoSpace { .. }) => skipped += 1,
-                        Err(e) => return Err(e),
+                    }
+                    Op::Delete { file } => {
+                        if let Some(ino) = live.remove(&file) {
+                            fs.remove(ino)?;
+                        }
+                        // A missing mapping means the create was skipped for
+                        // lack of space; the delete is skipped to match.
+                    }
+                    Op::Rewrite { file } => {
+                        // The file may have been cohort-deleted later the
+                        // same day than the rewrite was scheduled, or its
+                        // create may have been skipped; tolerate both.
+                        if let Some(ino) = live.get(&file) {
+                            fs.rewrite(ino, day_log.day)?;
+                        }
                     }
                 }
-                Op::Delete { file } => {
-                    if let Some(ino) = live.remove(&file) {
-                        fs.remove(ino)?;
-                    }
-                    // A missing mapping means the create was skipped for
-                    // lack of space; the delete is skipped to match.
+                ops_done += 1;
+                if options.crash_after_ops > 0
+                    && ops_done == options.crash_after_ops
+                    && crash.is_none()
+                {
+                    // Power cut: a torn metadata flush scrambles derived
+                    // state; fsck repairs it and the replay carries on.
+                    let hits = inject_metadata_damage(
+                        &mut fs,
+                        options.crash_damage_seed,
+                        options.crash_damage_hits,
+                    );
+                    let report = repair(&mut fs);
+                    crash = Some(CrashReport {
+                        at_op: ops_done,
+                        day: day_log.day,
+                        damage_hits: hits,
+                        repair: report,
+                    });
                 }
-                Op::Rewrite { file } => {
-                    // The file may have been cohort-deleted later the
-                    // same day than the rewrite was scheduled, or its
-                    // create may have been skipped; tolerate both.
-                    if let Some(ino) = live.get(&file) {
-                        fs.rewrite(ino, day_log.day)?;
-                    }
-                }
-            }
-            ops_done += 1;
-            if options.crash_after_ops > 0 && ops_done == options.crash_after_ops && crash.is_none()
-            {
-                // Power cut: a torn metadata flush scrambles derived
-                // state; fsck repairs it and the replay carries on.
-                let hits =
-                    inject_metadata_damage(&mut fs, options.crash_damage_seed, options.crash_damage_hits);
-                let report = repair(&mut fs);
-                crash = Some(CrashReport {
-                    at_op: ops_done,
-                    day: day_log.day,
-                    damage_hits: hits,
-                    repair: report,
-                });
             }
         }
         drop(ops_span);
@@ -375,6 +410,8 @@ fn run_days(
         };
         obs::counter!("aging.ops_replayed", day_log.ops.len() as u64);
         obs::counter!("aging.days_replayed", 1);
+        fs.alloc_stats().publish_delta(&published_stats);
+        published_stats = fs.alloc_stats().clone();
         if let Some(token) = &options.cancel {
             // Deadline probes happen only here, at the day boundary, so a
             // budget cuts every run off at the same op count regardless of
@@ -426,6 +463,126 @@ fn run_days(
     })
 }
 
+/// One day's operations through the deterministic per-group parallel
+/// executor. Ops accumulate into a batch until one references a file id
+/// whose create is still pending in the batch (the batch then flushes so
+/// the id resolves to an inode), mirroring the inline loop's semantics:
+/// skipped creates skip their deletes and rewrites, and outcomes land in
+/// the live map in op order.
+fn run_day_parallel(
+    fs: &mut Filesystem,
+    dirs: &[DirId],
+    live: &mut LiveMap,
+    day_log: &crate::workload::DayLog,
+    threads: usize,
+    skipped: &mut u64,
+) -> FsResult<()> {
+    let day = day_log.day;
+    let mut chunk: Vec<BatchOp> = Vec::new();
+    let mut chunk_creates: Vec<Option<FileId>> = Vec::new();
+    let mut pending: BTreeSet<FileId> = BTreeSet::new();
+    for op in &day_log.ops {
+        match *op {
+            Op::Create {
+                file,
+                cg,
+                size,
+                kind: _,
+            } => {
+                chunk.push(BatchOp::Create {
+                    dir: dirs[cg.0 as usize],
+                    size,
+                });
+                chunk_creates.push(Some(file));
+                pending.insert(file);
+            }
+            Op::Delete { file } => {
+                if pending.contains(&file) {
+                    flush_chunk(
+                        fs,
+                        live,
+                        day,
+                        threads,
+                        &mut chunk,
+                        &mut chunk_creates,
+                        &mut pending,
+                        skipped,
+                    )?;
+                }
+                // A missing mapping means the create was skipped for
+                // lack of space; the delete is skipped to match.
+                if let Some(ino) = live.remove(&file) {
+                    chunk.push(BatchOp::Delete { ino });
+                    chunk_creates.push(None);
+                }
+            }
+            Op::Rewrite { file } => {
+                if pending.contains(&file) {
+                    flush_chunk(
+                        fs,
+                        live,
+                        day,
+                        threads,
+                        &mut chunk,
+                        &mut chunk_creates,
+                        &mut pending,
+                        skipped,
+                    )?;
+                }
+                if let Some(ino) = live.get(&file) {
+                    chunk.push(BatchOp::Rewrite { ino });
+                    chunk_creates.push(None);
+                }
+            }
+        }
+    }
+    flush_chunk(
+        fs,
+        live,
+        day,
+        threads,
+        &mut chunk,
+        &mut chunk_creates,
+        &mut pending,
+        skipped,
+    )
+}
+
+/// Executes the accumulated batch and folds its outcomes into the live
+/// map, in op order.
+#[allow(clippy::too_many_arguments)]
+fn flush_chunk(
+    fs: &mut Filesystem,
+    live: &mut LiveMap,
+    day: u32,
+    threads: usize,
+    chunk: &mut Vec<BatchOp>,
+    chunk_creates: &mut Vec<Option<FileId>>,
+    pending: &mut BTreeSet<FileId>,
+    skipped: &mut u64,
+) -> FsResult<()> {
+    if chunk.is_empty() {
+        chunk_creates.clear();
+        pending.clear();
+        return Ok(());
+    }
+    let outcomes = fs.run_ops(day, chunk, threads)?;
+    for (outcome, file) in outcomes.iter().zip(chunk_creates.iter()) {
+        match outcome {
+            OpOutcome::Created(ino) => {
+                let prev = live.insert(file.expect("created ops carry their file id"), *ino);
+                debug_assert!(prev.is_none());
+            }
+            OpOutcome::CreateFailed => *skipped += 1,
+            OpOutcome::Deleted | OpOutcome::Rewritten => {}
+        }
+    }
+    chunk.clear();
+    chunk_creates.clear();
+    pending.clear();
+    Ok(())
+}
+
 impl ReplayResult {
     /// The layout-score series as `(day, score)` pairs — one line of
     /// Figure 1 or 2.
@@ -473,6 +630,40 @@ mod tests {
             },
         )
         .expect("replay succeeds")
+    }
+
+    /// A threaded replay is bit-identical to the inline loop: same daily
+    /// series, same skipped count, same live map, same state digest —
+    /// for both policies and several thread counts.
+    #[test]
+    fn threaded_replay_matches_inline_loop() {
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(20, 1996);
+        let w = generate(&config, params.ncg, params.data_capacity_bytes());
+        for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
+            let base = replay(&w, &params, policy, ReplayOptions::default()).unwrap();
+            for threads in [2, 4] {
+                let r = replay(
+                    &w,
+                    &params,
+                    policy,
+                    ReplayOptions {
+                        threads,
+                        verify_every_days: 10,
+                        ..ReplayOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(r.daily, base.daily, "{policy:?} threads {threads}");
+                assert_eq!(r.skipped_creates, base.skipped_creates);
+                assert_eq!(r.live, base.live);
+                assert_eq!(
+                    r.fs.digest(),
+                    base.fs.digest(),
+                    "{policy:?} threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -571,10 +762,7 @@ mod tests {
             "torn derived state must not cost files"
         );
         assert_eq!(crashed.daily, clean.daily);
-        assert_eq!(
-            crashed.fs.aggregate_layout(),
-            clean.fs.aggregate_layout()
-        );
+        assert_eq!(crashed.fs.aggregate_layout(), clean.fs.aggregate_layout());
     }
 
     #[test]

@@ -59,40 +59,50 @@ pub struct SnapshotEntry {
 pub struct Snapshot {
     /// Day the snapshot was taken (end of that day).
     pub day: u32,
-    /// Entries keyed by inode number.
-    pub entries: BTreeMap<Ino, SnapshotEntry>,
+    /// Entries sorted by inode number. A sorted vector rather than a
+    /// map: snapshots are built once and then only scanned (scoring,
+    /// serialization) or merge-joined against their neighbor
+    /// ([`diff_to_workload`]), so the flat layout wins on every access
+    /// path and point lookups fall back to [`Snapshot::get`]'s binary
+    /// search.
+    pub entries: Vec<SnapshotEntry>,
 }
 
 /// Captures a snapshot of the file system, as the paper's nightly job
 /// did.
 pub fn take_snapshot(fs: &Filesystem, day: u32) -> Snapshot {
     let params = fs.params();
-    let entries = fs
-        .files()
-        .map(|f| {
-            (
-                f.ino,
-                SnapshotEntry {
-                    ino: f.ino,
-                    ctime_day: f.mtime_day,
-                    size: f.size,
-                    cg: params.ino_to_cg(f.ino).0,
-                    blocks: f.blocks.clone(),
-                    tail: f.tail,
-                },
-            )
-        })
-        .collect();
+    let mut entries: Vec<SnapshotEntry> = Vec::with_capacity(fs.nfiles());
+    entries.extend(fs.files().map(|f| SnapshotEntry {
+        ino: f.ino,
+        ctime_day: f.mtime_day,
+        size: f.size,
+        cg: params.ino_to_cg(f.ino).0,
+        blocks: f.blocks.clone(),
+        tail: f.tail,
+    }));
+    // The file table iterates in slab order, which is inode order for
+    // most histories but not after slot reuse; the sort is O(n) on
+    // already-sorted input.
+    entries.sort_unstable_by_key(|e| e.ino);
     Snapshot { day, entries }
 }
 
 impl Snapshot {
+    /// Looks up the entry for `ino`, if that file was live.
+    pub fn get(&self, ino: Ino) -> Option<&SnapshotEntry> {
+        self.entries
+            .binary_search_by_key(&ino, |e| e.ino)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
     /// Recomputes the aggregate layout score from the snapshot's block
     /// lists — the paper's offline scoring of its nightly snapshots.
     pub fn aggregate_layout(&self, params: &FsParams) -> LayoutAgg {
         let fpb = params.frags_per_block();
         let mut agg = LayoutAgg::default();
-        for e in self.entries.values() {
+        for e in &self.entries {
             let nchunks = e.blocks.len() + usize::from(e.tail.is_some());
             if nchunks < 2 {
                 continue;
@@ -114,7 +124,7 @@ impl Snapshot {
 
     /// Total bytes stored at snapshot time.
     pub fn live_bytes(&self) -> u64 {
-        self.entries.values().map(|e| e.size).sum()
+        self.entries.iter().map(|e| e.size).sum()
     }
 
     /// Serializes the snapshot to the line-based text format used by the
@@ -123,7 +133,7 @@ impl Snapshot {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(s, "# snapshot day {}", self.day);
-        for e in self.entries.values() {
+        for e in &self.entries {
             let blocks: Vec<String> = e.blocks.iter().map(|b| b.0.to_string()).collect();
             let tail = match e.tail {
                 Some((d, n)) => format!("{}:{}", d.0, n),
@@ -157,7 +167,7 @@ impl Snapshot {
             .trim()
             .parse()
             .map_err(|e| format!("bad day: {e}"))?;
-        let mut entries = BTreeMap::new();
+        let mut entries: Vec<SnapshotEntry> = Vec::new();
         for (n, line) in lines.enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -195,18 +205,16 @@ impl Snapshot {
                     b.parse().map_err(|e| format!("bad tail: {e}"))?,
                 ))
             };
-            entries.insert(
+            entries.push(SnapshotEntry {
                 ino,
-                SnapshotEntry {
-                    ino,
-                    ctime_day,
-                    size,
-                    cg,
-                    blocks,
-                    tail,
-                },
-            );
+                ctime_day,
+                size,
+                cg,
+                blocks,
+                tail,
+            });
         }
+        entries.sort_unstable_by_key(|e| e.ino);
         Ok(Snapshot { day, entries })
     }
 }
@@ -247,7 +255,7 @@ pub fn diff_to_workload(
         match prev {
             None => {
                 // Initial population.
-                for e in snap.entries.values() {
+                for e in &snap.entries {
                     let id = fresh(&mut next_id);
                     live_ids.insert(e.ino, id);
                     ops.push((
@@ -262,8 +270,18 @@ pub fn diff_to_workload(
                 }
             }
             Some(p) => {
-                for e in snap.entries.values() {
-                    match p.entries.get(&e.ino) {
+                // Both entry lists are ino-sorted, so each pass walks
+                // the other snapshot with an advancing cursor (a
+                // merge-join) instead of a per-file map lookup. The
+                // two-pass shape is load-bearing: op emission — and
+                // with it the RNG draw sequence — must match the
+                // original map-based diff byte for byte.
+                let mut j = 0usize;
+                for e in &snap.entries {
+                    while p.entries.get(j).is_some_and(|o| o.ino < e.ino) {
+                        j += 1;
+                    }
+                    match p.entries.get(j).filter(|o| o.ino == e.ino) {
                         None => {
                             // Created since the last snapshot.
                             let id = fresh(&mut next_id);
@@ -298,8 +316,12 @@ pub fn diff_to_workload(
                         Some(_) => {}
                     }
                 }
-                for old in p.entries.values() {
-                    if !snap.entries.contains_key(&old.ino) {
+                let mut k = 0usize;
+                for old in &p.entries {
+                    while snap.entries.get(k).is_some_and(|e| e.ino < old.ino) {
+                        k += 1;
+                    }
+                    if snap.entries.get(k).is_none_or(|e| e.ino != old.ino) {
                         // Deleted; the snapshot gives no hint when.
                         if let Some(id) = live_ids.remove(&old.ino) {
                             ops.push((rng.gen(), Op::Delete { file: id }));

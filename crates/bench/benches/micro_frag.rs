@@ -21,7 +21,9 @@ fn fragmented_group() -> CylGroup {
     let full = cg.full_lane();
     let mut x = 0x9E3779B97F4A7C15u64;
     let mut step = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as u32
     };
     for _ in 0..4 * n {

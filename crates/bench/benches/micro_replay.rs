@@ -31,7 +31,9 @@ enum MicroOp {
 fn trace() -> Vec<MicroOp> {
     let mut x = 0x243F6A8885A308D3u64;
     let mut step = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as u32
     };
     let mut live: Vec<Ino> = Vec::new();
@@ -151,7 +153,9 @@ fn bench(c: &mut Criterion) {
     // this assert keeps the bench honest if it outlives a change.
     assert_eq!(replay_slab(&ops), replay_map(&ops));
     let mut g = c.benchmark_group("micro_replay");
-    g.bench_function("slab_blocklist", |b| b.iter(|| replay_slab(black_box(&ops))));
+    g.bench_function("slab_blocklist", |b| {
+        b.iter(|| replay_slab(black_box(&ops)))
+    });
     g.bench_function("map_vec", |b| b.iter(|| replay_map(black_box(&ops))));
     g.finish();
 }

@@ -17,7 +17,9 @@ fn fragmented_group() -> CylGroup {
     let (m, n) = (cg.meta_blocks(), cg.nblocks());
     let mut x = 0x9E3779B97F4A7C15u64;
     let mut step = || {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (x >> 33) as u32
     };
     for _ in 0..3 * n {
@@ -134,7 +136,12 @@ fn bench(c: &mut Criterion) {
         sweep_runs(&naive::free_len_before, &naive::free_len_after)
     );
     g.bench_function("free_len_word", |b| {
-        b.iter(|| sweep_runs(black_box(&CylGroup::free_len_before), &CylGroup::free_len_after))
+        b.iter(|| {
+            sweep_runs(
+                black_box(&CylGroup::free_len_before),
+                &CylGroup::free_len_after,
+            )
+        })
     });
     g.bench_function("free_len_naive", |b| {
         b.iter(|| sweep_runs(black_box(&naive::free_len_before), &naive::free_len_after))

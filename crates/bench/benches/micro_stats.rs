@@ -1,0 +1,65 @@
+#![allow(missing_docs)] // criterion_group! expands undocumented items.
+//! Microbenchmarks of the free-space analytics: the O(ncg) merges over
+//! the incrementally maintained per-group tables
+//! ([`ffs::freespace::free_space_stats`] and
+//! [`ffs::freespace::frag_space_stats`]) against the full-volume bitmap
+//! rescans they replaced (kept as references in [`ffs::naive`]), on an
+//! aged paper-geometry volume — the state the nightly snapshot job
+//! queries every simulated day.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ffs::freespace::{frag_space_stats, free_space_stats};
+use ffs::{naive, AllocPolicy, Filesystem};
+use ffs_types::FsParams;
+use std::hint::black_box;
+
+/// Histogram length used by the day-stats path.
+const HIST_MAX: usize = 512;
+
+/// An aged paper-geometry volume: a short calibrated aging run leaves
+/// every group with the mix of free runs and partial fragment blocks
+/// the analytics are scored on.
+fn aged_volume() -> Filesystem {
+    let params = FsParams::paper_502mb();
+    let mut config = aging::AgingConfig::paper(7);
+    config.days = 8;
+    config.ramp_days = 3;
+    let w = aging::generate(&config, params.ncg, params.data_capacity_bytes());
+    aging::replay(
+        &w,
+        &params,
+        AllocPolicy::Orig,
+        aging::ReplayOptions::default(),
+    )
+    .expect("replay succeeds")
+    .fs
+}
+
+fn bench(c: &mut Criterion) {
+    let fs = aged_volume();
+    // Identical answers are the differential oracle's job
+    // (`ffs/tests/stats_oracle.rs`); asserting here too keeps the bench
+    // honest if it outlives a behavior change.
+    assert_eq!(
+        free_space_stats(&fs, HIST_MAX),
+        naive::free_space_stats_rescan(&fs, HIST_MAX)
+    );
+    assert_eq!(frag_space_stats(&fs), naive::frag_space_stats_rescan(&fs));
+    let mut g = c.benchmark_group("micro_stats");
+    g.bench_function("free_space_merge", |b| {
+        b.iter(|| free_space_stats(black_box(&fs), black_box(HIST_MAX)))
+    });
+    g.bench_function("free_space_rescan", |b| {
+        b.iter(|| naive::free_space_stats_rescan(black_box(&fs), black_box(HIST_MAX)))
+    });
+    g.bench_function("frag_space_merge", |b| {
+        b.iter(|| frag_space_stats(black_box(&fs)))
+    });
+    g.bench_function("frag_space_rescan", |b| {
+        b.iter(|| naive::frag_space_stats_rescan(black_box(&fs)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -143,7 +143,11 @@ impl DefragSpec {
 
     /// Stable provenance fragment for content-addressed cache keys.
     pub fn fingerprint(&self) -> String {
-        format!("policy={} budget={}", self.policy.label(), self.moves_per_day)
+        format!(
+            "policy={} budget={}",
+            self.policy.label(),
+            self.moves_per_day
+        )
     }
 
     /// Builds the planner this spec names.
@@ -227,8 +231,10 @@ impl DefragRunner {
             match fs.relocate_block(m.ino, m.index, m.to) {
                 Ok(old) => {
                     debug_assert_eq!(old, m.from);
-                    self.device.read(old.0 as u64 * sectors_per_frag, block_sectors);
-                    self.device.write(m.to.0 as u64 * sectors_per_frag, block_sectors);
+                    self.device
+                        .read(old.0 as u64 * sectors_per_frag, block_sectors);
+                    self.device
+                        .write(m.to.0 as u64 * sectors_per_frag, block_sectors);
                     stats.moves += 1;
                     obs::counter!("defrag.moves", 1);
                     obs::hist!(
@@ -291,8 +297,7 @@ fn relayout_file(
         // Whole-window gathering stays within one group, like the
         // realloc pass; split windows fall through to in-place healing.
         let g = params.dtog(addrs[0]);
-        let whole = addrs.iter().all(|&a| params.dtog(a) == g)
-            && planned + len <= budget_left;
+        let whole = addrs.iter().all(|&a| params.dtog(a) == g) && planned + len <= budget_left;
         if whole {
             let cg = fs.cg(g);
             let from = cg.daddr_to_block(addrs[0]).0;
@@ -680,10 +685,7 @@ mod tests {
             for budget in [0u32, 50, 200, 1000] {
                 let spec = DefragSpec::new(policy, budget);
                 assert!(seen.insert(spec.fingerprint()));
-                assert_eq!(
-                    spec.label(),
-                    format!("{}/{budget}", policy.label())
-                );
+                assert_eq!(spec.label(), format!("{}/{budget}", policy.label()));
             }
         }
         assert_eq!(seen.len(), 12);

@@ -210,12 +210,7 @@ impl FaultInjector {
     /// Splits a logical request into physically contiguous runs under the
     /// current remap table. With no remaps in range this is the identity.
     pub(crate) fn physical_runs(&self, lba: u64, sectors: u32) -> Vec<(u64, u32)> {
-        if self
-            .remap
-            .range(lba..lba + sectors as u64)
-            .next()
-            .is_none()
-        {
+        if self.remap.range(lba..lba + sectors as u64).next().is_none() {
             return vec![(lba, sectors)];
         }
         let mut runs: Vec<(u64, u32)> = Vec::new();
@@ -271,7 +266,10 @@ mod tests {
     fn only_fault_layer_errors_classify_transient() {
         use ffs_types::FsError;
         assert_eq!(
-            classify_error(&FsError::Io { lba: 7, write: true }),
+            classify_error(&FsError::Io {
+                lba: 7,
+                write: true
+            }),
             ErrorClass::Transient
         );
         assert_eq!(
@@ -308,10 +306,7 @@ mod tests {
         let spare = inj.grow_remap(10).unwrap();
         assert_eq!(spare, 992);
         assert_eq!(inj.first_latent_in(8, 8), None);
-        assert_eq!(
-            inj.physical_runs(8, 8),
-            vec![(8, 2), (992, 1), (11, 5)]
-        );
+        assert_eq!(inj.physical_runs(8, 8), vec![(8, 2), (992, 1), (11, 5)]);
         assert_eq!(inj.remap_table().get(&10), Some(&992));
         assert_eq!(inj.spares_remaining(), 7);
     }

@@ -467,9 +467,7 @@ fn worker_loop<T: Send + Sync>(shared: &Mutex<Shared<T>>, cond: &Condvar) {
                 guard.ready.retain(|&j| j != min);
                 break min;
             }
-            guard = cond
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
+            guard = cond.wait(guard).unwrap_or_else(PoisonError::into_inner);
         };
         let id = guard.jobs[i].id.clone();
         let dep_names = guard.jobs[i].deps.clone();
@@ -711,14 +709,13 @@ mod tests {
         assert_eq!(a.records[0].backoff_units, b.records[0].backoff_units);
 
         // An exhausted retry budget fails with the attempt count.
-        let hopeless: Vec<JobSpec<u64>> =
-            vec![
-                JobSpec::new("down", &[], |_| Err(JobError::Transient("still down".into())))
-                    .with_policy(JobPolicy {
-                        max_retries: 2,
-                        deadline_ops: 0,
-                    }),
-            ];
+        let hopeless: Vec<JobSpec<u64>> = vec![JobSpec::new("down", &[], |_| {
+            Err(JobError::Transient("still down".into()))
+        })
+        .with_policy(JobPolicy {
+            max_retries: 2,
+            deadline_ops: 0,
+        })];
         let run = run_jobs(hopeless, 1).unwrap();
         let r = &run.records[0];
         assert_eq!(r.status, "failed");

@@ -7,6 +7,11 @@
 //! and the artifact format version. Any change to any of those yields a
 //! different key, so stale artifacts are never consulted — invalidation
 //! is by construction, not by expiry.
+//!
+//! [`ReplayOptions::threads`] is deliberately *excluded*: the
+//! per-cylinder-group parallel replay path is bit-identical to the
+//! inline loop, so a volume aged with any thread count is the same
+//! artifact and must hit the same cache entry.
 
 use aging::{AgingConfig, ReplayOptions};
 use ffs::AllocPolicy;
@@ -130,7 +135,10 @@ mod tests {
         // File-system geometry.
         let mut p2 = params.clone();
         p2.maxcontig += 1;
-        assert_ne!(base.hex, aged_key(&p2, &config, AllocPolicy::Orig, &opts).hex);
+        assert_ne!(
+            base.hex,
+            aged_key(&p2, &config, AllocPolicy::Orig, &opts).hex
+        );
         // Allocation-relevant replay options.
         let ablate = ReplayOptions {
             cluster_first_fit: true,
@@ -170,6 +178,29 @@ mod tests {
         assert_ne!(
             greedy_key.hex,
             aged_key(&params, &config, AllocPolicy::Orig, &smaller).hex
+        );
+    }
+
+    #[test]
+    fn thread_count_shares_one_cache_entry() {
+        // The parallel replay path is bit-identical to the inline loop,
+        // so the same volume aged with any thread count must resolve to
+        // the same artifact.
+        let params = FsParams::small_test();
+        let config = AgingConfig::small_test(10, 42);
+        let base = aged_key(
+            &params,
+            &config,
+            AllocPolicy::Orig,
+            &ReplayOptions::default(),
+        );
+        let threaded = ReplayOptions {
+            threads: 4,
+            ..ReplayOptions::default()
+        };
+        assert_eq!(
+            base.hex,
+            aged_key(&params, &config, AllocPolicy::Orig, &threaded).hex
         );
     }
 }

@@ -74,7 +74,11 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
         "job", "status", "cache", "wall_s", "%wall", "ops"
     );
     for r in &rows {
-        let pct = if total > 0.0 { 100.0 * r.wall_s / total } else { 0.0 };
+        let pct = if total > 0.0 {
+            100.0 * r.wall_s / total
+        } else {
+            0.0
+        };
         let _ = writeln!(
             out,
             "{:<width$}  {:<7}  {:<8}  {:>8.3}  {:>5.1}%  {:>9}",
@@ -102,11 +106,7 @@ pub fn summarize(jsonl: &str) -> Result<String, String> {
     // checkpoint lost from a fleet run.
     let by_ext = |ext: &str| {
         rows.iter()
-            .filter(|r| {
-                r.quarantined
-                    .as_deref()
-                    .is_some_and(|p| p.ends_with(ext))
-            })
+            .filter(|r| r.quarantined.as_deref().is_some_and(|p| p.ends_with(ext)))
             .count()
     };
     let (q_aged, q_shard) = (by_ext(".aged"), by_ext(".shard"));
@@ -191,10 +191,7 @@ fn bench_throughputs(json: &str) -> Result<Vec<(String, f64)>, String> {
     if !json.contains("\"schema\":\"bench-aging-v1\"") {
         return Err("not a bench-aging-v1 document".into());
     }
-    let arr = json
-        .split_once("\"jobs\":[")
-        .ok_or("no jobs array")?
-        .1;
+    let arr = json.split_once("\"jobs\":[").ok_or("no jobs array")?.1;
     let mut out = Vec::new();
     for obj in arr.split("},{") {
         let Some(job) = RunRecord::field_str(obj, "job") else {
@@ -385,7 +382,9 @@ mod tests {
                 ..Metrics::default()
             },
         };
-        shard.metrics.note("quarantined", "cache/quarantine/def.shard");
+        shard
+            .metrics
+            .note("quarantined", "cache/quarantine/def.shard");
         let jsonl = format!(
             "{}\n{}\n{}",
             record("fig1", 0.5, None),

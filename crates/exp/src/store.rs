@@ -27,7 +27,10 @@
 
 use std::path::{Path, PathBuf};
 
-use aging::{generate, replay, take_checkpoint, AgingConfig, Checkpoint, DayStats, ReplayOptions, ReplayResult};
+use aging::{
+    generate, replay, take_checkpoint, AgingConfig, Checkpoint, DayStats, ReplayOptions,
+    ReplayResult,
+};
 use ffs::AllocPolicy;
 use ffs_types::{FsError, FsParams, FsResult};
 
@@ -111,8 +114,7 @@ impl ArtifactStore {
             .dir
             .join(format!("{stem}.{ext}.tmp{}", std::process::id()));
         std::fs::write(&tmp, text).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &path)
-            .map_err(|e| format!("installing {}: {e}", path.display()))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("installing {}: {e}", path.display()))?;
         Ok(path)
     }
 
@@ -182,12 +184,16 @@ impl ArtifactStore {
                     // authoritative policy validation.
                 }
                 Some(("fsdigest", v)) => {
-                    stored_digest =
-                        Some(v.parse::<u64>().map_err(|e| corrupt(&format!("bad fsdigest: {e}")))?);
+                    stored_digest = Some(
+                        v.parse::<u64>()
+                            .map_err(|e| corrupt(&format!("bad fsdigest: {e}")))?,
+                    );
                 }
                 Some(("skipped", v)) => {
-                    skipped =
-                        Some(v.parse::<u64>().map_err(|e| corrupt(&format!("bad skipped: {e}")))?);
+                    skipped = Some(
+                        v.parse::<u64>()
+                            .map_err(|e| corrupt(&format!("bad skipped: {e}")))?,
+                    );
                 }
                 Some(("daily", v)) => {
                     daily.push(DayStats::from_record(v).map_err(|e| corrupt(&e))?);
@@ -359,15 +365,25 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let store = ArtifactStore::new(&dir);
         let (params, config) = small();
-        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
+        let cold = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(cold.cache, CacheStatus::Miss);
         assert!(cold.ops > 0);
         assert!(store.path_for(&cold.key).exists());
-        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
+        let warm = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(warm.cache, CacheStatus::Hit);
         assert_eq!(warm.ops, 0);
         assert_eq!(warm.key, cold.key);
@@ -381,9 +397,14 @@ mod tests {
     #[test]
     fn uncached_run_reports_disabled() {
         let (params, config) = small();
-        let run = age_cached(None, &params, &config, AllocPolicy::Orig,
-                             ReplayOptions::default())
-            .unwrap();
+        let run = age_cached(
+            None,
+            &params,
+            &config,
+            AllocPolicy::Orig,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(run.cache, CacheStatus::Disabled);
         assert!(run.ops > 0);
     }
@@ -393,12 +414,22 @@ mod tests {
         let dir = tmpdir("policies");
         let store = ArtifactStore::new(&dir);
         let (params, config) = small();
-        let o = age_cached(Some(&store), &params, &config, AllocPolicy::Orig,
-                           ReplayOptions::default())
-            .unwrap();
-        let r = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                           ReplayOptions::default())
-            .unwrap();
+        let o = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Orig,
+            ReplayOptions::default(),
+        )
+        .unwrap();
+        let r = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_ne!(o.key.hex, r.key.hex);
         assert_eq!(o.cache, CacheStatus::Miss);
         assert_eq!(r.cache, CacheStatus::Miss);
@@ -411,9 +442,14 @@ mod tests {
         let dir = tmpdir("corrupt");
         let store = ArtifactStore::new(&dir);
         let (params, config) = small();
-        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
+        let cold = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         let path = store.path_for(&cold.key);
         let original = std::fs::read_to_string(&path).unwrap();
 
@@ -434,7 +470,8 @@ mod tests {
 
         // A wrong-key artifact under the right name is a collision, not
         // a hit.
-        let miskeyed = original.replacen(&format!("key {}", cold.key.hex), "key 0000000000000000", 1);
+        let miskeyed =
+            original.replacen(&format!("key {}", cold.key.hex), "key 0000000000000000", 1);
         std::fs::write(&path, miskeyed).unwrap();
         let e = store
             .load(&cold.key, &params, AllocPolicy::Realloc)
@@ -443,9 +480,14 @@ mod tests {
 
         // age_cached treats all of that as "quarantine, re-age".
         std::fs::write(&path, &original[..original.len() / 3]).unwrap();
-        let healed = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                                ReplayOptions::default())
-            .unwrap();
+        let healed = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(healed.cache, CacheStatus::Corrupt);
         assert!(healed.ops > 0, "the image was rebuilt, not trusted");
         assert_eq!(healed.result.daily, cold.result.daily);
@@ -461,9 +503,14 @@ mod tests {
             .join(format!("{}.reason", cold.key.hex));
         assert!(std::fs::read_to_string(reason).unwrap().contains("corrupt"));
         // The store healed: next call hits.
-        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
+        let warm = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(warm.cache, CacheStatus::Hit);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -475,19 +522,27 @@ mod tests {
         assert_eq!(store.load_named("00ff", "shard").unwrap(), None);
         let path = store.save_named("00ff", "shard", "hello\n").unwrap();
         assert_eq!(path, store.named_path("00ff", "shard"));
-        assert_eq!(store.load_named("00ff", "shard").unwrap().unwrap(), "hello\n");
+        assert_eq!(
+            store.load_named("00ff", "shard").unwrap().unwrap(),
+            "hello\n"
+        );
         // Saving again atomically replaces.
         store.save_named("00ff", "shard", "world\n").unwrap();
-        assert_eq!(store.load_named("00ff", "shard").unwrap().unwrap(), "world\n");
+        assert_eq!(
+            store.load_named("00ff", "shard").unwrap().unwrap(),
+            "world\n"
+        );
         // Quarantine preserves the bytes and records why.
         let q = store
             .quarantine_named("00ff", "shard", "checksum mismatch")
             .unwrap();
         assert!(q.starts_with(store.quarantine_dir()));
         assert_eq!(std::fs::read_to_string(&q).unwrap(), "world\n");
-        assert!(std::fs::read_to_string(store.quarantine_dir().join("00ff.reason"))
-            .unwrap()
-            .contains("checksum"));
+        assert!(
+            std::fs::read_to_string(store.quarantine_dir().join("00ff.reason"))
+                .unwrap()
+                .contains("checksum")
+        );
         assert_eq!(store.load_named("00ff", "shard").unwrap(), None);
         // Quarantining a vanished artifact preserves nothing, calmly.
         assert!(store.quarantine_named("00ff", "shard", "again").is_none());
@@ -501,12 +556,22 @@ mod tests {
         let dir = tmpdir("continue");
         let store = ArtifactStore::new(&dir);
         let (params, config) = small();
-        let cold = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
-        let warm = age_cached(Some(&store), &params, &config, AllocPolicy::Realloc,
-                              ReplayOptions::default())
-            .unwrap();
+        let cold = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
+        let warm = age_cached(
+            Some(&store),
+            &params,
+            &config,
+            AllocPolicy::Realloc,
+            ReplayOptions::default(),
+        )
+        .unwrap();
         assert_eq!(warm.cache, CacheStatus::Hit);
         let mut a = cold.result.fs.clone();
         let mut b = warm.result.fs.clone();

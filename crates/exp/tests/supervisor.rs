@@ -74,11 +74,10 @@ fn chaos_dag() -> Vec<JobSpec<u64>> {
         }),
         JobSpec::new("after-runaway", &["runaway"], |c| Ok(*c.dep("runaway")?)),
         // A transiently failing device job with enough retry budget.
-        JobSpec::new("flaky", &[], |c| flaky_device_job(c.attempt()))
-            .with_policy(JobPolicy {
-                max_retries: 3,
-                deadline_ops: 0,
-            }),
+        JobSpec::new("flaky", &[], |c| flaky_device_job(c.attempt())).with_policy(JobPolicy {
+            max_retries: 3,
+            deadline_ops: 0,
+        }),
         JobSpec::new("after-flaky", &["flaky"], |c| Ok(*c.dep("flaky")?)),
     ]
 }
@@ -108,7 +107,10 @@ fn chaos_dag_is_contained_and_deterministic() {
         assert_eq!(run.outcomes["healthy"].ok(), Some(&2));
         match &run.outcomes["flaky"] {
             JobOutcome::Ok(_) => {}
-            other => panic!("flaky should succeed after retries, got {:?}", other.status()),
+            other => panic!(
+                "flaky should succeed after retries, got {:?}",
+                other.status()
+            ),
         }
         assert!(run.outcomes["after-flaky"].ok().is_some());
 

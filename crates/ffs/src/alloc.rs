@@ -9,10 +9,21 @@
 //! *realloc* policy additionally gathers each dirty cluster of logically
 //! sequential blocks before it reaches the disk and tries to move it into
 //! a free cluster of the appropriate size.
+//!
+//! The allocation core lives on [`AllocEngine`], which owns a mutable
+//! view of the cylinder groups ([`CgPool`]) instead of the whole
+//! [`Filesystem`]. The sequential paths hand it every group; the
+//! deterministic parallel replay ([`crate::parallel`]) hands each worker
+//! exactly one, so the same code drives both and the borrow checker
+//! proves workers cannot reach each other's groups.
 
-use ffs_types::{CgIdx, Daddr, FsError, FsResult, Ino};
+use std::collections::BTreeMap;
 
+use ffs_types::{CgIdx, Daddr, FsError, FsParams, FsResult, Ino};
+
+use crate::cg::CylGroup;
 use crate::fs::Filesystem;
+use crate::inode::FileMeta;
 
 /// Which disk allocation policy a file system runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,6 +104,49 @@ impl AllocStats {
             .saturating_add(other.realloc_already_contig);
         self.relocations = self.relocations.saturating_add(other.relocations);
     }
+
+    /// Publishes the difference `self - prev` to the process-wide obs
+    /// counters. The allocator keeps its own plain counters (`self`) on
+    /// the hot path and callers batch them out at a coarse boundary —
+    /// replay flushes once per simulated day — because a per-allocation
+    /// atomic bump is measurable across the ~500k block allocations of a
+    /// 30-day replay. Totals are identical either way; only the moment
+    /// the registry sees them moves.
+    pub fn publish_delta(&self, prev: &AllocStats) {
+        obs::counter!(
+            "ffs.block_allocs",
+            self.block_allocs.saturating_sub(prev.block_allocs)
+        );
+        obs::counter!(
+            "ffs.pref_hits",
+            self.pref_hits.saturating_sub(prev.pref_hits)
+        );
+        obs::counter!(
+            "ffs.frag_allocs",
+            self.frag_allocs.saturating_sub(prev.frag_allocs)
+        );
+        obs::counter!(
+            "ffs.cg_spills",
+            self.cg_spills.saturating_sub(prev.cg_spills)
+        );
+        obs::counter!(
+            "ffs.realloc_moves",
+            self.realloc_moves.saturating_sub(prev.realloc_moves)
+        );
+        obs::counter!(
+            "ffs.realloc_failures",
+            self.realloc_failures.saturating_sub(prev.realloc_failures)
+        );
+        obs::counter!(
+            "ffs.realloc_already_contig",
+            self.realloc_already_contig
+                .saturating_sub(prev.realloc_already_contig)
+        );
+        obs::counter!(
+            "ffs.relocations",
+            self.relocations.saturating_sub(prev.relocations)
+        );
+    }
 }
 
 /// The logical-block windows over which the realloc pass operates for a
@@ -122,46 +176,80 @@ pub fn realloc_windows(nfull: u32, maxcontig: u32, nindir: u32) -> Vec<(u32, u32
     out
 }
 
-impl Filesystem {
-    /// Directory-placement policy (`ffs_dirpref`, 4.3BSD flavour): among
-    /// the groups with at least the average number of free inodes, pick
-    /// the one with the fewest directories.
-    pub(crate) fn dirpref(&self) -> CgIdx {
-        let ncg = self.cgs.len() as u32;
-        let avg_ifree: u64 =
-            self.cgs.iter().map(|c| c.free_inodes() as u64).sum::<u64>() / ncg as u64;
-        let mut best: Option<(u32, CgIdx)> = None;
-        for cg in &self.cgs {
-            if (cg.free_inodes() as u64) < avg_ifree {
-                continue;
-            }
-            match best {
-                Some((nd, _)) if cg.ndirs() >= nd => {}
-                _ => best = Some((cg.ndirs(), cg.idx())),
-            }
-        }
-        best.map(|(_, idx)| idx).unwrap_or(CgIdx(0))
-    }
+/// Mutable view of the cylinder groups an [`AllocEngine`] may touch.
+pub(crate) enum CgPool<'a> {
+    /// Every group of the volume — the sequential allocation paths.
+    All(&'a mut [CylGroup]),
+    /// Exactly one group — a parallel replay worker. The batch planner
+    /// guarantees eligible work never leaves its group; reaching for any
+    /// other group is therefore a planner bug and panics.
+    One { idx: CgIdx, cg: &'a mut CylGroup },
+}
 
-    /// Cylinder-group choice when a file crosses an indirect-block
-    /// boundary (`ffs_blkpref` for the first block of an indirect range):
-    /// the next group, scanning forward from the current one, with an
-    /// above-average number of free blocks.
-    pub(crate) fn pick_new_data_cg(&self, cur: CgIdx) -> CgIdx {
-        let ncg = self.cgs.len() as u32;
-        let avg: u64 = self.cgs.iter().map(|c| c.free_blocks() as u64).sum::<u64>() / ncg as u64;
-        for step in 1..=ncg {
-            let g = CgIdx((cur.0 + step) % ncg);
-            if self.cgs[g.0 as usize].free_blocks() as u64 >= avg {
-                return g;
+impl CgPool<'_> {
+    #[inline]
+    fn group(&mut self, g: CgIdx) -> &mut CylGroup {
+        match self {
+            CgPool::All(cgs) => &mut cgs[g.0 as usize],
+            CgPool::One { idx, cg } => {
+                assert_eq!(*idx, g, "single-group pool asked for group {}", g.0);
+                cg
             }
         }
-        // Fall back to the fullest-free group.
-        self.cgs
-            .iter()
-            .max_by_key(|c| c.free_blocks())
-            .map(|c| c.idx())
-            .unwrap_or(cur)
+    }
+}
+
+/// Policy knobs an [`AllocEngine`] carries, captured from the owning
+/// [`Filesystem`] (or synthesized by a parallel worker).
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCfg {
+    pub policy: AllocPolicy,
+    pub cluster_first_fit: bool,
+    pub realloc_no_split: bool,
+    pub frag_bestfit: bool,
+    pub write_chunk_blocks: u32,
+}
+
+/// The allocation core: every block, fragment, and inode placement
+/// decision, plus the realloc pass and the whole-file write path,
+/// operating on a [`CgPool`] and a detached [`FileMeta`] rather than the
+/// full [`Filesystem`].
+pub(crate) struct AllocEngine<'a> {
+    pub params: &'a FsParams,
+    pub pool: CgPool<'a>,
+    pub stats: &'a mut AllocStats,
+    pub cfg: EngineCfg,
+}
+
+/// Cylinder-group choice when a file crosses an indirect-block boundary
+/// (`ffs_blkpref` for the first block of an indirect range): the next
+/// group, scanning forward from the current one, with an above-average
+/// number of free blocks.
+pub(crate) fn pick_new_data_cg_in(cgs: &[CylGroup], cur: CgIdx) -> CgIdx {
+    let ncg = cgs.len() as u32;
+    let avg: u64 = cgs.iter().map(|c| c.free_blocks() as u64).sum::<u64>() / ncg as u64;
+    for step in 1..=ncg {
+        let g = CgIdx((cur.0 + step) % ncg);
+        if cgs[g.0 as usize].free_blocks() as u64 >= avg {
+            return g;
+        }
+    }
+    // Fall back to the fullest-free group.
+    cgs.iter()
+        .max_by_key(|c| c.free_blocks())
+        .map(|c| c.idx())
+        .unwrap_or(cur)
+}
+
+impl AllocEngine<'_> {
+    /// [`pick_new_data_cg_in`] over this engine's pool. Unreachable on a
+    /// single-group pool: the parallel planner only admits files that
+    /// never cross an indirect boundary.
+    fn pick_new_data_cg(&self, cur: CgIdx) -> CgIdx {
+        match &self.pool {
+            CgPool::All(cgs) => pick_new_data_cg_in(cgs, cur),
+            CgPool::One { .. } => unreachable!("parallel-eligible files never switch groups"),
+        }
     }
 
     /// Quadratic rehash over cylinder groups (`ffs_hashalloc`): try the
@@ -170,9 +258,9 @@ impl Filesystem {
     pub(crate) fn hashalloc<T>(
         &mut self,
         start: CgIdx,
-        mut f: impl FnMut(&mut Filesystem, CgIdx) -> Option<T>,
+        mut f: impl FnMut(&mut Self, CgIdx) -> Option<T>,
     ) -> Option<T> {
-        let ncg = self.cgs.len() as u32;
+        let ncg = self.params.ncg;
         if let Some(t) = f(self, start) {
             return Some(t);
         }
@@ -180,8 +268,7 @@ impl Filesystem {
         while i < ncg {
             let g = CgIdx((start.0 + i) % ncg);
             if let Some(t) = f(self, g) {
-                self.alloc_stats.cg_spills = self.alloc_stats.cg_spills.saturating_add(1);
-                obs::counter!("ffs.cg_spills", 1);
+                self.stats.cg_spills = self.stats.cg_spills.saturating_add(1);
                 return Some(t);
             }
             i *= 2;
@@ -189,12 +276,24 @@ impl Filesystem {
         for i in 0..ncg {
             let g = CgIdx((start.0 + 2 + i) % ncg);
             if let Some(t) = f(self, g) {
-                self.alloc_stats.cg_spills = self.alloc_stats.cg_spills.saturating_add(1);
-                obs::counter!("ffs.cg_spills", 1);
+                self.stats.cg_spills = self.stats.cg_spills.saturating_add(1);
                 return Some(t);
             }
         }
         None
+    }
+
+    /// Allocates an inode near the directory's group, spilling to other
+    /// groups when full (`ffs_valloc`).
+    pub(crate) fn alloc_inode_pref(&mut self, dcg: CgIdx) -> FsResult<Ino> {
+        let per = self.params.inodes_per_cg();
+        self.hashalloc(dcg, |eng, g| {
+            eng.pool
+                .group(g)
+                .alloc_inode()
+                .map(|slot| Ino(g.0 * per + slot))
+        })
+        .ok_or(FsError::NoInodes)
     }
 
     /// Allocates one full block. `pref` is the preferred address (the
@@ -204,17 +303,18 @@ impl Filesystem {
     pub(crate) fn alloc_block(&mut self, cg_hint: CgIdx, pref: Option<Daddr>) -> FsResult<Daddr> {
         let start_cg = pref.map(|d| self.params.dtog(d)).unwrap_or(cg_hint);
         let fpb = self.params.frags_per_block();
-        let got = self.hashalloc(start_cg, |fs, g| {
-            let cg = &mut fs.cgs[g.0 as usize];
+        let got = self.hashalloc(start_cg, |eng, g| {
+            let in_group = pref.filter(|&p| eng.params.dtog(p) == g);
+            let cg = eng.pool.group(g);
             // Preferred block, if it lies in this group and is aligned.
-            if let Some(p) = pref {
-                if fs.params.dtog(p) == g && (p.0 - cg.block_daddr(0).0) % fpb == 0 {
+            if let Some(p) = in_group {
+                if (p.0 - cg.block_daddr(0).0) % fpb == 0 {
                     let (b, _) = cg.daddr_to_block(p);
                     if b < cg.nblocks() && cg.is_block_free(b) {
                         cg.alloc_block(b);
-                        fs.alloc_stats.pref_hits = fs.alloc_stats.pref_hits.saturating_add(1);
-                        obs::counter!("ffs.pref_hits", 1);
-                        return Some(cg.block_daddr(b));
+                        let addr = cg.block_daddr(b);
+                        eng.stats.pref_hits = eng.stats.pref_hits.saturating_add(1);
+                        return Some(addr);
                     }
                     // Next free block after the preferred position.
                     if let Some(b) = cg.find_free_block(b) {
@@ -234,8 +334,7 @@ impl Filesystem {
         let addr = got.ok_or(FsError::NoSpace {
             wanted_bytes: self.params.bsize as u64,
         })?;
-        self.alloc_stats.block_allocs = self.alloc_stats.block_allocs.saturating_add(1);
-        obs::counter!("ffs.block_allocs", 1);
+        self.stats.block_allocs = self.stats.block_allocs.saturating_add(1);
         Ok(addr)
     }
 
@@ -257,12 +356,13 @@ impl Filesystem {
     ) -> FsResult<Daddr> {
         debug_assert!(len >= 1 && len < self.params.frags_per_block());
         let start_cg = pref.map(|d| self.params.dtog(d)).unwrap_or(cg_hint);
-        let bestfit = self.frag_bestfit;
-        let got = self.hashalloc(start_cg, |fs, g| {
-            let cg = &mut fs.cgs[g.0 as usize];
-            let from = match pref {
-                Some(p) if fs.params.dtog(p) == g => cg.daddr_to_block(p).0,
-                _ => cg.rotor(),
+        let bestfit = self.cfg.frag_bestfit;
+        let got = self.hashalloc(start_cg, |eng, g| {
+            let in_group = pref.filter(|&p| eng.params.dtog(p) == g);
+            let cg = eng.pool.group(g);
+            let from = match in_group {
+                Some(p) => cg.daddr_to_block(p).0,
+                None => cg.rotor(),
             };
             if bestfit {
                 // `ffs_alloccg` proper: the frag summary picks the
@@ -273,26 +373,28 @@ impl Filesystem {
                     return Some(Daddr(cg.block_daddr(run.block).0 + run.frag));
                 }
                 if let Some(b) = cg.find_free_block(from) {
-                    fs.alloc_stats.frag_splits = fs.alloc_stats.frag_splits.saturating_add(1);
                     cg.alloc_frags(b, 0, len);
-                    return Some(cg.block_daddr(b));
+                    let addr = cg.block_daddr(b);
+                    eng.stats.frag_splits = eng.stats.frag_splits.saturating_add(1);
+                    return Some(addr);
                 }
                 return None;
             }
             if let Some(run) = cg.find_frag_run(from, len) {
-                if cg.is_block_free(run.block) {
-                    fs.alloc_stats.frag_splits = fs.alloc_stats.frag_splits.saturating_add(1);
-                }
+                let split = cg.is_block_free(run.block);
                 cg.alloc_frags(run.block, run.frag, len);
-                return Some(Daddr(cg.block_daddr(run.block).0 + run.frag));
+                let addr = Daddr(cg.block_daddr(run.block).0 + run.frag);
+                if split {
+                    eng.stats.frag_splits = eng.stats.frag_splits.saturating_add(1);
+                }
+                return Some(addr);
             }
             None
         });
         let addr = got.ok_or(FsError::NoSpace {
             wanted_bytes: (len * self.params.fsize) as u64,
         })?;
-        self.alloc_stats.frag_allocs = self.alloc_stats.frag_allocs.saturating_add(1);
-        obs::counter!("ffs.frag_allocs", 1);
+        self.stats.frag_allocs = self.stats.frag_allocs.saturating_add(1);
         Ok(addr)
     }
 
@@ -304,7 +406,7 @@ impl Filesystem {
     /// end). Returns `true` when the window moved.
     pub(crate) fn realloc_window(
         &mut self,
-        ino: Ino,
+        meta: &mut FileMeta,
         window: (u32, u32),
         pref: Option<Daddr>,
     ) -> bool {
@@ -313,18 +415,13 @@ impl Filesystem {
         if len < 2 {
             return false;
         }
-        self.alloc_stats.realloc_windows = self.alloc_stats.realloc_windows.saturating_add(1);
+        self.stats.realloc_windows = self.stats.realloc_windows.saturating_add(1);
         obs::hist!("ffs.realloc_window_blocks", obs::bounds::LINEAR_16, len);
         let fpb = self.params.frags_per_block();
-        let addrs: Vec<Daddr> = {
-            let f = self.files.get(&ino).expect("realloc on live file");
-            f.blocks[s as usize..e as usize].to_vec()
-        };
+        let addrs = &meta.blocks.as_slice()[s as usize..e as usize];
         // Already contiguous: nothing to gather.
         if addrs.windows(2).all(|w| w[1].0 == w[0].0 + fpb) {
-            self.alloc_stats.realloc_already_contig =
-                self.alloc_stats.realloc_already_contig.saturating_add(1);
-            obs::counter!("ffs.realloc_already_contig", 1);
+            self.stats.realloc_already_contig = self.stats.realloc_already_contig.saturating_add(1);
             return false;
         }
         // All blocks must sit in one group, as in the real code.
@@ -332,7 +429,9 @@ impl Filesystem {
         if addrs.iter().any(|&a| self.params.dtog(a) != g) {
             return false;
         }
-        let cg = &mut self.cgs[g.0 as usize];
+        let in_group_pref = pref.filter(|&p| self.params.dtog(p) == g);
+        let cluster_first_fit = self.cfg.cluster_first_fit;
+        let cg = self.pool.group(g);
         // Extend the previous window's cluster when the space right
         // after it is free (the chained preference); otherwise take the
         // best-fitting free run in the group. Best fit consumes the
@@ -342,20 +441,20 @@ impl Filesystem {
         // (DESIGN.md documents this as a deliberate refinement over the
         // 4.4BSD first-fit scan; `cluster_first_fit` restores it.)
         const LOOKAHEAD: u32 = 512;
-        let run = match pref {
-            Some(p) if self.params.dtog(p) == g => {
+        let run = match in_group_pref {
+            Some(p) => {
                 let b = cg.daddr_to_block(p).0;
                 if cg.is_cluster_free(b, len) {
                     Some(b)
-                } else if self.cluster_first_fit {
+                } else if cluster_first_fit {
                     cg.find_free_cluster(b, len)
                 } else {
                     cg.find_free_cluster_near(b, len, LOOKAHEAD)
                 }
             }
-            _ => {
+            None => {
                 let from = cg.rotor();
-                if self.cluster_first_fit {
+                if cluster_first_fit {
                     cg.find_free_cluster(from, len)
                 } else {
                     cg.find_free_cluster_near(from, len, LOOKAHEAD)
@@ -363,46 +462,220 @@ impl Filesystem {
             }
         };
         let Some(run) = run else {
-            self.alloc_stats.realloc_failures = self.alloc_stats.realloc_failures.saturating_add(1);
-            obs::counter!("ffs.realloc_failures", 1);
+            self.stats.realloc_failures = self.stats.realloc_failures.saturating_add(1);
             // No run of the full window length exists. Unless disabled,
             // gather the window into two smaller clusters instead: far
             // fewer discontiguities than leaving the one-at-a-time
             // allocation in place (see DESIGN.md; `realloc_no_split`
             // restores the all-or-nothing 4.4BSD behaviour).
-            if !self.realloc_no_split && len >= 3 {
+            if !self.cfg.realloc_no_split && len >= 3 {
                 let mid = s + len.div_ceil(2);
-                let moved_lo = self.realloc_window(ino, (s, mid), pref);
-                let lo_end = {
-                    let f = self.files.get(&ino).expect("live file");
-                    f.blocks[mid as usize - 1]
-                };
+                let moved_lo = self.realloc_window(meta, (s, mid), pref);
+                let lo_end = meta.blocks.as_slice()[mid as usize - 1];
                 let hi_pref = Some(Daddr(lo_end.0 + fpb));
-                let moved_hi = self.realloc_window(ino, (mid, e), hi_pref);
+                let moved_hi = self.realloc_window(meta, (mid, e), hi_pref);
                 return moved_lo || moved_hi;
             }
             return false;
         };
         // Move: free the old blocks, claim the run, rewrite the pointers.
-        for &a in &addrs {
+        let window_slice = &mut meta.blocks.as_mut_slice()[s as usize..e as usize];
+        for &a in window_slice.iter() {
             let (b, off) = cg.daddr_to_block(a);
             debug_assert_eq!(off, 0);
             cg.free_block(b);
         }
-        let mut new_addrs = Vec::with_capacity(len as usize);
-        for i in 0..len {
-            cg.alloc_block(run + i);
-            new_addrs.push(cg.block_daddr(run + i));
+        for (i, slot) in window_slice.iter_mut().enumerate() {
+            cg.alloc_block(run + i as u32);
+            *slot = cg.block_daddr(run + i as u32);
         }
-        let f = self.files.get_mut(&ino).expect("realloc on live file");
-        f.blocks[s as usize..e as usize].copy_from_slice(&new_addrs);
-        self.alloc_stats.realloc_moves = self.alloc_stats.realloc_moves.saturating_add(1);
-        self.alloc_stats.realloc_blocks_moved = self
-            .alloc_stats
-            .realloc_blocks_moved
-            .saturating_add(len as u64);
-        obs::counter!("ffs.realloc_moves", 1);
+        self.stats.realloc_moves = self.stats.realloc_moves.saturating_add(1);
+        self.stats.realloc_blocks_moved =
+            self.stats.realloc_blocks_moved.saturating_add(len as u64);
         true
+    }
+
+    /// Allocates all data blocks, indirect blocks, and the fragment tail
+    /// for a freshly created file, running the realloc pass at each write
+    /// chunk boundary when the policy calls for it. Operates on a
+    /// detached [`FileMeta`]; the caller owns the bookkeeping (aggregate
+    /// layout, usage counters, slab insertion) on either outcome. On
+    /// failure, everything allocated so far is recorded in `meta` so the
+    /// caller can release it.
+    pub(crate) fn write_blocks(
+        &mut self,
+        meta: &mut FileMeta,
+        dcg: CgIdx,
+        size: u64,
+    ) -> FsResult<()> {
+        let bsize = self.params.bsize as u64;
+        let fpb = self.params.frags_per_block();
+        let ndaddr = ffs_types::params::NDADDR;
+        let mut nfull = (size / bsize) as u32;
+        let rem = size % bsize;
+        let mut tail_frags = 0u32;
+        if rem > 0 {
+            if nfull < ndaddr {
+                tail_frags = (rem as u32).div_ceil(self.params.fsize);
+                if tail_frags == fpb {
+                    tail_frags = 0;
+                    nfull += 1;
+                }
+            } else {
+                nfull += 1;
+            }
+        }
+        // The realloc pass only engages once a file fills its second
+        // block (the paper's two-block-file quirk, Section 4).
+        let realloc_on = self.cfg.policy == AllocPolicy::Realloc && size >= 2 * bsize;
+        let windows = if realloc_on {
+            realloc_windows(nfull, self.params.maxcontig, self.params.nindir())
+        } else {
+            Vec::new()
+        };
+        let mut next_window = 0usize;
+        let switch_lbns = self.params.cg_switch_lbns(nfull);
+        let mut switch_iter = switch_lbns.iter().peekable();
+        // Region-start windows prefer the address after their indirect
+        // block; remember it per region start.
+        let mut region_pref: BTreeMap<u32, Daddr> = BTreeMap::new();
+        let mut cur_cg = dcg;
+        let mut prev: Option<Daddr> = None;
+        for lbn in 0..nfull {
+            if switch_iter.peek().map(|l| l.0) == Some(lbn) {
+                switch_iter.next();
+                cur_cg = self.pick_new_data_cg(cur_cg);
+                // The double-indirect root is allocated together with the
+                // first level-one indirect under it.
+                let n_meta = if lbn == ndaddr + self.params.nindir() {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..n_meta {
+                    let ind = self.alloc_block(cur_cg, None)?;
+                    meta.indirects.push(ind);
+                    prev = Some(ind);
+                    cur_cg = self.params.dtog(ind);
+                }
+                region_pref.insert(lbn, prev.expect("indirect just set"));
+            }
+            let pref = prev.map(|d| Daddr(d.0 + fpb));
+            let addr = self.alloc_block(cur_cg, pref)?;
+            cur_cg = self.params.dtog(addr);
+            prev = Some(addr);
+            meta.blocks.push(addr);
+            // Flush boundary: end of an application write or end of file.
+            let done = lbn + 1;
+            let flush = done % self.cfg.write_chunk_blocks == 0 || done == nfull;
+            if realloc_on && flush {
+                let _sp = obs::span!("realloc_pass");
+                while next_window < windows.len() && windows[next_window].1 <= done {
+                    let w = windows[next_window];
+                    let wpref = window_pref(meta, w.0, &region_pref, fpb);
+                    self.realloc_window(meta, w, wpref);
+                    next_window += 1;
+                }
+                // Chain the base-allocation preference from the (possibly
+                // moved) last block.
+                prev = meta.blocks.last().copied();
+            }
+        }
+        if tail_frags > 0 {
+            let pref = prev.map(|d| Daddr(d.0 + fpb));
+            let hint = prev.map(|d| self.params.dtog(d)).unwrap_or(dcg);
+            let t = self.alloc_frag_run(hint, tail_frags, pref)?;
+            meta.tail = Some((t, tail_frags));
+        }
+        Ok(())
+    }
+}
+
+/// The cluster-search start for a realloc window: the address after the
+/// previous block's *current* location, or after the region's indirect
+/// block for region-start windows.
+fn window_pref(
+    meta: &FileMeta,
+    wstart: u32,
+    region_pref: &BTreeMap<u32, Daddr>,
+    fpb: u32,
+) -> Option<Daddr> {
+    if let Some(&d) = region_pref.get(&wstart) {
+        return Some(Daddr(d.0 + fpb));
+    }
+    if wstart == 0 {
+        return None;
+    }
+    meta.blocks
+        .as_slice()
+        .get(wstart as usize - 1)
+        .map(|d| Daddr(d.0 + fpb))
+}
+
+impl Filesystem {
+    /// Directory-placement policy (`ffs_dirpref`, 4.3BSD flavour): among
+    /// the groups with at least the average number of free inodes, pick
+    /// the one with the fewest directories.
+    pub(crate) fn dirpref(&self) -> CgIdx {
+        let ncg = self.cgs.len() as u32;
+        let avg_ifree: u64 =
+            self.cgs.iter().map(|c| c.free_inodes() as u64).sum::<u64>() / ncg as u64;
+        let mut best: Option<(u32, CgIdx)> = None;
+        for cg in &self.cgs {
+            if (cg.free_inodes() as u64) < avg_ifree {
+                continue;
+            }
+            match best {
+                Some((nd, _)) if cg.ndirs() >= nd => {}
+                _ => best = Some((cg.ndirs(), cg.idx())),
+            }
+        }
+        best.map(|(_, idx)| idx).unwrap_or(CgIdx(0))
+    }
+
+    /// [`pick_new_data_cg_in`] over the whole volume.
+    pub(crate) fn pick_new_data_cg(&self, cur: CgIdx) -> CgIdx {
+        pick_new_data_cg_in(&self.cgs, cur)
+    }
+
+    /// [`AllocEngine::alloc_block`] against every group.
+    pub(crate) fn alloc_block(&mut self, cg_hint: CgIdx, pref: Option<Daddr>) -> FsResult<Daddr> {
+        self.engine().alloc_block(cg_hint, pref)
+    }
+
+    /// [`AllocEngine::alloc_frag_run`] against every group.
+    pub(crate) fn alloc_frag_run(
+        &mut self,
+        cg_hint: CgIdx,
+        len: u32,
+        pref: Option<Daddr>,
+    ) -> FsResult<Daddr> {
+        self.engine().alloc_frag_run(cg_hint, len, pref)
+    }
+
+    /// [`AllocEngine::realloc_window`] over a live file's blocks.
+    pub(crate) fn realloc_window(
+        &mut self,
+        ino: Ino,
+        window: (u32, u32),
+        pref: Option<Daddr>,
+    ) -> bool {
+        let cfg = self.engine_cfg();
+        let Filesystem {
+            params,
+            cgs,
+            alloc_stats,
+            files,
+            ..
+        } = self;
+        let meta = files.get_mut(&ino).expect("realloc on live file");
+        let mut eng = AllocEngine {
+            params,
+            pool: CgPool::All(cgs),
+            stats: alloc_stats,
+            cfg,
+        };
+        eng.realloc_window(meta, window, pref)
     }
 }
 

@@ -37,7 +37,7 @@
 use ffs_types::{CgIdx, Daddr, FsParams};
 
 /// One cylinder group's allocation state.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CylGroup {
     idx: CgIdx,
     /// Fragment address of the group's first fragment.
@@ -67,6 +67,31 @@ pub struct CylGroup {
     /// is `fpb - 1`; empty when `fpb == 1` and fragments cannot exist).
     /// Derived from `frag_words`, maintained incrementally.
     frsum: Vec<u32>,
+    /// Uncapped free-run histogram: `run_hist[k-1]` counts the maximal
+    /// free runs of *exactly* `k` blocks, one entry per possible length.
+    /// The csum table pools everything at `maxcontig` and longer into one
+    /// bucket, which is enough for allocation but not for the free-space
+    /// analysis; this table keeps the exact lengths so
+    /// [`crate::freespace::free_space_stats`] is an O(ncg) merge instead
+    /// of a volume rescan. Maintained by the same rebracketing as `csum`.
+    run_hist: Vec<u32>,
+    /// Endpoint-encoded run lengths: for every maximal free run,
+    /// `run_len[s]` and `run_len[e]` (its first and last block) hold the
+    /// run's length; interior entries are stale. A free always merges at
+    /// known endpoints and an allocation almost always clips a run's
+    /// first or last block (the rotor and preferred-successor searches
+    /// both land there), so the exact lengths the `run_hist`
+    /// rebracketing needs are O(1) lookups instead of uncapped bitmap
+    /// scans — only the rare mid-run allocation still scans.
+    run_len: Vec<u32>,
+    /// Partially allocated data blocks (lane neither empty nor full).
+    partial_blocks: u32,
+    /// Free fragments stranded inside partially allocated blocks.
+    free_frags_partial: u32,
+    /// `fill_hist[k-1]` counts partial blocks with exactly `k` allocated
+    /// fragments (`fpb - 1` entries). Feeds
+    /// [`crate::freespace::frag_space_stats`] without a map walk.
+    fill_hist: Vec<u32>,
     /// Fragments per block (always 8 for the paper geometry, kept for
     /// generality).
     fpb: u32,
@@ -82,6 +107,38 @@ pub struct CylGroup {
     irotor: u32,
     /// Number of directories in the group (`cg_cs.cs_ndir`).
     ndirs: u32,
+}
+
+/// Equality over the group's meaningful state. `run_len` is excluded on
+/// purpose: only a maximal run's first and last entry are defined —
+/// interior entries are stale leftovers of earlier runs — and the run
+/// structure itself is fully determined by `free_words`, which *is*
+/// compared. Two groups with equal bitmaps are equal regardless of how
+/// their histories littered the undefined interior slots.
+impl PartialEq for CylGroup {
+    fn eq(&self, other: &CylGroup) -> bool {
+        self.idx == other.idx
+            && self.base == other.base
+            && self.nblocks == other.nblocks
+            && self.meta_blocks == other.meta_blocks
+            && self.frag_words == other.frag_words
+            && self.free_words == other.free_words
+            && self.csum == other.csum
+            && self.frsum == other.frsum
+            && self.run_hist == other.run_hist
+            && self.partial_blocks == other.partial_blocks
+            && self.free_frags_partial == other.free_frags_partial
+            && self.fill_hist == other.fill_hist
+            && self.fpb == other.fpb
+            && self.free_frags == other.free_frags
+            && self.free_blocks == other.free_blocks
+            && self.rotor == other.rotor
+            && self.imap == other.imap
+            && self.ninodes == other.ninodes
+            && self.free_inodes == other.free_inodes
+            && self.irotor == other.irotor
+            && self.ndirs == other.ndirs
+    }
 }
 
 /// A fragment run inside one block, returned by fragment search.
@@ -119,9 +176,14 @@ impl CylGroup {
             free_words[(b / 64) as usize] |= 1 << (b % 64);
         }
         let mut csum = vec![0u32; cap];
+        let mut run_hist = vec![0u32; nblocks as usize];
+        let mut run_len = vec![0u32; nblocks as usize];
         if data_blocks > 0 {
             // One maximal free run covering the whole data area.
             csum[(data_blocks as usize).min(cap) - 1] = 1;
+            run_hist[data_blocks as usize - 1] = 1;
+            run_len[meta_blocks as usize] = data_blocks;
+            run_len[nblocks as usize - 1] = data_blocks;
         }
         CylGroup {
             idx,
@@ -132,6 +194,11 @@ impl CylGroup {
             free_words,
             csum,
             frsum: vec![0u32; (fpb - 1) as usize],
+            run_hist,
+            run_len,
+            partial_blocks: 0,
+            free_frags_partial: 0,
+            fill_hist: vec![0u32; (fpb - 1) as usize],
             fpb,
             free_frags: data_blocks * fpb,
             free_blocks: data_blocks,
@@ -240,7 +307,11 @@ impl CylGroup {
 
     /// Frees a fully allocated block (`ffs_clrblock`).
     pub fn free_block(&mut self, block: u32) {
-        debug_assert_eq!(self.map_byte(block), self.full_lane(), "freeing non-full block");
+        debug_assert_eq!(
+            self.map_byte(block),
+            self.full_lane(),
+            "freeing non-full block"
+        );
         debug_assert!(block >= self.meta_blocks);
         // Full-to-free: no partial block involved, frsum unchanged.
         self.write_lane(block, 0);
@@ -259,6 +330,8 @@ impl CylGroup {
         self.write_lane(block, new);
         self.frsum_account(old, false);
         self.frsum_account(new, true);
+        self.fill_account(old, false);
+        self.fill_account(new, true);
         if old == 0 {
             self.mark_block_used(block);
             self.free_blocks -= 1;
@@ -279,6 +352,8 @@ impl CylGroup {
         self.write_lane(block, new);
         self.frsum_account(old, false);
         self.frsum_account(new, true);
+        self.fill_account(old, false);
+        self.fill_account(new, true);
         self.free_frags += len;
         if new == 0 {
             self.mark_block_free(block);
@@ -318,6 +393,29 @@ impl CylGroup {
             let slot = &mut self.frsum[(run - 1) as usize];
             *slot = if add { *slot + 1 } else { *slot - 1 };
             z &= !(((1u32 << run) - 1) << start);
+        }
+    }
+
+    /// Adds (`add`) or removes one block lane's contribution to the
+    /// fragment-fill statistics (`partial_blocks`, `free_frags_partial`,
+    /// `fill_hist`). Like [`CylGroup::frsum_account`], fully free and
+    /// fully allocated lanes contribute nothing, so bracketing every
+    /// fragment mutation with the old lane out and the new lane in keeps
+    /// the partial-block census exact without ever walking the map.
+    fn fill_account(&mut self, lane: u8, add: bool) {
+        if lane == 0 || lane == self.full_lane() {
+            return;
+        }
+        let ones = (lane as u32).count_ones();
+        let free = self.fpb - ones;
+        if add {
+            self.partial_blocks += 1;
+            self.free_frags_partial += free;
+            self.fill_hist[(ones - 1) as usize] += 1;
+        } else {
+            self.partial_blocks -= 1;
+            self.free_frags_partial -= free;
+            self.fill_hist[(ones - 1) as usize] -= 1;
         }
     }
 
@@ -385,36 +483,79 @@ impl CylGroup {
     }
 
     /// Records the transition of `block` from allocated to fully free: the
-    /// runs to its left and right merge with it into one.
+    /// runs to its left and right merge with it into one. Their exact
+    /// lengths come from the `run_len` endpoint encoding in O(1) — the
+    /// freed block's neighbors, when free, are necessarily run endpoints.
+    /// `run_hist` takes the exact lengths, `csum` their `min(cap)`
+    /// projection (capped lengths compose, so the projection stays exact
+    /// bucket by bucket).
     fn mark_block_free(&mut self, block: u32) {
         debug_assert!(!self.free_bit(block));
         let cap = self.csum.len() as u32;
-        let left = self.free_len_before(block, cap);
-        let right = self.free_len_after(block, cap);
+        let left = if block > 0 && self.free_bit(block - 1) {
+            self.run_len[(block - 1) as usize]
+        } else {
+            0
+        };
+        let right = if block + 1 < self.nblocks && self.free_bit(block + 1) {
+            self.run_len[(block + 1) as usize]
+        } else {
+            0
+        };
         if left > 0 {
-            self.csum[(left - 1) as usize] -= 1;
+            self.csum[(left.min(cap) - 1) as usize] -= 1;
+            self.run_hist[(left - 1) as usize] -= 1;
         }
         if right > 0 {
-            self.csum[(right - 1) as usize] -= 1;
+            self.csum[(right.min(cap) - 1) as usize] -= 1;
+            self.run_hist[(right - 1) as usize] -= 1;
         }
-        self.csum[((left + 1 + right).min(cap) - 1) as usize] += 1;
+        let merged = left + 1 + right;
+        self.csum[(merged.min(cap) - 1) as usize] += 1;
+        self.run_hist[(merged - 1) as usize] += 1;
+        self.run_len[(block - left) as usize] = merged;
+        self.run_len[(block + right) as usize] = merged;
         self.free_words[(block / 64) as usize] |= 1 << (block % 64);
     }
 
     /// Records the transition of `block` from fully free to allocated: the
     /// run containing it splits into the parts left and right of it.
+    /// When `block` is the run's first or last block (where the rotor and
+    /// preferred-successor searches land) the split is O(1) off the
+    /// `run_len` endpoints; a mid-run allocation pays one scan to find
+    /// the run's start.
     fn mark_block_used(&mut self, block: u32) {
         debug_assert!(self.free_bit(block));
         self.free_words[(block / 64) as usize] &= !(1 << (block % 64));
         let cap = self.csum.len() as u32;
-        let left = self.free_len_before(block, cap);
-        let right = self.free_len_after(block, cap);
-        self.csum[((left + 1 + right).min(cap) - 1) as usize] -= 1;
+        let left_free = block > 0 && self.free_bit(block - 1);
+        let right_free = block + 1 < self.nblocks && self.free_bit(block + 1);
+        let (left, right) = match (left_free, right_free) {
+            (false, false) => (0, 0),
+            (false, true) => (0, self.run_len[block as usize] - 1),
+            (true, false) => (self.run_len[block as usize] - 1, 0),
+            (true, true) => {
+                // Mid-run: one scan back to the run's start, whose
+                // endpoint entry gives the total length.
+                let left = self.free_len_before(block, self.nblocks);
+                let total = self.run_len[(block - left) as usize];
+                (left, total - left - 1)
+            }
+        };
+        let merged = left + 1 + right;
+        self.csum[(merged.min(cap) - 1) as usize] -= 1;
+        self.run_hist[(merged - 1) as usize] -= 1;
         if left > 0 {
-            self.csum[(left - 1) as usize] += 1;
+            self.csum[(left.min(cap) - 1) as usize] += 1;
+            self.run_hist[(left - 1) as usize] += 1;
+            self.run_len[(block - left) as usize] = left;
+            self.run_len[(block - 1) as usize] = left;
         }
         if right > 0 {
-            self.csum[(right - 1) as usize] += 1;
+            self.csum[(right.min(cap) - 1) as usize] += 1;
+            self.run_hist[(right - 1) as usize] += 1;
+            self.run_len[(block + 1) as usize] = right;
+            self.run_len[(block + right) as usize] = right;
         }
     }
 
@@ -463,8 +604,9 @@ impl CylGroup {
         }
     }
 
-    /// Recomputes `free_words`, `csum`, and `frsum` from the fragment
-    /// map, for fsck-style rebuild after the raw map has been rewritten.
+    /// Recomputes `free_words`, `csum`, `frsum`, and the incremental
+    /// free-space statistics from the fragment map, for fsck-style
+    /// rebuild after the raw map has been rewritten.
     pub(crate) fn rebuild_derived(&mut self) {
         for w in self.free_words.iter_mut() {
             *w = 0;
@@ -477,6 +619,31 @@ impl CylGroup {
         let cap = self.csum.len();
         self.csum = crate::naive::recount_cluster_summary(self, cap);
         self.frsum = crate::naive::recount_frag_summary(self);
+        self.run_hist = crate::naive::recount_free_run_hist(self);
+        // Re-derive the endpoint-encoded run lengths from the rebuilt
+        // free bitmap: one pass, writing each maximal run's length at
+        // its first and last block.
+        self.run_len = vec![0u32; self.nblocks as usize];
+        let mut start: Option<u32> = None;
+        for b in 0..self.nblocks {
+            match (self.free_bit(b), start) {
+                (true, None) => start = Some(b),
+                (false, Some(s)) => {
+                    self.run_len[s as usize] = b - s;
+                    self.run_len[(b - 1) as usize] = b - s;
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            self.run_len[s as usize] = self.nblocks - s;
+            self.run_len[(self.nblocks - 1) as usize] = self.nblocks - s;
+        }
+        let (partial, free, fill) = crate::naive::recount_frag_fill(self);
+        self.partial_blocks = partial;
+        self.free_frags_partial = free;
+        self.fill_hist = fill;
     }
 
     /// Raw mutable access to the cluster summary, for fault injection;
@@ -505,12 +672,49 @@ impl CylGroup {
         &mut self.frsum
     }
 
+    /// The uncapped free-run histogram: entry `k` counts maximal free
+    /// runs of exactly `k + 1` blocks, one entry per possible length.
+    pub fn free_run_hist(&self) -> &[u32] {
+        &self.run_hist
+    }
+
+    /// Partially allocated data blocks (lane neither empty nor full).
+    pub fn partial_blocks(&self) -> u32 {
+        self.partial_blocks
+    }
+
+    /// Free fragments stranded inside partially allocated blocks.
+    pub fn free_frags_partial(&self) -> u32 {
+        self.free_frags_partial
+    }
+
+    /// The fragment-fill histogram: entry `k` counts partial blocks with
+    /// exactly `k + 1` allocated fragments.
+    pub fn fill_hist(&self) -> &[u32] {
+        &self.fill_hist
+    }
+
+    /// Raw mutable access to the free-run histogram, for fault injection;
+    /// same caveats as [`CylGroup::set_map_byte`].
+    pub(crate) fn raw_run_hist_mut(&mut self) -> &mut [u32] {
+        &mut self.run_hist
+    }
+
+    /// Raw mutable access to the fragment-fill histogram, for fault
+    /// injection; same caveats as [`CylGroup::set_map_byte`].
+    pub(crate) fn raw_fill_hist_mut(&mut self) -> &mut [u32] {
+        &mut self.fill_hist
+    }
+
     /// Finds the first fully free block at or after `from` (block index),
     /// wrapping around the group once. The search mirrors `ffs_mapsearch`:
     /// it does not care how large the surrounding free region is — the
     /// defect of the original allocator the paper highlights.
     pub fn find_free_block(&self, from: u32) -> Option<u32> {
-        if self.nblocks == 0 {
+        // An exhausted group would otherwise scan its whole bitmap to
+        // find nothing — the common case for every group a spilled
+        // allocation probes on a near-full volume.
+        if self.nblocks == 0 || self.free_blocks == 0 {
             return None;
         }
         let start = if from >= self.nblocks {
@@ -742,6 +946,11 @@ impl CylGroup {
     /// beats frugality, exactly as in the BSD code.
     pub fn find_frag_run(&self, from: u32, len: u32) -> Option<FragRun> {
         debug_assert!(len >= 1 && len < self.fpb);
+        // A fitting run needs at least `len` free fragments somewhere;
+        // skip the map scan outright when the count rules one out.
+        if self.free_frags < len {
+            return None;
+        }
         let start = if from >= self.nblocks {
             self.meta_blocks
         } else {
@@ -757,6 +966,10 @@ impl CylGroup {
     /// frugal-fragments ablation.
     pub fn find_frag_run_partial_only(&self, from: u32, len: u32) -> Option<FragRun> {
         debug_assert!(len >= 1 && len < self.fpb);
+        // The partial-block census bounds what this search can find.
+        if self.free_frags_partial < len {
+            return None;
+        }
         let start = if from >= self.nblocks {
             self.meta_blocks
         } else {
@@ -815,21 +1028,16 @@ impl CylGroup {
             return None;
         }
         let n = self.ninodes;
-        let mut slot = self.irotor;
-        for _ in 0..n {
-            if slot >= n {
-                slot = 0;
-            }
-            let (w, b) = (slot / 64, slot % 64);
-            if self.imap[w as usize] & (1 << b) == 0 {
-                self.imap[w as usize] |= 1 << b;
-                self.free_inodes -= 1;
-                self.irotor = slot + 1;
-                return Some(slot);
-            }
-            slot += 1;
-        }
-        None
+        // First free slot in cyclic order from the rotor, word at a time
+        // (the per-bit walk was measurable once the low slots filled up).
+        let start = if self.irotor >= n { 0 } else { self.irotor };
+        let slot =
+            next_zero_bit(&self.imap, start, n).or_else(|| next_zero_bit(&self.imap, 0, start))?;
+        let (w, b) = (slot / 64, slot % 64);
+        self.imap[w as usize] |= 1 << b;
+        self.free_inodes -= 1;
+        self.irotor = slot + 1;
+        Some(slot)
     }
 
     /// Frees an inode slot.
@@ -943,6 +1151,28 @@ fn next_set_bit(words: &[u64], lo: u32, hi: u32) -> Option<u32> {
             return None;
         }
         w = words[wi];
+    }
+}
+
+/// Index of the first *clear* bit in `words` within `[lo, hi)`, advancing
+/// a whole word per iteration — [`next_set_bit`] over the complement.
+fn next_zero_bit(words: &[u64], lo: u32, hi: u32) -> Option<u32> {
+    if lo >= hi {
+        return None;
+    }
+    let (mut wi, bit) = ((lo / 64) as usize, lo % 64);
+    let last = ((hi - 1) / 64) as usize;
+    let mut w = !words[wi] & (u64::MAX << bit);
+    loop {
+        if w != 0 {
+            let b = wi as u32 * 64 + w.trailing_zeros();
+            return (b < hi).then_some(b);
+        }
+        wi += 1;
+        if wi > last {
+            return None;
+        }
+        w = !words[wi];
     }
 }
 
@@ -1337,6 +1567,48 @@ mod tests {
             cg.cluster_summary(),
             crate::naive::recount_cluster_summary(&cg, cap).as_slice()
         );
+    }
+
+    #[test]
+    fn free_run_hist_and_fill_stats_track_mutations() {
+        let (_, mut cg) = group();
+        let m = cg.meta_blocks();
+        let data = cg.nblocks() - m;
+        // Fresh group: one maximal run covering the whole data area.
+        assert_eq!(cg.free_run_hist()[(data - 1) as usize], 1);
+        assert_eq!(cg.free_run_hist().iter().sum::<u32>(), 1);
+        assert_eq!((cg.partial_blocks(), cg.free_frags_partial()), (0, 0));
+        // Splitting the run in the middle leaves two exact-length runs.
+        cg.alloc_block(m + 10);
+        assert_eq!(cg.free_run_hist()[9], 1);
+        assert_eq!(cg.free_run_hist()[(data - 12) as usize], 1);
+        assert_eq!(cg.free_run_hist().iter().sum::<u32>(), 2);
+        // A fragment tail makes the block partial and is counted exactly.
+        cg.alloc_frags(m, 0, 3);
+        assert_eq!(cg.partial_blocks(), 1);
+        assert_eq!(cg.free_frags_partial(), 5);
+        assert_eq!(cg.fill_hist()[2], 1);
+        // Growing the tail rebrackets the fill histogram.
+        cg.alloc_frags(m, 3, 2);
+        assert_eq!(cg.fill_hist()[2], 0);
+        assert_eq!(cg.fill_hist()[4], 1);
+        assert_eq!(cg.free_frags_partial(), 3);
+        // Freeing everything restores the single maximal run.
+        cg.free_frag_run(m, 0, 5);
+        cg.free_block(m + 10);
+        assert_eq!(cg.free_run_hist()[(data - 1) as usize], 1);
+        assert_eq!(cg.free_run_hist().iter().sum::<u32>(), 1);
+        assert_eq!((cg.partial_blocks(), cg.free_frags_partial()), (0, 0));
+        assert!(cg.fill_hist().iter().all(|&c| c == 0));
+        // Everything agrees with the byte-at-a-time recounts.
+        assert_eq!(
+            cg.free_run_hist(),
+            crate::naive::recount_free_run_hist(&cg).as_slice()
+        );
+        let (partial, free, fill) = crate::naive::recount_frag_fill(&cg);
+        assert_eq!(cg.partial_blocks(), partial);
+        assert_eq!(cg.free_frags_partial(), free);
+        assert_eq!(cg.fill_hist(), fill.as_slice());
     }
 
     #[test]

@@ -146,6 +146,16 @@ pub enum Violation {
         /// The first inconsistency the index walk found.
         detail: String,
     },
+    /// A group's incremental free-space statistics (the uncapped free-run
+    /// histogram or the fragment-fill counters) disagree with a recount
+    /// from its map. The map is ground truth, so this is rebuildable
+    /// without loss.
+    FreeStatsDrift {
+        /// Cylinder group index.
+        cg: u32,
+        /// Which statistic drifted and how.
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -240,6 +250,9 @@ impl std::fmt::Display for Violation {
             ),
             Violation::SlabIndexDrift { table, detail } => {
                 write!(f, "{table} slab index drift: {detail}")
+            }
+            Violation::FreeStatsDrift { cg, detail } => {
+                write!(f, "cg {cg}: free-space stats drift: {detail}")
             }
         }
     }
@@ -379,6 +392,38 @@ pub fn check(fs: &Filesystem) -> Vec<Violation> {
                 cg: g,
                 stored: cg.frag_summary().to_vec(),
                 recounted: frag_recount,
+            });
+        }
+        // Incremental free-space statistics against their recounts.
+        let hist_recount = crate::naive::recount_free_run_hist(cg);
+        if cg.free_run_hist() != hist_recount.as_slice() {
+            errs.push(Violation::FreeStatsDrift {
+                cg: g,
+                detail: format!(
+                    "free-run histogram differs from recount at bucket {:?}",
+                    cg.free_run_hist()
+                        .iter()
+                        .zip(&hist_recount)
+                        .position(|(a, b)| a != b)
+                ),
+            });
+        }
+        let (partial, free_in_partial, fill_recount) = crate::naive::recount_frag_fill(cg);
+        if cg.partial_blocks() != partial
+            || cg.free_frags_partial() != free_in_partial
+            || cg.fill_hist() != fill_recount.as_slice()
+        {
+            errs.push(Violation::FreeStatsDrift {
+                cg: g,
+                detail: format!(
+                    "fragment fill ({}, {}, {:?}) vs recount ({}, {}, {:?})",
+                    cg.partial_blocks(),
+                    cg.free_frags_partial(),
+                    cg.fill_hist(),
+                    partial,
+                    free_in_partial,
+                    fill_recount
+                ),
             });
         }
     }

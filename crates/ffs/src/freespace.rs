@@ -73,8 +73,10 @@ impl FragSpaceStats {
     }
 }
 
-/// Computes fragment-packing statistics by summing each group's fragment
-/// summary and walking its partial-block lanes.
+/// Computes fragment-packing statistics by folding each group's
+/// incrementally maintained fragment summary and fill counters — an
+/// O(ncg) merge, no map walk. (Reference volume rescan:
+/// [`crate::naive::frag_space_stats_rescan`].)
 pub fn frag_space_stats(fs: &Filesystem) -> FragSpaceStats {
     let fpb = fs.params().frags_per_block();
     let mut stats = FragSpaceStats {
@@ -85,41 +87,58 @@ pub fn frag_space_stats(fs: &Filesystem) -> FragSpaceStats {
     };
     for g in 0..fs.ncg() {
         let cg = fs.cg(CgIdx(g));
-        let full = cg.full_lane();
+        stats.partial_blocks += cg.partial_blocks() as u64;
+        stats.free_frags_in_partial += cg.free_frags_partial() as u64;
+        for (i, &n) in cg.fill_hist().iter().enumerate() {
+            stats.fill_hist[i] += n as u64;
+        }
         for (i, &n) in cg.frag_summary().iter().enumerate() {
             stats.frsum_totals[i] += n as u64;
-        }
-        for b in cg.meta_blocks()..cg.nblocks() {
-            let byte = cg.map_byte(b);
-            if byte == 0 || byte == full {
-                continue;
-            }
-            let used = byte.count_ones();
-            stats.partial_blocks += 1;
-            stats.free_frags_in_partial += (fpb - used) as u64;
-            stats.fill_hist[(used - 1) as usize] += 1;
         }
     }
     stats
 }
 
-/// Computes the free-cluster distribution. `hist_max` bounds the histogram
-/// length; runs longer than that land in the last bucket (their blocks are
-/// still counted exactly).
+/// Computes the free-cluster distribution by folding each group's
+/// incrementally maintained free-run histogram in group order — the
+/// merge touches only live histogram buckets, never the bitmaps.
+/// `hist_max` bounds the merged histogram length; runs longer than that
+/// land in the last bucket (their blocks are still counted exactly).
+/// (Reference volume rescan: [`crate::naive::free_space_stats_rescan`].)
 pub fn free_space_stats(fs: &Filesystem, hist_max: usize) -> FreeSpaceStats {
     let maxcontig = fs.params().maxcontig;
     let mut hist = vec![0u32; hist_max];
     let mut free_blocks = 0u64;
     let mut clusterable = 0u64;
     let mut longest = 0u32;
+    let emit = obs::enabled();
     for g in 0..fs.ncg() {
         let cg = fs.cg(CgIdx(g));
-        for (_, run) in cg.free_runs() {
-            obs::hist!("ffs.free_extent_blocks", obs::bounds::POW2, run);
-            hist[(run as usize - 1).min(hist_max - 1)] += 1;
-            free_blocks += run as u64;
+        // The histogram spans every possible run length but the live
+        // entries sum to exactly the group's free-block count, so the
+        // walk can stop as soon as that many blocks are accounted for —
+        // on an aged (mostly short-run) group that is a few dozen
+        // entries instead of thousands.
+        let mut unseen = cg.free_blocks() as u64;
+        for (k, &count) in cg.free_run_hist().iter().enumerate() {
+            if unseen == 0 {
+                break;
+            }
+            if count == 0 {
+                continue;
+            }
+            let run = k as u32 + 1;
+            if emit {
+                for _ in 0..count {
+                    obs::hist!("ffs.free_extent_blocks", obs::bounds::POW2, run);
+                }
+            }
+            hist[k.min(hist_max - 1)] += count;
+            let blocks = run as u64 * count as u64;
+            free_blocks += blocks;
+            unseen -= blocks;
             if run >= maxcontig {
-                clusterable += run as u64;
+                clusterable += run as u64 * count as u64;
             }
             longest = longest.max(run);
         }
@@ -136,7 +155,7 @@ pub fn free_space_stats(fs: &Filesystem, hist_max: usize) -> FreeSpaceStats {
 mod tests {
     use super::*;
     use crate::alloc::AllocPolicy;
-    use ffs_types::{FsParams, KB};
+    use ffs_types::{FsParams, KB, MB};
 
     #[test]
     fn empty_fs_is_fully_clusterable() {
@@ -182,6 +201,60 @@ mod tests {
         assert_eq!(s.fill_hist[2], 1, "3 allocated frags: {:?}", s.fill_hist);
         assert_eq!(s.frsum_totals[4], 1, "one free 5-run: {:?}", s.frsum_totals);
         assert!((s.mean_fill() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_free_blocks_is_vacuously_clusterable() {
+        // Fill every data block: one-block files until allocation fails.
+        let mut fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let d = fs.mkdir().unwrap();
+        let mut day = 0;
+        while fs.create(d, 8 * KB, day).is_ok() {
+            day += 1;
+        }
+        assert_eq!(fs.free_blocks(), 0);
+        let s = free_space_stats(&fs, 64);
+        assert_eq!(s.free_blocks, 0);
+        assert_eq!(s.longest_run, 0);
+        assert_eq!(s.clusterable_blocks, 0);
+        assert!(s.hist.iter().all(|&c| c == 0));
+        // Vacuous case pinned: no free space means nothing is fragmented.
+        assert_eq!(s.clusterable_fraction(), 1.0);
+        assert_eq!(s, crate::naive::free_space_stats_rescan(&fs, 64));
+    }
+
+    #[test]
+    fn single_run_spanning_volume_lands_in_overflow_bucket() {
+        // One cylinder group, untouched: the whole data area is a single
+        // maximal run, longer than any histogram this test asks for.
+        let params = FsParams {
+            size_bytes: 4 * MB,
+            ncg: 1,
+            ..FsParams::small_test()
+        };
+        let fs = Filesystem::new(params, AllocPolicy::Orig);
+        let data = fs.free_blocks();
+        let s = free_space_stats(&fs, 16);
+        assert_eq!(s.hist.iter().sum::<u32>(), 1, "exactly one run");
+        assert_eq!(s.hist[15], 1, "pooled in the overflow bucket");
+        assert_eq!(s.longest_run as u64, data);
+        assert_eq!(s.free_blocks, data);
+        assert_eq!(s.clusterable_fraction(), 1.0);
+        assert_eq!(s, crate::naive::free_space_stats_rescan(&fs, 16));
+    }
+
+    #[test]
+    fn all_blocks_free_counts_one_run_per_group() {
+        let fs = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let s = free_space_stats(&fs, 4096);
+        assert_eq!(s.hist.iter().sum::<u32>(), fs.ncg(), "one run per group");
+        assert_eq!(s.free_blocks, fs.free_blocks());
+        assert_eq!(s.clusterable_fraction(), 1.0);
+        let frag = frag_space_stats(&fs);
+        assert_eq!(frag.partial_blocks, 0);
+        assert_eq!(frag.free_frags_in_partial, 0);
+        assert_eq!(s, crate::naive::free_space_stats_rescan(&fs, 4096));
+        assert_eq!(frag, crate::naive::frag_space_stats_rescan(&fs));
     }
 
     #[test]

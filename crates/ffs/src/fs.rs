@@ -15,11 +15,9 @@
 //! * partial tails of direct-block files are allocated as fragment runs,
 //!   preferring existing fragment blocks over breaking a free block.
 
-use std::collections::BTreeMap;
-
 use ffs_types::{CgIdx, Daddr, DirId, FsError, FsParams, FsResult, Ino};
 
-use crate::alloc::{realloc_windows, AllocPolicy, AllocStats};
+use crate::alloc::{AllocEngine, AllocPolicy, AllocStats, CgPool, EngineCfg};
 use crate::cg::CylGroup;
 use crate::inode::FileMeta;
 use crate::table::{BlockList, Slab};
@@ -256,29 +254,43 @@ impl Filesystem {
             });
         }
         let dcg = self.dirs.get(&dir).ok_or(FsError::NoSuchDir(dir))?.cg;
-        let ino = self.alloc_inode_pref(dcg)?;
-        self.files.insert(
+        let cfg = self.engine_cfg();
+        let Filesystem {
+            params,
+            cgs,
+            alloc_stats,
+            ..
+        } = self;
+        let mut eng = AllocEngine {
+            params,
+            pool: CgPool::All(cgs),
+            stats: alloc_stats,
+            cfg,
+        };
+        let ino = eng.alloc_inode_pref(dcg)?;
+        let mut meta = FileMeta {
             ino,
-            FileMeta {
-                ino,
-                dir,
-                size,
-                blocks: BlockList::new(),
-                tail: None,
-                indirects: Vec::new(),
-                mtime_day: day,
-            },
-        );
-        match self.write_blocks(ino, dcg, size) {
+            dir,
+            size,
+            blocks: BlockList::new(),
+            tail: None,
+            indirects: Vec::new(),
+            mtime_day: day,
+        };
+        let res = eng.write_blocks(&mut meta, dcg, size);
+        // Indirect blocks count as metadata as soon as they are
+        // allocated, on either outcome — the historical accounting.
+        self.used_meta_frags += meta.indirects.len() as u64 * self.params.frags_per_block() as u64;
+        match res {
             Ok(()) => {
-                self.commit_create(ino, dir, size);
+                self.commit_create(&meta);
+                self.files.insert(ino, meta);
                 Ok(ino)
             }
             Err(e) => {
-                self.release_file_space(ino);
+                self.release_meta_space(&meta);
                 let (cg, slot) = self.params.ino_to_cg(ino);
                 self.cgs[cg.0 as usize].free_inode(slot);
-                self.files.remove(&ino);
                 Err(e)
             }
         }
@@ -299,24 +311,30 @@ impl Filesystem {
 
     /// Deletes a file, returning its final metadata.
     pub fn remove(&mut self, ino: Ino) -> FsResult<FileMeta> {
-        if !self.files.contains_key(&ino) {
+        let meta = self.detach_file(ino)?;
+        self.release_meta_space(&meta);
+        let (cg, slot) = self.params.ino_to_cg(ino);
+        self.cgs[cg.0 as usize].free_inode(slot);
+        Ok(meta)
+    }
+
+    /// The bookkeeping half of a delete: takes the file out of the slab
+    /// and undoes its create-time accounting, leaving its blocks, tail,
+    /// and inode bit for the caller to free (inline for [`remove`], on a
+    /// per-group worker for [`crate::parallel`]).
+    pub(crate) fn detach_file(&mut self, ino: Ino) -> FsResult<FileMeta> {
+        let Some(meta) = self.files.remove(&ino) else {
             return Err(FsError::NoSuchFile(ino));
-        }
-        // Undo the create-time accounting.
-        let meta = self.files.get(&ino).expect("checked above").clone();
+        };
         if let Some((opt, scored)) = meta.layout_counts(&self.params) {
             self.agg.opt -= opt;
             self.agg.scored -= scored;
         }
         self.used_data_frags -= meta.data_frags(&self.params);
         self.used_meta_frags -= meta.indirects.len() as u64 * self.params.frags_per_block() as u64;
-        self.release_file_space(ino);
-        let (cg, slot) = self.params.ino_to_cg(ino);
-        self.cgs[cg.0 as usize].free_inode(slot);
         if let Some(d) = self.dirs.get_mut(&meta.dir) {
             d.nfiles -= 1;
         }
-        self.files.remove(&ino);
         Ok(meta)
     }
 
@@ -401,7 +419,11 @@ impl Filesystem {
             }
         }
         for f in &files {
-            let blocks_ok = f.blocks.iter().chain(f.indirects.iter()).all(|&b| block_ok(b));
+            let blocks_ok = f
+                .blocks
+                .iter()
+                .chain(f.indirects.iter())
+                .all(|&b| block_ok(b));
             let tail_ok = f.tail.is_none_or(|(d, n)| {
                 (1..fpb).contains(&n)
                     && d.0 % fpb + n <= fpb
@@ -538,145 +560,51 @@ impl Filesystem {
     // Internals.
     // ------------------------------------------------------------------
 
-    /// Allocates an inode near the directory's group, spilling to other
-    /// groups when full (`ffs_valloc`).
-    fn alloc_inode_pref(&mut self, dcg: CgIdx) -> FsResult<Ino> {
-        let per = self.params.inodes_per_cg();
-        self.hashalloc(dcg, |fs, g| {
-            fs.cgs[g.0 as usize]
-                .alloc_inode()
-                .map(|slot| Ino(g.0 * per + slot))
-        })
-        .ok_or(FsError::NoInodes)
+    /// The engine configuration this file system's policy knobs imply.
+    pub(crate) fn engine_cfg(&self) -> EngineCfg {
+        EngineCfg {
+            policy: self.policy,
+            cluster_first_fit: self.cluster_first_fit,
+            realloc_no_split: self.realloc_no_split,
+            frag_bestfit: self.frag_bestfit,
+            write_chunk_blocks: self.write_chunk_blocks,
+        }
     }
 
-    /// Allocates all data blocks, indirect blocks, and the fragment tail
-    /// for a freshly created file, running the realloc pass at each write
-    /// chunk boundary when the policy calls for it.
-    fn write_blocks(&mut self, ino: Ino, dcg: CgIdx, size: u64) -> FsResult<()> {
-        let bsize = self.params.bsize as u64;
-        let fpb = self.params.frags_per_block();
-        let ndaddr = ffs_types::params::NDADDR;
-        let mut nfull = (size / bsize) as u32;
-        let rem = size % bsize;
-        let mut tail_frags = 0u32;
-        if rem > 0 {
-            if nfull < ndaddr {
-                tail_frags = (rem as u32).div_ceil(self.params.fsize);
-                if tail_frags == fpb {
-                    tail_frags = 0;
-                    nfull += 1;
-                }
-            } else {
-                nfull += 1;
-            }
+    /// An [`AllocEngine`] over every cylinder group — the sequential
+    /// allocation paths.
+    pub(crate) fn engine(&mut self) -> AllocEngine<'_> {
+        let cfg = self.engine_cfg();
+        let Filesystem {
+            params,
+            cgs,
+            alloc_stats,
+            ..
+        } = self;
+        AllocEngine {
+            params,
+            pool: CgPool::All(cgs),
+            stats: alloc_stats,
+            cfg,
         }
-        // The realloc pass only engages once a file fills its second
-        // block (the paper's two-block-file quirk, Section 4).
-        let realloc_on = self.policy == AllocPolicy::Realloc && size >= 2 * bsize;
-        let windows = realloc_windows(nfull, self.params.maxcontig, self.params.nindir());
-        let mut next_window = 0usize;
-        let switch_lbns = self.params.cg_switch_lbns(nfull);
-        let mut switch_iter = switch_lbns.iter().peekable();
-        // Region-start windows prefer the address after their indirect
-        // block; remember it per region start.
-        let mut region_pref: BTreeMap<u32, Daddr> = BTreeMap::new();
-        let mut cur_cg = dcg;
-        let mut prev: Option<Daddr> = None;
-        for lbn in 0..nfull {
-            if switch_iter.peek().map(|l| l.0) == Some(lbn) {
-                switch_iter.next();
-                cur_cg = self.pick_new_data_cg(cur_cg);
-                // The double-indirect root is allocated together with the
-                // first level-one indirect under it.
-                let n_meta = if lbn == ndaddr + self.params.nindir() {
-                    2
-                } else {
-                    1
-                };
-                for _ in 0..n_meta {
-                    let ind = self.alloc_block(cur_cg, None)?;
-                    self.used_meta_frags += fpb as u64;
-                    let f = self.files.get_mut(&ino).expect("live file");
-                    f.indirects.push(ind);
-                    prev = Some(ind);
-                    cur_cg = self.params.dtog(ind);
-                }
-                region_pref.insert(lbn, prev.expect("indirect just set"));
-            }
-            let pref = prev.map(|d| Daddr(d.0 + fpb));
-            let addr = self.alloc_block(cur_cg, pref)?;
-            cur_cg = self.params.dtog(addr);
-            prev = Some(addr);
-            self.files
-                .get_mut(&ino)
-                .expect("live file")
-                .blocks
-                .push(addr);
-            // Flush boundary: end of an application write or end of file.
-            let done = lbn + 1;
-            let flush = done % self.write_chunk_blocks == 0 || done == nfull;
-            if realloc_on && flush {
-                let _sp = obs::span!("realloc_pass");
-                while next_window < windows.len() && windows[next_window].1 <= done {
-                    let w = windows[next_window];
-                    let wpref = self.window_pref(ino, w.0, &region_pref);
-                    self.realloc_window(ino, w, wpref);
-                    next_window += 1;
-                }
-                // Chain the base-allocation preference from the (possibly
-                // moved) last block.
-                let f = self.files.get(&ino).expect("live file");
-                prev = f.blocks.last().copied();
-            }
-        }
-        if tail_frags > 0 {
-            let pref = prev.map(|d| Daddr(d.0 + fpb));
-            let hint = prev.map(|d| self.params.dtog(d)).unwrap_or(dcg);
-            let t = self.alloc_frag_run(hint, tail_frags, pref)?;
-            self.files.get_mut(&ino).expect("live file").tail = Some((t, tail_frags));
-        }
-        Ok(())
-    }
-
-    /// The cluster-search start for a realloc window: the address after
-    /// the previous block's *current* location, or after the region's
-    /// indirect block for region-start windows.
-    fn window_pref(
-        &self,
-        ino: Ino,
-        wstart: u32,
-        region_pref: &BTreeMap<u32, Daddr>,
-    ) -> Option<Daddr> {
-        let fpb = self.params.frags_per_block();
-        if let Some(&d) = region_pref.get(&wstart) {
-            return Some(Daddr(d.0 + fpb));
-        }
-        if wstart == 0 {
-            return None;
-        }
-        let f = self.files.get(&ino).expect("live file");
-        f.blocks.get(wstart as usize - 1).map(|d| Daddr(d.0 + fpb))
     }
 
     /// Folds a completed create into the running aggregates.
-    fn commit_create(&mut self, ino: Ino, dir: DirId, size: u64) {
-        let meta = self.files.get(&ino).expect("live file");
+    pub(crate) fn commit_create(&mut self, meta: &FileMeta) {
         if let Some((opt, scored)) = meta.layout_counts(&self.params) {
             self.agg.opt += opt;
             self.agg.scored += scored;
         }
         self.used_data_frags += meta.data_frags(&self.params);
-        self.bytes_written += size;
-        if let Some(d) = self.dirs.get_mut(&dir) {
+        self.bytes_written += meta.size;
+        if let Some(d) = self.dirs.get_mut(&meta.dir) {
             d.nfiles += 1;
         }
     }
 
     /// Returns a file's blocks, tail, and indirect blocks to the free
     /// maps (shared by delete and create-rollback).
-    fn release_file_space(&mut self, ino: Ino) {
-        let meta = self.files.get(&ino).expect("live file").clone();
+    pub(crate) fn release_meta_space(&mut self, meta: &FileMeta) {
         for &b in meta.blocks.iter().chain(meta.indirects.iter()) {
             let g = self.params.dtog(b);
             let cg = &mut self.cgs[g.0 as usize];
@@ -690,10 +618,6 @@ impl Filesystem {
             let (blk, off) = cg.daddr_to_block(d);
             cg.free_frag_run(blk, off, n);
         }
-        let f = self.files.get_mut(&ino).expect("live file");
-        f.blocks.clear();
-        f.indirects.clear();
-        f.tail = None;
     }
 }
 

@@ -299,6 +299,113 @@ pub fn recount_frag_summary(cg: &CylGroup) -> Vec<u32> {
     frsum
 }
 
+/// Reference [`crate::freespace::free_space_stats`]: the retired
+/// full-volume rescan, walking every group's free runs off the bitmap.
+/// The O(ncg) merge must equal this bit for bit after any churn; the
+/// differential oracle in `tests/stats_oracle.rs` holds them together.
+pub fn free_space_stats_rescan(
+    fs: &crate::fs::Filesystem,
+    hist_max: usize,
+) -> crate::freespace::FreeSpaceStats {
+    let maxcontig = fs.params().maxcontig;
+    let mut hist = vec![0u32; hist_max];
+    let mut free_blocks = 0u64;
+    let mut clusterable = 0u64;
+    let mut longest = 0u32;
+    for g in 0..fs.ncg() {
+        let cg = fs.cg(ffs_types::CgIdx(g));
+        for (_, run) in cg.free_runs() {
+            hist[(run as usize - 1).min(hist_max - 1)] += 1;
+            free_blocks += run as u64;
+            if run >= maxcontig {
+                clusterable += run as u64;
+            }
+            longest = longest.max(run);
+        }
+    }
+    crate::freespace::FreeSpaceStats {
+        hist,
+        free_blocks,
+        clusterable_blocks: clusterable,
+        longest_run: longest,
+    }
+}
+
+/// Reference [`crate::freespace::frag_space_stats`]: the retired
+/// full-volume rescan, walking every group's partial-block lanes.
+pub fn frag_space_stats_rescan(fs: &crate::fs::Filesystem) -> crate::freespace::FragSpaceStats {
+    let fpb = fs.params().frags_per_block();
+    let mut stats = crate::freespace::FragSpaceStats {
+        partial_blocks: 0,
+        free_frags_in_partial: 0,
+        fill_hist: vec![0u64; (fpb - 1) as usize],
+        frsum_totals: vec![0u64; (fpb - 1) as usize],
+    };
+    for g in 0..fs.ncg() {
+        let cg = fs.cg(ffs_types::CgIdx(g));
+        let full = cg.full_lane();
+        for (i, &n) in cg.frag_summary().iter().enumerate() {
+            stats.frsum_totals[i] += n as u64;
+        }
+        for b in cg.meta_blocks()..cg.nblocks() {
+            let byte = cg.map_byte(b);
+            if byte == 0 || byte == full {
+                continue;
+            }
+            let used = byte.count_ones();
+            stats.partial_blocks += 1;
+            stats.free_frags_in_partial += (fpb - used) as u64;
+            stats.fill_hist[(used - 1) as usize] += 1;
+        }
+    }
+    stats
+}
+
+/// From-scratch uncapped free-run histogram recount off the fragment
+/// map: bucket `k` counts maximal free runs of exactly `k + 1` blocks,
+/// one bucket per possible length (no pooling). The incremental
+/// histogram in `CylGroup` must equal this after every operation.
+pub fn recount_free_run_hist(cg: &CylGroup) -> Vec<u32> {
+    let mut hist = vec![0u32; cg.nblocks() as usize];
+    let mut run = 0usize;
+    for b in 0..cg.nblocks() {
+        if cg.map_byte(b) == 0 {
+            run += 1;
+        } else if run > 0 {
+            hist[run - 1] += 1;
+            run = 0;
+        }
+    }
+    if run > 0 {
+        hist[run - 1] += 1;
+    }
+    hist
+}
+
+/// From-scratch fragment-fill recount off the fragment map: returns
+/// `(partial_blocks, free_frags_in_partial, fill_hist)` where
+/// `fill_hist[k]` counts partial blocks with exactly `k + 1` allocated
+/// fragments. The incremental counters in `CylGroup` must equal this
+/// after every operation.
+pub fn recount_frag_fill(cg: &CylGroup) -> (u32, u32, Vec<u32>) {
+    let fpb = cg.frags_per_block();
+    let full = ((1u16 << fpb) - 1) as u8;
+    let mut partial = 0u32;
+    let mut free = 0u32;
+    let mut fill = vec![0u32; fpb.saturating_sub(1) as usize];
+    for b in 0..cg.nblocks() {
+        let byte = cg.map_byte(b);
+        if byte == 0 || byte == full {
+            continue;
+        }
+        let used = byte.count_ones();
+        partial += 1;
+        free += fpb - used;
+        fill[(used - 1) as usize] += 1;
+    }
+    (partial, free, fill)
+}
+
 /// Reference [`CylGroup::find_frag_run`]: first fragment run of at least
 /// `len` free fragments at or after block `from`, wrapping once, checked
 /// one fragment bit at a time via the lane accessor.

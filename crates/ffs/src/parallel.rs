@@ -1,0 +1,623 @@
+//! Deterministic per-cylinder-group parallel batch execution.
+//!
+//! [`Filesystem::run_ops`] executes a batch of create/delete/rewrite
+//! operations across a scoped thread pool, sharded by cylinder group,
+//! and produces **bit-identical state to the sequential loop** — same
+//! block addresses, same inode numbers, same rotors, same digest — for
+//! any thread count. That is possible because FFS itself shards the
+//! namespace: a file's inode and (for direct-block files) all of its
+//! data live in its directory's group, and the allocator only leaves the
+//! group when it is full or the file crosses an indirect boundary.
+//!
+//! The planner walks the batch in order and *proves*, per operation,
+//! that the sequential execution would stay inside one group:
+//!
+//! * a create is **eligible** when the final file shape has no indirect
+//!   blocks (`nfull <= NDADDR`, so no group switch), the group retains
+//!   enough free blocks and a free inode after every earlier planned
+//!   create (the in-group searches wrap, so a margin guarantees in-group
+//!   success — the spill path is never entered), and the group's last
+//!   block is already allocated (so the chained preference `prev + fpb`
+//!   can never step into the next group; the last group is exempt
+//!   because `dtog` clamps);
+//! * a delete is **eligible** when every address it frees lies in the
+//!   inode's own group;
+//! * a rewrite touches only its file's timestamp and the global write
+//!   counter, both order-independent within a batch, and is applied
+//!   immediately.
+//!
+//! Eligible operations are queued per group; anything else flushes the
+//! pending batch and runs inline. Workers execute each group's queue in
+//! batch order against a [`CgPool::One`] engine — the *same*
+//! `write_blocks` / `alloc_block` code as the sequential path, with the
+//! borrow checker proving group isolation — and the main thread merges
+//! outcomes in batch order and allocator counters in group order, so
+//! the result is independent of both the thread count and the OS
+//! scheduler.
+
+use ffs_types::{CgIdx, DirId, FsError, FsParams, FsResult, Ino};
+
+use crate::alloc::{AllocEngine, AllocStats, CgPool, EngineCfg};
+use crate::cg::CylGroup;
+use crate::fs::Filesystem;
+use crate::grow::file_shape;
+use crate::inode::FileMeta;
+use crate::table::BlockList;
+
+/// One operation of a [`Filesystem::run_ops`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Create a file of `size` bytes in `dir`.
+    Create {
+        /// Directory to create in.
+        dir: DirId,
+        /// File size in bytes.
+        size: u64,
+    },
+    /// Delete a live file.
+    Delete {
+        /// The file to delete; must be live when the batch runs.
+        ino: Ino,
+    },
+    /// Rewrite a live file in place.
+    Rewrite {
+        /// The file to rewrite; must be live when the batch runs.
+        ino: Ino,
+    },
+}
+
+/// What happened to one [`BatchOp`], in batch order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The create succeeded with this inode.
+    Created(Ino),
+    /// The create failed for lack of space (the batch continues, as the
+    /// aging replay skips such files).
+    CreateFailed,
+    /// The delete completed.
+    Deleted,
+    /// The rewrite completed.
+    Rewritten,
+}
+
+/// A create the planner proved stays inside its group.
+struct PlannedCreate {
+    op_idx: usize,
+    dir: DirId,
+    size: u64,
+}
+
+/// Per-group work items, in batch order.
+enum CgWork {
+    Create(PlannedCreate),
+    /// The detached metadata of a planned delete; the worker frees its
+    /// claims and inode bit.
+    Delete(FileMeta),
+}
+
+/// What one group's worker hands back.
+struct WorkerOut {
+    stats: AllocStats,
+    /// `(op index, metadata)` of every create, for in-order merging.
+    created: Vec<(usize, FileMeta)>,
+}
+
+/// The pending batch: per-group queues plus the planner's running
+/// reservations against each group.
+struct Plan {
+    queues: Vec<Vec<CgWork>>,
+    /// Blocks earlier planned creates may consume, per group.
+    planned_blocks: Vec<u32>,
+    /// Inodes earlier planned creates will consume, per group.
+    planned_inodes: Vec<u32>,
+    /// A planned delete frees (part of) the group's last block, so the
+    /// last-block invariant no longer holds at execution time.
+    freed_last: Vec<bool>,
+}
+
+impl Plan {
+    fn new(ncg: usize) -> Plan {
+        Plan {
+            queues: (0..ncg).map(|_| Vec::new()).collect(),
+            planned_blocks: vec![0; ncg],
+            planned_inodes: vec![0; ncg],
+            freed_last: vec![false; ncg],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.planned_blocks.fill(0);
+        self.planned_inodes.fill(0);
+        self.freed_last.fill(false);
+    }
+}
+
+impl Filesystem {
+    /// Executes `ops` — in batch order, as if by the inline loop over
+    /// [`Filesystem::create`] / [`Filesystem::remove`] /
+    /// [`Filesystem::rewrite`] — using up to `threads` worker threads,
+    /// and returns one [`OpOutcome`] per operation.
+    ///
+    /// The result (state digest, outcomes, allocator counters) is
+    /// identical for every `threads` value, including 1. A create that
+    /// fails for space yields [`OpOutcome::CreateFailed`] and the batch
+    /// continues; any other error stops the batch with everything before
+    /// the failing operation applied, exactly like the inline loop.
+    ///
+    /// Deleted and rewritten inodes must be live when the call starts
+    /// (the caller resolves same-batch dependencies by splitting
+    /// batches).
+    pub fn run_ops(
+        &mut self,
+        day: u32,
+        ops: &[BatchOp],
+        threads: usize,
+    ) -> FsResult<Vec<OpOutcome>> {
+        if threads <= 1 {
+            return self.run_ops_inline(day, ops);
+        }
+        let ncg = self.params.ncg as usize;
+        let mut out: Vec<Option<OpOutcome>> = vec![None; ops.len()];
+        let mut plan = Plan::new(ncg);
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                BatchOp::Rewrite { ino } => {
+                    // Order-independent within the batch: applied now.
+                    if let Err(e) = self.rewrite(ino, day) {
+                        self.exec_plan(&mut plan, day, threads, &mut out);
+                        return Err(e);
+                    }
+                    out[i] = Some(OpOutcome::Rewritten);
+                }
+                BatchOp::Delete { ino } => {
+                    if let Some(g) = self.delete_group(ino) {
+                        let meta = self.detach_file(ino).expect("eligibility checked liveness");
+                        let gi = g.0 as usize;
+                        let last = self.cgs[gi].nblocks() - 1;
+                        let frees_last = meta
+                            .blocks
+                            .iter()
+                            .chain(meta.indirects.iter())
+                            .chain(meta.tail.iter().map(|(d, _)| d))
+                            .any(|&d| self.cgs[gi].daddr_to_block(d).0 == last);
+                        if frees_last {
+                            plan.freed_last[gi] = true;
+                        }
+                        plan.queues[gi].push(CgWork::Delete(meta));
+                        out[i] = Some(OpOutcome::Deleted);
+                    } else {
+                        self.exec_plan(&mut plan, day, threads, &mut out);
+                        self.remove(ino)?;
+                        out[i] = Some(OpOutcome::Deleted);
+                    }
+                }
+                BatchOp::Create { dir, size } => {
+                    if let Some(g) = self.create_group(dir, size, &plan) {
+                        let gi = g.0 as usize;
+                        let (nfull, tail_frags) = file_shape(&self.params, size);
+                        plan.planned_blocks[gi] += nfull + (tail_frags > 0) as u32;
+                        plan.planned_inodes[gi] += 1;
+                        plan.queues[gi].push(CgWork::Create(PlannedCreate {
+                            op_idx: i,
+                            dir,
+                            size,
+                        }));
+                    } else {
+                        self.exec_plan(&mut plan, day, threads, &mut out);
+                        match self.create(dir, size, day) {
+                            Ok(ino) => out[i] = Some(OpOutcome::Created(ino)),
+                            Err(FsError::NoSpace { .. }) => out[i] = Some(OpOutcome::CreateFailed),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+        self.exec_plan(&mut plan, day, threads, &mut out);
+        Ok(out
+            .into_iter()
+            .map(|o| o.expect("every op resolved"))
+            .collect())
+    }
+
+    /// The reference semantics: the plain inline loop.
+    fn run_ops_inline(&mut self, day: u32, ops: &[BatchOp]) -> FsResult<Vec<OpOutcome>> {
+        ops.iter()
+            .map(|&op| match op {
+                BatchOp::Create { dir, size } => match self.create(dir, size, day) {
+                    Ok(ino) => Ok(OpOutcome::Created(ino)),
+                    Err(FsError::NoSpace { .. }) => Ok(OpOutcome::CreateFailed),
+                    Err(e) => Err(e),
+                },
+                BatchOp::Delete { ino } => self.remove(ino).map(|_| OpOutcome::Deleted),
+                BatchOp::Rewrite { ino } => self.rewrite(ino, day).map(|_| OpOutcome::Rewritten),
+            })
+            .collect()
+    }
+
+    /// The group a delete of `ino` would stay inside, or `None` when the
+    /// file is missing or its claims cross groups.
+    fn delete_group(&self, ino: Ino) -> Option<CgIdx> {
+        let meta = self.files.get(&ino)?;
+        let (g, _) = self.params.ino_to_cg(ino);
+        let all_in_g = meta
+            .blocks
+            .iter()
+            .chain(meta.indirects.iter())
+            .chain(meta.tail.iter().map(|(d, _)| d))
+            .all(|&d| self.params.dtog(d) == g);
+        all_in_g.then_some(g)
+    }
+
+    /// The group a create in `dir` of `size` bytes provably stays
+    /// inside, accounting for every earlier planned operation, or `None`
+    /// when the sequential allocator could leave the group (the caller
+    /// then flushes and runs inline).
+    fn create_group(&self, dir: DirId, size: u64, plan: &Plan) -> Option<CgIdx> {
+        let g = self.dirs.get(&dir)?.cg;
+        if size > self.params.max_file_size() {
+            return None;
+        }
+        let (nfull, tail_frags) = file_shape(&self.params, size);
+        // Indirect files switch groups by design (footnote 1).
+        if nfull > ffs_types::params::NDADDR {
+            return None;
+        }
+        let gi = g.0 as usize;
+        let cg = &self.cgs[gi];
+        // The chained preference after the group's last block would step
+        // into the next group; keep such creates sequential. The planner
+        // requires the last block *allocated* — then no in-batch
+        // allocation can reach it — and no earlier planned delete may
+        // free it. `dtog` clamps at the volume end, so the last group is
+        // exempt.
+        if g.0 + 1 < self.params.ncg && (plan.freed_last[gi] || cg.is_block_free(cg.nblocks() - 1))
+        {
+            return None;
+        }
+        // Block and inode margins: with the in-group searches wrapping
+        // once, a sufficient margin makes every in-group allocation
+        // infallible, so the sequential run would never spill either.
+        let need = nfull + (tail_frags > 0) as u32;
+        if cg.free_blocks() < plan.planned_blocks[gi] + need {
+            return None;
+        }
+        if cg.free_inodes() < plan.planned_inodes[gi] + 1 {
+            return None;
+        }
+        Some(g)
+    }
+
+    /// Executes the pending plan on up to `threads` workers and merges
+    /// the results deterministically: create outcomes in batch order,
+    /// allocator counters in group order.
+    fn exec_plan(
+        &mut self,
+        plan: &mut Plan,
+        day: u32,
+        threads: usize,
+        out: &mut [Option<OpOutcome>],
+    ) {
+        if plan.is_empty() {
+            return;
+        }
+        let queues = std::mem::take(&mut plan.queues);
+        plan.queues = (0..queues.len()).map(|_| Vec::new()).collect();
+        plan.reset();
+        let cfg = self.engine_cfg();
+        let mut per_g: Vec<(usize, WorkerOut)> = {
+            let Filesystem { params, cgs, .. } = &mut *self;
+            let params: &FsParams = params;
+            let mut slots: Vec<Option<&mut CylGroup>> = cgs.iter_mut().map(Some).collect();
+            let units: Vec<(usize, &mut CylGroup, Vec<CgWork>)> = queues
+                .into_iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(g, q)| (g, slots[g].take().expect("each group queued once"), q))
+                .collect();
+            let nw = threads.min(units.len()).max(1);
+            let mut buckets: Vec<Vec<(usize, &mut CylGroup, Vec<CgWork>)>> =
+                (0..nw).map(|_| Vec::new()).collect();
+            for (i, unit) in units.into_iter().enumerate() {
+                buckets[i % nw].push(unit);
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        s.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(g, cg, queue)| {
+                                    (g, run_unit(params, cfg, CgIdx(g as u32), cg, queue, day))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("group worker panicked"))
+                    .collect()
+            })
+        };
+        // Allocator counters fold in group order — independent of which
+        // worker ran which group.
+        per_g.sort_by_key(|&(g, _)| g);
+        let mut created: Vec<(usize, FileMeta)> = Vec::new();
+        for (_, wo) in per_g {
+            self.alloc_stats.merge(&wo.stats);
+            created.extend(wo.created);
+        }
+        // Create outcomes merge in batch order, matching the sequential
+        // slab insertion order.
+        created.sort_by_key(|&(i, _)| i);
+        for (i, meta) in created {
+            out[i] = Some(OpOutcome::Created(meta.ino));
+            self.commit_create(&meta);
+            self.files.insert(meta.ino, meta);
+        }
+    }
+}
+
+/// Runs one group's queue, in batch order, against a single-group
+/// allocation engine. Infallible by planner construction: the margins
+/// reserved at plan time guarantee every in-group allocation succeeds.
+fn run_unit(
+    params: &FsParams,
+    cfg: EngineCfg,
+    g: CgIdx,
+    cg: &mut CylGroup,
+    queue: Vec<CgWork>,
+    day: u32,
+) -> WorkerOut {
+    let mut stats = AllocStats::default();
+    let mut created = Vec::new();
+    for work in queue {
+        match work {
+            CgWork::Delete(meta) => {
+                for &b in meta.blocks.iter().chain(meta.indirects.iter()) {
+                    let (blk, off) = cg.daddr_to_block(b);
+                    debug_assert_eq!(off, 0);
+                    cg.free_block(blk);
+                }
+                if let Some((d, n)) = meta.tail {
+                    let (blk, off) = cg.daddr_to_block(d);
+                    cg.free_frag_run(blk, off, n);
+                }
+                let (_, slot) = params.ino_to_cg(meta.ino);
+                cg.free_inode(slot);
+            }
+            CgWork::Create(c) => {
+                let mut eng = AllocEngine {
+                    params,
+                    pool: CgPool::One {
+                        idx: g,
+                        cg: &mut *cg,
+                    },
+                    stats: &mut stats,
+                    cfg,
+                };
+                let ino = eng
+                    .alloc_inode_pref(g)
+                    .expect("planner reserved an inode in this group");
+                let mut meta = FileMeta {
+                    ino,
+                    dir: c.dir,
+                    size: c.size,
+                    blocks: BlockList::new(),
+                    tail: None,
+                    indirects: Vec::new(),
+                    mtime_day: day,
+                };
+                eng.write_blocks(&mut meta, g, c.size)
+                    .expect("planner reserved the blocks in this group");
+                debug_assert!(
+                    meta.indirects.is_empty(),
+                    "eligible creates are direct-only"
+                );
+                created.push((c.op_idx, meta));
+            }
+        }
+    }
+    WorkerOut { stats, created }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::AllocPolicy;
+    use ffs_types::{FsParams, KB};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A random batch over live files: mixed sizes (frag tails, direct
+    /// blocks, indirect files to force ineligible ops), deletes, and
+    /// rewrites. Returns the ops and updates `live` as the sequential
+    /// loop would.
+    fn random_batch(rng: &mut StdRng, dirs: &[DirId], live: &mut Vec<Ino>) -> Vec<BatchOp> {
+        let n = rng.gen_range(8usize..40);
+        let mut ops = Vec::new();
+        let mut pending_deleted = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let r = rng.gen_range(0u32..10);
+            if r < 3 && !live.is_empty() {
+                let i = rng.gen_range(0..live.len());
+                let ino = live[i];
+                if pending_deleted.insert(ino) {
+                    live.swap_remove(i);
+                    ops.push(BatchOp::Delete { ino });
+                }
+            } else if r < 5 && !live.is_empty() {
+                let ino = live[rng.gen_range(0..live.len())];
+                if !pending_deleted.contains(&ino) {
+                    ops.push(BatchOp::Rewrite { ino });
+                }
+            } else {
+                let size = match rng.gen_range(0u32..10) {
+                    0..=3 => rng.gen_range(1..=8 * KB),
+                    4..=7 => rng.gen_range(1u64..=96) * KB + rng.gen_range(0..KB),
+                    _ => rng.gen_range(96u64..=200) * KB,
+                };
+                let dir = dirs[rng.gen_range(0..dirs.len())];
+                ops.push(BatchOp::Create { dir, size });
+            }
+        }
+        ops
+    }
+
+    /// `run_ops` with N threads equals the inline loop — same outcomes,
+    /// same digest, same allocator counters — across random churn on a
+    /// multi-group volume.
+    #[test]
+    fn parallel_batches_match_sequential_execution() {
+        for seed in [1996u64, 2026, 0xFF5] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut seq = Filesystem::new(FsParams::small_test(), AllocPolicy::Realloc);
+            let dirs = seq.mkdir_per_cg().unwrap();
+            let mut par = seq.clone();
+            let mut live = Vec::new();
+            for day in 0..40u32 {
+                let ops = random_batch(&mut rng, &dirs, &mut live);
+                let a = seq.run_ops(day, &ops, 1).unwrap();
+                let b = par.run_ops(day, &ops, 4).unwrap();
+                assert_eq!(a, b, "outcomes diverged (seed {seed}, day {day})");
+                assert_eq!(
+                    seq.digest(),
+                    par.digest(),
+                    "state diverged (seed {seed}, day {day})"
+                );
+                for o in a {
+                    if let OpOutcome::Created(ino) = o {
+                        live.push(ino);
+                    }
+                }
+            }
+            assert_eq!(seq.alloc_stats(), par.alloc_stats());
+            assert!(crate::check::check(&par).is_empty(), "fsck clean");
+        }
+    }
+
+    /// Thread counts 2, 3, and 8 all produce the 1-thread digest.
+    #[test]
+    fn every_thread_count_is_equivalent() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let base = {
+            let mut f = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+            f.mkdir_per_cg().unwrap();
+            f
+        };
+        let dirs: Vec<DirId> = base.dirs().map(|d| d.id).collect();
+        let mut live = Vec::new();
+        let batches: Vec<Vec<BatchOp>> = (0..12)
+            .map(|_| random_batch(&mut rng, &dirs, &mut live))
+            .collect();
+        let run = |threads: usize| {
+            let mut f = base.clone();
+            for (day, ops) in batches.iter().enumerate() {
+                f.run_ops(day as u32, ops, threads).unwrap();
+            }
+            f.digest()
+        };
+        let want = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), want, "threads {threads}");
+        }
+    }
+
+    /// A batch mixing an indirect-block create (ineligible: it switches
+    /// groups) between eligible ops still matches the inline loop.
+    #[test]
+    fn ineligible_ops_flush_and_stay_ordered() {
+        let mut seq = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = seq.mkdir_per_cg().unwrap();
+        let mut par = seq.clone();
+        let big = 150 * KB; // 13 full blocks: crosses the indirect boundary
+        let ops = vec![
+            BatchOp::Create {
+                dir: dirs[0],
+                size: 4 * KB,
+            },
+            BatchOp::Create {
+                dir: dirs[1],
+                size: 64 * KB,
+            },
+            BatchOp::Create {
+                dir: dirs[2],
+                size: big,
+            },
+            BatchOp::Create {
+                dir: dirs[2],
+                size: 24 * KB,
+            },
+            BatchOp::Create {
+                dir: dirs[3],
+                size: 96 * KB,
+            },
+        ];
+        let a = seq.run_ops(0, &ops, 1).unwrap();
+        let b = par.run_ops(0, &ops, 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(seq.digest(), par.digest());
+    }
+
+    /// Deleting a missing file stops the batch with everything before it
+    /// applied, exactly like the inline loop.
+    #[test]
+    fn missing_delete_errors_after_flush() {
+        let mut seq = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = seq.mkdir_per_cg().unwrap();
+        let mut par = seq.clone();
+        let ops = vec![
+            BatchOp::Create {
+                dir: dirs[0],
+                size: 16 * KB,
+            },
+            BatchOp::Delete { ino: Ino(99_999) },
+            BatchOp::Create {
+                dir: dirs[1],
+                size: 16 * KB,
+            },
+        ];
+        let ea = seq.run_ops(0, &ops, 1).unwrap_err();
+        let eb = par.run_ops(0, &ops, 4).unwrap_err();
+        assert_eq!(ea, eb);
+        assert_eq!(seq.digest(), par.digest(), "partial application matches");
+        assert_eq!(seq.nfiles(), 1, "the create before the error landed");
+    }
+
+    /// Batches still match when groups run out of space and creates
+    /// start failing (the NoSpace path is ineligible by margin).
+    #[test]
+    fn no_space_failures_match_sequential() {
+        let mut seq = Filesystem::new(FsParams::small_test(), AllocPolicy::Orig);
+        let dirs = seq.mkdir_per_cg().unwrap();
+        let mut par = seq.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut failed = 0;
+        for day in 0..200u32 {
+            let ops: Vec<BatchOp> = (0..16)
+                .map(|_| BatchOp::Create {
+                    dir: dirs[rng.gen_range(0..dirs.len())],
+                    size: rng.gen_range(1u64..=64) * KB,
+                })
+                .collect();
+            let a = seq.run_ops(day, &ops, 1).unwrap();
+            let b = par.run_ops(day, &ops, 4).unwrap();
+            assert_eq!(a, b, "day {day}");
+            failed += a.iter().filter(|o| **o == OpOutcome::CreateFailed).count();
+            if failed > 20 {
+                break;
+            }
+        }
+        assert!(failed > 0, "the volume must fill for this test to bite");
+        assert_eq!(seq.digest(), par.digest());
+    }
+}

@@ -38,7 +38,9 @@ impl Filesystem {
         let last = ffs_types::CgIdx(self.params.ncg - 1);
         let frag_limit = self.params.cg_base(last).0 + self.params.cg_nblocks(last) * fpb;
         if !to.0.is_multiple_of(fpb) || to.0.checked_add(fpb).is_none_or(|e| e > frag_limit) {
-            return Err(FsError::InvalidArg("relocate target misaligned or out of volume"));
+            return Err(FsError::InvalidArg(
+                "relocate target misaligned or out of volume",
+            ));
         }
         let ng = self.params.dtog(to);
         let (nb, noff) = self.cgs[ng.0 as usize].daddr_to_block(to);
@@ -72,7 +74,6 @@ impl Filesystem {
             self.agg.scored += scored;
         }
         self.alloc_stats.relocations = self.alloc_stats.relocations.saturating_add(1);
-        obs::counter!("ffs.relocations", 1);
         Ok(old)
     }
 }

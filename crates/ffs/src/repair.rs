@@ -246,9 +246,31 @@ pub fn inject_metadata_damage(fs: &mut Filesystem, seed: u64, hits: u32) -> u32 
     let ncg = fs.params.ncg;
     let mut applied = 0u32;
     for _ in 0..hits {
-        let kind = rng.gen_range(0u32..10);
+        let kind = rng.gen_range(0u32..11);
         let g = rng.gen_range(0..ncg) as usize;
         match kind {
+            10 => {
+                // Scramble the incremental free-space statistics (torn
+                // stats update): a free-run histogram bucket and a
+                // fragment-fill bucket.
+                let cg = &mut fs.cgs[g];
+                let mut hit = false;
+                let hist = cg.raw_run_hist_mut();
+                if !hist.is_empty() {
+                    let i = rng.gen_range(0..hist.len() as u32) as usize;
+                    hist[i] = hist[i].wrapping_add(rng.gen_range(1..5));
+                    hit = true;
+                }
+                let fill = cg.raw_fill_hist_mut();
+                if !fill.is_empty() {
+                    let i = rng.gen_range(0..fill.len() as u32) as usize;
+                    fill[i] = fill[i].wrapping_add(rng.gen_range(1..5));
+                    hit = true;
+                }
+                if hit {
+                    applied += 1;
+                }
+            }
             8 => {
                 // Scramble the file table's slab index (torn free-list
                 // update): random free-list links and head, or a flipped
@@ -585,6 +607,46 @@ mod tests {
         let d = fs.dirs.keys().next().unwrap();
         fs.create(d, 24 * KB, 500).unwrap();
         assert_consistent(&fs);
+    }
+
+    #[test]
+    fn scrambled_free_stats_are_detected_and_rebuilt() {
+        let mut fs = aged_fs();
+        let pristine = fs.clone();
+        let hist = fs.cgs[1].raw_run_hist_mut();
+        hist[3] = hist[3].wrapping_add(2);
+        let fill = fs.cgs[1].raw_fill_hist_mut();
+        fill[1] = fill[1].wrapping_add(1);
+        let errs = check(&fs);
+        assert!(
+            errs.iter()
+                .any(|v| matches!(v, Violation::FreeStatsDrift { cg: 1, .. })),
+            "free-stats drift not reported: {errs:?}"
+        );
+        assert!(errs.iter().all(|v| !v.is_structural()));
+        let report = repair(&mut fs);
+        assert!(report.rebuilt);
+        assert!(report.files_removed.is_empty());
+        assert_consistent(&fs);
+        assert_eq!(fs.cgs[1], pristine.cgs[1], "rebuild was not lossless");
+        assert_eq!(fs.digest(), pristine.digest());
+    }
+
+    #[test]
+    fn free_stats_damage_kind_converges_under_repair() {
+        // Seeds that draw damage kind 10 (free-space stats scramble)
+        // among the rest; repair must return the exact pristine state.
+        for seed in 200..208 {
+            let mut fs = aged_fs();
+            let pristine = fs.clone();
+            let applied = inject_metadata_damage(&mut fs, seed, 40);
+            assert!(applied > 0);
+            let report = repair(&mut fs);
+            assert!(report.files_removed.is_empty());
+            assert_consistent(&fs);
+            assert_eq!(fs.cgs, pristine.cgs, "seed {seed} was not lossless");
+            assert_eq!(fs.digest(), pristine.digest(), "seed {seed} digest drift");
+        }
     }
 
     #[test]

@@ -558,7 +558,9 @@ impl BlockList {
     /// True when this list shares a spilled allocation with a clone —
     /// the state a snapshot leaves behind (observability for tests).
     pub fn is_shared(&self) -> bool {
-        self.spill.as_ref().is_some_and(|a| Arc::strong_count(a) > 1)
+        self.spill
+            .as_ref()
+            .is_some_and(|a| Arc::strong_count(a) > 1)
     }
 }
 
@@ -701,7 +703,9 @@ mod tests {
         let mut model = std::collections::BTreeMap::new();
         let mut x = 12345u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = Ino(((x >> 33) % 257) as u32);
             if (x >> 13).is_multiple_of(3) {
                 assert_eq!(s.remove(&k), model.remove(&k));

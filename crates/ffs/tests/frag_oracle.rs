@@ -80,7 +80,11 @@ fn assert_summary_exact(cg: &CylGroup) {
         .sum();
     assert_eq!(cg.free_frags(), free_frags, "free-fragment counter drifted");
     let free_blocks = (0..cg.nblocks()).filter(|&b| cg.map_byte(b) == 0).count();
-    assert_eq!(cg.free_blocks() as usize, free_blocks, "free-block counter drifted");
+    assert_eq!(
+        cg.free_blocks() as usize,
+        free_blocks,
+        "free-block counter drifted"
+    );
 }
 
 /// Draws a search position: usually in range, sometimes past the end or
@@ -111,7 +115,8 @@ fn assert_searches_match(cg: &CylGroup, rng: &mut StdRng, queries: usize) {
             "find_frag_run(from={from}, len={len}, fpb={fpb})"
         );
         assert_eq!(
-            cg.find_frag_run_bestfit(from, len).map(|r| (r.block, r.frag)),
+            cg.find_frag_run_bestfit(from, len)
+                .map(|r| (r.block, r.frag)),
             naive::find_frag_run_bestfit(cg, from, len),
             "find_frag_run_bestfit(from={from}, len={len}, fpb={fpb})"
         );

@@ -260,7 +260,10 @@ fn requests_longer_than_the_group_are_rejected() {
         assert_eq!(cg.find_free_cluster(0, len), None);
         assert_eq!(cg.find_free_cluster_bestfit(len), None);
         assert_eq!(cg.find_free_cluster_near(0, len, 64), None);
-        assert_eq!(cg.find_free_cluster(0, len), naive::find_free_cluster(&cg, 0, len));
+        assert_eq!(
+            cg.find_free_cluster(0, len),
+            naive::find_free_cluster(&cg, 0, len)
+        );
     }
 }
 
@@ -331,7 +334,10 @@ fn is_cluster_free_handles_boundaries() {
     let params = odd_params();
     let mut cg = CylGroup::new(&params, CgIdx(params.ncg - 1));
     let (m, n) = (cg.meta_blocks(), cg.nblocks());
-    assert!(n % 64 != 0, "geometry must exercise a partial trailing word");
+    assert!(
+        n % 64 != 0,
+        "geometry must exercise a partial trailing word"
+    );
     // Zero-length requests are vacuously free; anything touching a block
     // at or past `nblocks` is not.
     assert!(cg.is_cluster_free(0, 0));

@@ -26,9 +26,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
-use exp::{
-    run_jobs, ArtifactStore, CacheStatus, JobPolicy, JobSpec, Metrics, RunRecord,
-};
+use exp::{run_jobs, ArtifactStore, CacheStatus, JobPolicy, JobSpec, Metrics, RunRecord};
 
 use crate::accum::{policy_index, FleetAccum, Metric};
 use crate::exhibit;
@@ -339,7 +337,12 @@ pub fn run_fleet(opts: &FleetOptions) -> Result<FleetSummary, String> {
     let fleet_record = RunRecord {
         job: "fleet".into(),
         deps: Vec::new(),
-        status: if shards_ok == opts.shards { "ok" } else { "failed" }.into(),
+        status: if shards_ok == opts.shards {
+            "ok"
+        } else {
+            "failed"
+        }
+        .into(),
         error: None,
         wall_s: wall,
         attempts: 1,

@@ -71,7 +71,11 @@ fn render_artifact(spec: &ShardSpec, samples: &[ShardSample], skipped: u64) -> S
     let _ = writeln!(text, "skipped {skipped}");
     for s in samples {
         // Shortest round-trip Display: reload is bit-exact.
-        let _ = writeln!(text, "sample {} {} {} {}", s.day, s.layout, s.freefrag, s.util);
+        let _ = writeln!(
+            text,
+            "sample {} {} {} {}",
+            s.day, s.layout, s.freefrag, s.util
+        );
     }
     let _ = writeln!(text, "checksum {:016x}", fnv1a(text.as_bytes()));
     text
@@ -79,9 +83,7 @@ fn render_artifact(spec: &ShardSpec, samples: &[ShardSample], skipped: u64) -> S
 
 fn parse_artifact(spec: &ShardSpec, text: &str) -> Result<(Vec<ShardSample>, u64), String> {
     // The checksum line covers every byte before it.
-    let tail = text
-        .rfind("checksum ")
-        .ok_or("missing checksum line")?;
+    let tail = text.rfind("checksum ").ok_or("missing checksum line")?;
     if tail > 0 && text.as_bytes()[tail - 1] != b'\n' {
         return Err("malformed checksum line".into());
     }
@@ -91,7 +93,9 @@ fn parse_artifact(spec: &ShardSpec, text: &str) -> Result<(Vec<ShardSample>, u64
         .ok_or("malformed checksum line")?;
     let actual = format!("{:016x}", fnv1a(&text.as_bytes()[..tail]));
     if recorded != actual {
-        return Err(format!("checksum mismatch: file says {recorded}, content is {actual}"));
+        return Err(format!(
+            "checksum mismatch: file says {recorded}, content is {actual}"
+        ));
     }
     let mut lines = text[..tail].lines();
     let header = lines.next().ok_or("empty artifact")?;
@@ -127,16 +131,19 @@ fn parse_artifact(spec: &ShardSpec, text: &str) -> Result<(Vec<ShardSample>, u64
             }
             Some(("sample", v)) => {
                 let mut f = v.split_whitespace();
-                let mut next = |name: &str| {
-                    f.next().ok_or_else(|| format!("sample missing {name}"))
-                };
+                let mut next =
+                    |name: &str| f.next().ok_or_else(|| format!("sample missing {name}"));
                 samples.push(ShardSample {
                     day: next("day")?.parse().map_err(|e| format!("bad day: {e}"))?,
-                    layout: next("layout")?.parse().map_err(|e| format!("bad layout: {e}"))?,
+                    layout: next("layout")?
+                        .parse()
+                        .map_err(|e| format!("bad layout: {e}"))?,
                     freefrag: next("freefrag")?
                         .parse()
                         .map_err(|e| format!("bad freefrag: {e}"))?,
-                    util: next("util")?.parse().map_err(|e| format!("bad util: {e}"))?,
+                    util: next("util")?
+                        .parse()
+                        .map_err(|e| format!("bad util: {e}"))?,
                 });
             }
             _ => return Err(format!("unknown record {line:?}")),
@@ -148,7 +155,10 @@ fn parse_artifact(spec: &ShardSpec, text: &str) -> Result<(Vec<ShardSample>, u64
         return Err(format!("{} samples but days says {days}", samples.len()));
     }
     if days != spec.config.days as usize {
-        return Err(format!("artifact covers {days} days, shard wants {}", spec.config.days));
+        return Err(format!(
+            "artifact covers {days} days, shard wants {}",
+            spec.config.days
+        ));
     }
     Ok((samples, skipped))
 }
@@ -220,7 +230,11 @@ pub fn run_shard(
     .map_err(|e| JobError::from_fs(&e))?;
     if let Some(store) = store {
         store
-            .save_named(&key, EXT, &render_artifact(spec, &samples, result.skipped_creates))
+            .save_named(
+                &key,
+                EXT,
+                &render_artifact(spec, &samples, result.skipped_creates),
+            )
             .map_err(JobError::Fatal)?;
     }
     Ok(ShardOutput {
@@ -253,7 +267,10 @@ mod tests {
         assert_eq!(cold.cache, CacheStatus::Miss);
         assert!(cold.ops > 0);
         assert_eq!(cold.samples.len(), 4);
-        assert!(cold.samples.iter().all(|s| (0.0..=1.0).contains(&s.freefrag)));
+        assert!(cold
+            .samples
+            .iter()
+            .all(|s| (0.0..=1.0).contains(&s.freefrag)));
         let warm = run_shard(Some(&store), &spec, None).unwrap();
         assert_eq!(warm.cache, CacheStatus::Hit);
         assert_eq!(warm.ops, 0);
@@ -298,7 +315,10 @@ mod tests {
         let q = healed.quarantined.expect("damaged checkpoint preserved");
         assert!(q.starts_with(store.quarantine_dir()));
         // The store healed: next load hits.
-        assert_eq!(run_shard(Some(&store), &spec, None).unwrap().cache, CacheStatus::Hit);
+        assert_eq!(
+            run_shard(Some(&store), &spec, None).unwrap().cache,
+            CacheStatus::Hit
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -59,9 +59,8 @@ impl FleetSpec {
     /// `(fleet_seed, days, index)` always yields the identical shard,
     /// independent of any other shard's expansion.
     pub fn shard(&self, index: u32) -> ShardSpec {
-        let mut rng = SplitMix64::new(
-            self.fleet_seed ^ fnv1a(format!("fleet shard {index}").as_bytes()),
-        );
+        let mut rng =
+            SplitMix64::new(self.fleet_seed ^ fnv1a(format!("fleet shard {index}").as_bytes()));
         let size_mb = *rng.pick(&SIZE_MB_MENU);
         let ncg = *rng.pick(&NCG_MENU);
         let params = FsParams {

@@ -28,7 +28,9 @@ fn fingerprint(jsonl: &str) -> Vec<String> {
                 out.push_str(&rest[..i]);
                 let tail = &rest[i + ",\"wall_s\":".len()..];
                 let end = tail
-                    .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+                    .find(|c: char| {
+                        !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+')
+                    })
                     .unwrap_or(tail.len());
                 rest = &tail[end..];
             }
@@ -135,7 +137,11 @@ fn a_killed_fleet_resumes_without_re_aging_finished_shards() {
             assert!(RunRecord::field_str(line, "resumed").is_none());
         } else {
             assert_eq!(RunRecord::field_str(line, "cache").unwrap(), "hit");
-            assert_eq!(RunRecord::field_num(line, "ops").unwrap(), 0.0, "not re-aged");
+            assert_eq!(
+                RunRecord::field_num(line, "ops").unwrap(),
+                0.0,
+                "not re-aged"
+            );
             assert_eq!(RunRecord::field_str(line, "resumed").unwrap(), "true");
         }
     }

@@ -26,7 +26,16 @@ use crate::experiments;
 /// `sweep` (the maxcontig ablation) is runnable by name but excluded
 /// from `all`, as before the engine existed.
 pub const EXHIBITS: &[&str] = &[
-    "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table2", "freespace", "snapval",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table2",
+    "freespace",
+    "snapval",
     "profiles",
 ];
 
@@ -65,9 +74,7 @@ const PARETO_DEPS: &[&str] = &[
 /// Column/row label of an aging job in the pareto exhibit: `age:ffs`
 /// becomes `ffs`, `age:greedy:50` becomes `greedy/50`.
 fn pareto_label(id: &str) -> String {
-    id.strip_prefix("age:")
-        .unwrap_or(id)
-        .replace(':', "/")
+    id.strip_prefix("age:").unwrap_or(id).replace(':', "/")
 }
 
 /// Parses a defragmenting aging job id (`age:<policy>:<budget>`) into
@@ -164,6 +171,7 @@ fn aging_job(
         config = config.real_fs_variant();
     }
     let store = (!opts.no_cache).then(|| ArtifactStore::new(opts.cache_path()));
+    let threads = opts.threads.max(1);
     JobSpec::new(id, &[], move |ctx| {
         let run = age_cached(
             store.as_ref(),
@@ -175,6 +183,7 @@ fn aging_job(
                 // runaway aging is cut off at a day boundary.
                 cancel: Some(ctx.cancel_token()),
                 defrag: defrag.clone(),
+                threads,
                 ..ReplayOptions::default()
             },
         )?;
@@ -229,9 +238,7 @@ fn exhibit_job(name: &'static str, opts: &Options, sh: &Shared) -> JobSpec<JobOu
                 let (o, r) = (aged_arc(ctx, "age:ffs")?, aged_arc(ctx, "age:realloc")?);
                 experiments::table2(&sh, as_aged(&o), as_aged(&r), ctx.metrics)
             }
-            "freespace" => {
-                experiments::freespace(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?)
-            }
+            "freespace" => experiments::freespace(aged(ctx, "age:ffs")?, aged(ctx, "age:realloc")?),
             "snapval" => experiments::snapval(&sh, ctx.metrics),
             "profiles" => experiments::profiles(&sh, ctx.metrics),
             "sweep" => experiments::sweep(&sh, ctx.metrics),
@@ -322,8 +329,8 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
     // of the DAG entirely.
     let prior_ok: std::collections::BTreeSet<String> = match &opts.resume_run {
         Some(path) => {
-            let text = fs::read_to_string(path)
-                .map_err(|e| format!("resume journal {path}: {e}"))?;
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("resume journal {path}: {e}"))?;
             text.lines()
                 .filter_map(|line| {
                     let job = RunRecord::field_str(line, "job")?;
@@ -336,8 +343,7 @@ pub fn run(opts: &Options, requested: &[&'static str]) -> Result<Summary, String
     };
     let out_dir = Path::new(&opts.out_dir);
     let tsv_path = |name: &str| out_dir.join(format!("{name}.tsv"));
-    let resumable =
-        |name: &str| prior_ok.contains(name) && tsv_path(name).is_file();
+    let resumable = |name: &str| prior_ok.contains(name) && tsv_path(name).is_file();
 
     let mut jobs: Vec<JobSpec<JobOut>> = Vec::new();
     let mut aging_needed: Vec<&str> = Vec::new();

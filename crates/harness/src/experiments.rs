@@ -320,29 +320,39 @@ pub fn snapval(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
         config.ramp_days = (config.days / 3).max(1);
     }
     let params = &sh.params;
-    let w = generate(&config, params.ncg, params.data_capacity_bytes());
+    let w = {
+        let _s = obs::span!("gen_workload");
+        generate(&config, params.ncg, params.data_capacity_bytes())
+    };
     let original = replay(
         &w,
         params,
         AllocPolicy::Orig,
         ReplayOptions {
             snapshot_every_days: 1,
+            threads: sh.threads,
             ..ReplayOptions::default()
         },
     )
     .map_err(|e| e.to_string())?;
-    let derived_w = diff_to_workload(
-        &original.snapshots,
-        &config,
-        params.ncg,
-        params.data_capacity_bytes(),
-    );
+    let derived_w = {
+        let _s = obs::span!("derive_workload");
+        diff_to_workload(
+            &original.snapshots,
+            &config,
+            params.ncg,
+            params.data_capacity_bytes(),
+        )
+    };
     m.ops = Some(workload_ops(&w) + workload_ops(&derived_w));
     let derived = replay(
         &derived_w,
         params,
         AllocPolicy::Orig,
-        ReplayOptions::default(),
+        ReplayOptions {
+            threads: sh.threads,
+            ..ReplayOptions::default()
+        },
     )
     .map_err(|e| e.to_string())?;
     let mut s = String::new();
@@ -379,8 +389,16 @@ pub fn profiles(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
         let mut scores = Vec::new();
         for policy in [AllocPolicy::Orig, AllocPolicy::Realloc] {
             ops += workload_ops(&w);
-            let r = replay(&w, &sh.params, policy, ReplayOptions::default())
-                .map_err(|e| e.to_string())?;
+            let r = replay(
+                &w,
+                &sh.params,
+                policy,
+                ReplayOptions {
+                    threads: sh.threads,
+                    ..ReplayOptions::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
             scores.push(r.daily.last().map_or(1.0, |d| d.layout_score));
         }
         let _ = writeln!(
@@ -453,8 +471,7 @@ pub fn pareto(
     }
     m.ops = Some(ops);
     let _ = writeln!(s);
-    let series: Vec<(&str, &ReplayResult)> =
-        runs.iter().map(|(n, r)| (n.as_str(), *r)).collect();
+    let series: Vec<(&str, &ReplayResult)> = runs.iter().map(|(n, r)| (n.as_str(), *r)).collect();
     // layout_series_tsv prefixes the title with "# ", completing the
     // split marker the driver looks for.
     s.push_str(&layout_series_tsv(&PARETO_SPLIT[2..], &series));
@@ -533,6 +550,7 @@ pub fn smallfile(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
                     policy,
                     ReplayOptions {
                         frag_bestfit: bestfit,
+                        threads: sh.threads,
                         ..ReplayOptions::default()
                     },
                 )
@@ -582,8 +600,16 @@ pub fn sweep(sh: &Shared, m: &mut Metrics) -> Result<String, String> {
         params.maxcontig = maxcontig;
         let w = generate(&config, params.ncg, params.data_capacity_bytes());
         ops += workload_ops(&w);
-        let r = replay(&w, &params, AllocPolicy::Realloc, ReplayOptions::default())
-            .map_err(|e| e.to_string())?;
+        let r = replay(
+            &w,
+            &params,
+            AllocPolicy::Realloc,
+            ReplayOptions {
+                threads: sh.threads,
+                ..ReplayOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
         let _ = writeln!(
             s,
             "{maxcontig}\t{:.4}",

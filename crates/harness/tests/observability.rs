@@ -79,11 +79,17 @@ fn metrics_change_no_exhibit_bytes_and_cover_the_run() {
         .collect();
     for name in EXHIBITS {
         let want = format!("job:{name}");
-        assert!(jobs.contains(&want.as_str()), "missing span {want}: {jobs:?}");
+        assert!(
+            jobs.contains(&want.as_str()),
+            "missing span {want}: {jobs:?}"
+        );
     }
     for id in ["age:ffs", "age:realloc", "age:realref"] {
         let want = format!("job:{id}");
-        assert!(jobs.contains(&want.as_str()), "missing span {want}: {jobs:?}");
+        assert!(
+            jobs.contains(&want.as_str()),
+            "missing span {want}: {jobs:?}"
+        );
         // Aging jobs nest the per-day replay phases.
         let day = format!("{want}/age_day");
         assert!(

@@ -88,7 +88,10 @@ fn resume_run_reloads_ok_exhibits_and_drops_agings() {
             Some("true"),
             "{job} should be resumed"
         );
-        assert_eq!(exp::RunRecord::field_str(line, "status").as_deref(), Some("ok"));
+        assert_eq!(
+            exp::RunRecord::field_str(line, "status").as_deref(),
+            Some("ok")
+        );
     }
     assert_eq!(second_journal.lines().count(), EXHIBITS.len());
 

@@ -446,10 +446,7 @@ mod tests {
         let b = r.counter("test.reg.same");
         b.add(3);
         assert!(std::ptr::eq(a, b));
-        assert_eq!(
-            r.counter_values(),
-            vec![("test.reg.same".to_string(), 5)]
-        );
+        assert_eq!(r.counter_values(), vec![("test.reg.same".to_string(), 5)]);
         // First histogram registration fixes the bounds.
         let h1 = r.histogram("test.reg.h", &[1, 2]);
         let h2 = r.histogram("test.reg.h", &[10, 20, 30]);

@@ -128,6 +128,27 @@ impl Snapshot {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// Wall time the span at `index` spent in its own code: `wall_ns`
+    /// minus the total of its *immediate* children (grandchildren are
+    /// already inside their parents' totals). Clamped at zero — a child
+    /// running on another thread can outlast its parent's exclusive
+    /// window, as in the parallel replay.
+    pub fn span_self_ns(&self, index: usize) -> u64 {
+        let sp = &self.spans[index];
+        let mut child_sum = 0u64;
+        // The list is depth-first, so this span's subtree is exactly the
+        // run of deeper entries that follows it.
+        for c in &self.spans[index + 1..] {
+            if c.depth <= sp.depth {
+                break;
+            }
+            if c.depth == sp.depth + 1 {
+                child_sum = child_sum.saturating_add(c.wall_ns);
+            }
+        }
+        sp.wall_ns.saturating_sub(child_sum)
+    }
+
     /// Serializes the snapshot as one JSON object — the `metrics.json`
     /// sink.
     pub fn to_json(&self) -> String {
@@ -227,7 +248,9 @@ impl Snapshot {
     /// Parses a snapshot from the output of [`Snapshot::to_json`].
     pub fn from_json(text: &str) -> Result<Snapshot, String> {
         let v = json::parse(text)?;
-        let obj = v.as_obj().ok_or("metrics.json: top level is not an object")?;
+        let obj = v
+            .as_obj()
+            .ok_or("metrics.json: top level is not an object")?;
         match json::get(obj, "schema").and_then(|s| s.as_str()) {
             Some(s) if s == SCHEMA => {}
             Some(s) => return Err(format!("unsupported metrics schema {s:?}")),
@@ -287,19 +310,24 @@ impl Snapshot {
         if self.spans.is_empty() {
             let _ = writeln!(out, "  (no spans recorded)");
         }
-        for sp in &self.spans {
+        for (i, sp) in self.spans.iter().enumerate() {
             let per_call = if sp.calls > 0 {
                 sp.wall_ms() / sp.calls as f64
             } else {
                 0.0
             };
+            // "self" excludes time attributed to child spans, so a hot
+            // parent with fully-instrumented children reads ~0 and the
+            // real cost shows where it is spent.
+            let self_ms = self.span_self_ns(i) as f64 / 1e6;
             let _ = writeln!(
                 out,
-                "  {:indent$}{:<width$} {:>8} calls {:>12.3} ms  ({:.3} ms/call)",
+                "  {:indent$}{:<width$} {:>8} calls {:>12.3} ms  self {:>12.3} ms  ({:.3} ms/call)",
                 "",
                 sp.name(),
                 sp.calls,
                 sp.wall_ms(),
+                self_ms,
                 per_call,
                 indent = sp.depth * 2,
                 width = 28usize.saturating_sub(sp.depth * 2),
@@ -440,7 +468,10 @@ mod json {
             .and_then(|v| v.as_arr())
             .ok_or_else(|| format!("missing array field {key:?}"))?
             .iter()
-            .map(|v| v.as_u64().ok_or_else(|| format!("non-numeric entry in {key:?}")))
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("non-numeric entry in {key:?}"))
+            })
             .collect()
     }
 
@@ -578,8 +609,8 @@ mod json {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&b[*pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let rest =
+                        std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8 in string")?;
                     let c = rest.chars().next().ok_or("unterminated string")?;
                     out.push(c);
                     *pos += c.len_utf8();
@@ -673,6 +704,35 @@ mod tests {
         assert!(text.contains("ffs.block_allocs"), "{text}");
         assert!(text.contains("<=0:5"), "{text}");
         assert!(text.contains(">4:3"), "{text}");
+        // Self time of the root excludes its only child: 1.5 - 1.2 ms.
+        assert!(text.contains("self        0.300 ms"), "{text}");
+    }
+
+    #[test]
+    fn self_time_subtracts_immediate_children_only() {
+        let mut s = sample();
+        // A grandchild inside age_day: already counted in age_day's
+        // total, so the root's self time must not subtract it twice.
+        s.spans.push(SpanSnapshot {
+            path: "job:age:ffs/age_day/replay_ops".into(),
+            depth: 2,
+            calls: 30,
+            wall_ns: 900_000,
+        });
+        // A second top-level span ends the first subtree.
+        s.spans.push(SpanSnapshot {
+            path: "job:other".into(),
+            depth: 0,
+            calls: 1,
+            wall_ns: 50_000,
+        });
+        assert_eq!(s.span_self_ns(0), 300_000);
+        assert_eq!(s.span_self_ns(1), 300_000);
+        assert_eq!(s.span_self_ns(2), 900_000);
+        assert_eq!(s.span_self_ns(3), 50_000);
+        // Overlapping concurrent children clamp instead of underflowing.
+        s.spans[1].wall_ns = 2_000_000;
+        assert_eq!(s.span_self_ns(0), 0);
     }
 
     #[test]

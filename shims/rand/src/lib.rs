@@ -76,8 +76,12 @@ macro_rules! impl_sample_range_int {
         impl SampleRange<$t> for Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128).wrapping_sub(self.start as u128);
-                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                // The span of an exclusive range always fits in u64 (it is
+                // at most 2^64 - 1), so the draw reduces with one 64-bit
+                // modulo; the value is identical to reducing in u128 but
+                // avoids a libcall per draw in generation hot loops.
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
@@ -85,7 +89,14 @@ macro_rules! impl_sample_range_int {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as u128) - (lo as u128) + 1;
-                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                // A full-domain inclusive range has span 2^64: the modulo
+                // is then the identity. Every other span fits in u64.
+                let word = rng.next_u64();
+                let reduced = match u64::try_from(span) {
+                    Ok(s) => word % s,
+                    Err(_) => word,
+                };
+                lo.wrapping_add(reduced as $t)
             }
         }
     )*};

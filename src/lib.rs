@@ -66,8 +66,8 @@ pub mod prelude {
     };
     pub use disk::{raw_read_throughput, raw_write_throughput, Device, FaultPlan, IoKind};
     pub use ffs::{
-        assert_consistent, check, free_space_stats, inject_metadata_damage, layout_by_size,
-        repair, size_bins_paper, AllocPolicy, Filesystem, RepairReport, Violation,
+        assert_consistent, check, free_space_stats, inject_metadata_damage, layout_by_size, repair,
+        size_bins_paper, AllocPolicy, Filesystem, RepairReport, Violation,
     };
     pub use ffs_types::{DiskParams, FsParams, KB, MB};
     pub use iobench::{run_hot_files, run_point, run_sweep, SeqBenchConfig};

@@ -54,7 +54,8 @@ fn scripted_fs(seed: u64) -> Filesystem {
                 }
             }
             3 => {
-                if let Some(&ino) = live.get(rng.gen_range(0..live.len().max(1)) % live.len().max(1))
+                if let Some(&ino) =
+                    live.get(rng.gen_range(0..live.len().max(1)) % live.len().max(1))
                 {
                     let _ = fs.append(ino, rng.gen_range(1..64 * KB), day);
                 }
@@ -116,7 +117,10 @@ fn crash_at_every_op_converges() {
             "crash at op {at} lost files"
         );
         assert!(check(&crashed.fs).is_empty());
-        assert_eq!(crashed.daily, clean.daily, "daily series diverged at op {at}");
+        assert_eq!(
+            crashed.daily, clean.daily,
+            "daily series diverged at op {at}"
+        );
         assert_eq!(
             crashed.fs.aggregate_layout(),
             clean.fs.aggregate_layout(),
@@ -146,7 +150,14 @@ fn crash_then_checkpoint_then_resume_converges() {
     assert!(crashed.crash.is_some());
     let ck = aging::Checkpoint::from_text(&crashed.checkpoints[0].to_text()).unwrap();
     assert_eq!(ck.day, 1);
-    let resumed = resume(&w, &params, AllocPolicy::Orig, ReplayOptions::default(), &ck).unwrap();
+    let resumed = resume(
+        &w,
+        &params,
+        AllocPolicy::Orig,
+        ReplayOptions::default(),
+        &ck,
+    )
+    .unwrap();
     assert!(check(&resumed.fs).is_empty());
     assert_eq!(&clean.daily[2..], &resumed.daily[..]);
     assert_eq!(clean.fs.aggregate_layout(), resumed.fs.aggregate_layout());
